@@ -1,0 +1,42 @@
+// Ablation of E-Ant's pheromone-update design choices (DESIGN.md Sec. 4):
+//   * cross-colony negative feedback (Eq. 6) on/off — in this calibrated
+//     fleet all classes share one efficiency ranking, so the paper's
+//     anti-correlation pressure is expected to cost energy here;
+//   * the evaporation coefficient rho (Eq. 4), swept around the paper's 0.5.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace eant;
+
+int main() {
+  TextTable nf("ablation: cross-colony negative feedback (Eq. 6)");
+  nf.set_header({"variant", "energy (kJ)", "mean JCT (s)"});
+  for (bool enabled : {false, true}) {
+    exp::RunConfig cfg = bench::run_config();
+    cfg.eant.negative_feedback = enabled;
+    const auto m = bench::run_msd(exp::SchedulerKind::kEAnt, cfg);
+    nf.add_row({enabled ? "with Eq. 6" : "without Eq. 6",
+                TextTable::num(m.total_energy_kj(), 0),
+                TextTable::num(m.mean_completion(), 1)});
+  }
+  nf.print();
+  std::puts("");
+
+  TextTable rho("ablation: evaporation coefficient rho (Eq. 4)");
+  rho.set_header({"rho", "energy (kJ)", "mean JCT (s)"});
+  for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    exp::RunConfig cfg = bench::run_config();
+    cfg.eant.rho = r;
+    const auto m = bench::run_msd(exp::SchedulerKind::kEAnt, cfg);
+    rho.add_row({TextTable::num(r, 1), TextTable::num(m.total_energy_kj(), 0),
+                 TextTable::num(m.mean_completion(), 1)});
+  }
+  rho.print();
+  std::puts(
+      "\nlow rho = slow learning (stale trails); high rho = jittery trails; "
+      "the paper's worked example uses 0.5");
+  return 0;
+}

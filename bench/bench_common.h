@@ -1,0 +1,56 @@
+// Shared configuration of the paper-reproduction benches.
+//
+// The canonical evaluation workload (Sec. V-C): the 87-job MicroSoft-Derived
+// mix on the 16-machine fleet, scaled so one run simulates in seconds while
+// keeping the cluster at the paper's moderate utilisation regime (Fair's
+// desktop utilisation lands near Fig. 8(b)'s 40-45%).
+
+#pragma once
+
+#include "common/rng.h"
+#include "exp/builders.h"
+#include "exp/runner.h"
+#include "workload/msd.h"
+
+namespace eant::bench {
+
+constexpr std::uint64_t kSeed = 42;
+
+inline workload::MsdConfig msd_config() {
+  workload::MsdConfig wl;
+  wl.num_jobs = 87;  // the paper's job count
+  wl.input_scale = 1.0 / 200.0;
+  wl.mean_interarrival = 60.0;
+  return wl;
+}
+
+inline std::vector<workload::JobSpec> msd_workload(
+    std::uint64_t seed = kSeed) {
+  Rng rng(seed);
+  return workload::MsdGenerator(msd_config()).generate(rng);
+}
+
+inline exp::RunConfig run_config(std::uint64_t seed = kSeed) {
+  exp::RunConfig cfg;
+  cfg.seed = seed;
+  cfg.noise = mr::NoiseConfig::typical();
+  cfg.eant.control_interval = 120.0;  // scaled with the workload (paper: 5 min)
+  // In this calibrated fleet every job class shares the same efficiency
+  // ranking (the steep-slope desktops are the worst host for all task
+  // types), so Eq. 6's cross-class anti-correlation pressure only injects
+  // noise; the headline configuration disables it.  bench/ablation_feedback
+  // quantifies the effect; see EXPERIMENTS.md.
+  cfg.eant.negative_feedback = false;
+  return cfg;
+}
+
+/// Runs the canonical MSD workload under one scheduler.
+inline exp::RunMetrics run_msd(exp::SchedulerKind kind,
+                               exp::RunConfig cfg = run_config()) {
+  exp::Run run(exp::paper_fleet(), kind, cfg);
+  run.submit(msd_workload(cfg.seed));
+  run.execute();
+  return run.metrics();
+}
+
+}  // namespace eant::bench

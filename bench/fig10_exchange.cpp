@@ -1,0 +1,59 @@
+// Reproduces Fig. 10: effectiveness of the information-exchange strategies
+// (Sec. IV-D) under system noise.  The same noisy MSD workload runs with
+// no exchange, machine-level only, job-level only, and both; the energy
+// saving over heterogeneity-agnostic Hadoop (FIFO) is reported.
+// (Paper: machine-level +7%, job-level +10%, both +15% over no exchange.)
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace eant;
+
+int main() {
+  // Heavier noise than the default makes the smoothing earn its keep.
+  exp::RunConfig base = bench::run_config();
+  base.noise = mr::NoiseConfig::typical();
+  base.noise.measurement_sigma = 0.15;
+  base.noise.demand_jitter_sigma = 0.25;
+
+  const auto baseline = bench::run_msd(exp::SchedulerKind::kFifo, base);
+
+  struct Variant {
+    const char* name;
+    bool machine;
+    bool job;
+  };
+  const Variant variants[] = {
+      {"no exchange", false, false},
+      {"+ machine-level", true, false},
+      {"+ job-level", false, true},
+      {"+ both", true, true},
+  };
+
+  TextTable t("Fig 10: energy saving vs heterogeneity-agnostic Hadoop");
+  t.set_header({"exchange strategy", "energy (kJ)", "saving vs FIFO"});
+  t.add_row({"FIFO baseline", TextTable::num(baseline.total_energy_kj(), 0),
+             "-"});
+  double no_exchange_saving = 0.0;
+  for (const auto& v : variants) {
+    exp::RunConfig cfg = base;
+    cfg.eant.machine_exchange = v.machine;
+    cfg.eant.job_exchange = v.job;
+    const auto m = bench::run_msd(exp::SchedulerKind::kEAnt, cfg);
+    const double saving =
+        100.0 * (baseline.total_energy - m.total_energy) /
+        baseline.total_energy;
+    if (!v.machine && !v.job) no_exchange_saving = saving;
+    t.add_row({v.name, TextTable::num(m.total_energy_kj(), 0),
+               TextTable::num(saving, 1) + "%"});
+  }
+  t.print();
+  std::printf(
+      "no-exchange saving: %.1f%%; paper: exchange adds +7%% "
+      "(machine-level), +10%% (job-level), +15%% (both) relative to "
+      "no-exchange\n",
+      no_exchange_saving);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Fig. 11: E-Ant's search speed (time to a stable assignment,
+// Sec. VI-C's 80%-revisit rule) as a function of
+//   (a) the number of homogeneous machines available for machine-level
+//       exchange (paper: 1, 2, 3, 8 — convergence gets faster), and
+//   (b) the number of homogeneous jobs available for job-level exchange
+//       (paper: 10..40 — convergence gets faster).
+
+#include <cstdio>
+#include <optional>
+
+#include "cluster/catalog.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/eant_scheduler.h"
+#include "exp/builders.h"
+#include "exp/runner.h"
+
+using namespace eant;
+
+namespace {
+
+exp::RunConfig config() {
+  exp::RunConfig cfg;
+  cfg.seed = 31;
+  cfg.noise = mr::NoiseConfig::typical();
+  cfg.eant.control_interval = 60.0;
+  cfg.eant.negative_feedback = false;
+  return cfg;
+}
+
+/// Mean convergence time of long tracked jobs in a run (minutes).
+std::optional<double> mean_convergence_minutes(exp::Run& run) {
+  OnlineStats s;
+  const auto& conv = run.eant()->convergence();
+  for (mr::JobId id = 0; id < run.job_tracker().num_jobs(); ++id) {
+    if (auto t = conv.convergence_time(id)) s.add(*t / 60.0);
+  }
+  if (s.count() == 0) return std::nullopt;
+  return s.mean();
+}
+
+void fig11a() {
+  TextTable t("Fig 11(a): convergence time vs # homogeneous machines");
+  t.set_header({"# desktops (homogeneous)", "mean convergence (min)"});
+  for (std::size_t n : {1u, 2u, 3u, 8u}) {
+    // n desktops plus a fixed heterogeneous backdrop.
+    std::vector<cluster::MachineType> fleet;
+    for (std::size_t i = 0; i < n; ++i) {
+      fleet.push_back(cluster::catalog::desktop());
+    }
+    fleet.push_back(cluster::catalog::t420());
+    fleet.push_back(cluster::catalog::t110());
+    exp::Run run(exp::machines(fleet), exp::SchedulerKind::kEAnt, config());
+    // One long Wordcount job per desktop keeps per-interval sample counts
+    // comparable across fleet sizes.
+    std::vector<workload::JobSpec> jobs;
+    for (std::size_t i = 0; i < 2; ++i) {
+      jobs.push_back(
+          exp::single_job(workload::AppKind::kWordcount,
+                          64.0 * 120 * static_cast<double>(n + 2), 8));
+    }
+    run.submit(jobs);
+    run.execute();
+    const auto m = mean_convergence_minutes(run);
+    t.add_row({std::to_string(n),
+               m ? TextTable::num(*m, 1) : std::string("did not converge")});
+  }
+  t.print();
+  std::puts(
+      "paper: convergence accelerates as machine-level exchange pools more "
+      "homogeneous machines\n");
+}
+
+void fig11b() {
+  TextTable t("Fig 11(b): convergence time vs # homogeneous jobs");
+  t.set_header({"# concurrent Wordcount jobs", "mean convergence (min)"});
+  for (int n : {10, 20, 30, 40}) {
+    exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kEAnt, config());
+    std::vector<workload::JobSpec> jobs;
+    for (int i = 0; i < n; ++i) {
+      // Long jobs so every colony spans several control intervals.
+      auto j = exp::single_job(workload::AppKind::kWordcount, 64.0 * 100, 4);
+      j.submit_time = 5.0 * i;
+      jobs.push_back(j);
+    }
+    run.submit(jobs);
+    run.execute();
+    const auto m = mean_convergence_minutes(run);
+    t.add_row({std::to_string(n),
+               m ? TextTable::num(*m, 1) : std::string("did not converge")});
+  }
+  t.print();
+  std::puts(
+      "paper: convergence accelerates as job-level exchange pools more "
+      "homogeneous jobs");
+}
+
+}  // namespace
+
+int main() {
+  fig11a();
+  fig11b();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Fig. 12: sensitivity of E-Ant's design parameters.
+//   (a) the weighting parameter beta (Eq. 8): energy saving over
+//       heterogeneity-agnostic Hadoop and slowdown-based job fairness as
+//       beta sweeps 0..0.4 (paper: saving peaks near 0.1, fairness rises
+//       with beta);
+//   (b) the control interval: energy saving as the interval sweeps 2..8
+//       minutes (paper: peak at 5 minutes).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace eant;
+
+namespace {
+
+// The canonical Fig. 8 workload; each simulated run costs milliseconds.
+std::vector<workload::JobSpec> sweep_workload() {
+  return bench::msd_workload();
+}
+
+exp::RunMetrics run_eant(exp::RunConfig cfg) {
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kEAnt, cfg);
+  run.submit(sweep_workload());
+  run.execute();
+  return run.metrics();
+}
+
+}  // namespace
+
+int main() {
+  const auto jobs = sweep_workload();
+
+  // Baseline: heterogeneity-agnostic Hadoop (FIFO).
+  exp::RunConfig base_cfg = bench::run_config();
+  exp::Run baseline_run(exp::paper_fleet(), exp::SchedulerKind::kFifo,
+                        base_cfg);
+  baseline_run.submit(jobs);
+  baseline_run.execute();
+  const auto baseline = baseline_run.metrics();
+
+  // Standalone runtimes per job class for the slowdown-based fairness
+  // metric (Sec. VI-D).
+  std::map<std::string, Seconds> standalone;
+  for (const auto& j : jobs) {
+    if (!standalone.contains(j.class_key())) {
+      standalone[j.class_key()] =
+          exp::standalone_runtime(exp::paper_fleet(), j, base_cfg);
+    }
+  }
+
+  TextTable a("Fig 12(a): beta sweep — energy saving and job fairness");
+  a.set_header({"beta", "energy (kJ)", "saving vs FIFO", "fairness"});
+  for (double beta : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    exp::RunConfig cfg = bench::run_config();
+    cfg.eant.beta = beta;
+    const auto m = run_eant(cfg);
+    a.add_row({TextTable::num(beta, 1), TextTable::num(m.total_energy_kj(), 0),
+               TextTable::num(100.0 * (baseline.total_energy - m.total_energy) /
+                                  baseline.total_energy,
+                              1) +
+                   "%",
+               TextTable::num(exp::slowdown_fairness(m, standalone), 3)});
+  }
+  a.print();
+  std::puts(
+      "paper: saving rises from beta=0 to 0.1 (locality kicks in), then "
+      "falls as fairness outranks energy; fairness increases with beta\n");
+
+  TextTable b("Fig 12(b): control-interval sweep — energy saving");
+  b.set_header({"interval (scaled s)", "energy (kJ)", "saving vs FIFO"});
+  for (double interval : {30.0, 60.0, 120.0, 180.0, 240.0}) {
+    exp::RunConfig cfg = bench::run_config();
+    cfg.eant.control_interval = interval;
+    const auto m = run_eant(cfg);
+    b.add_row({TextTable::num(interval, 0),
+               TextTable::num(m.total_energy_kj(), 0),
+               TextTable::num(100.0 * (baseline.total_energy - m.total_energy) /
+                                  baseline.total_energy,
+                              1) +
+                   "%"});
+  }
+  b.print();
+  std::puts(
+      "paper: too-short intervals lack samples, too-long intervals adapt "
+      "too rarely; the sweet spot was 5 minutes on their timescale "
+      "(x2.5 scaled here)");
+  return 0;
+}

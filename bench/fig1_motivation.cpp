@@ -1,0 +1,141 @@
+// Reproduces the paper's motivation study (Sec. II, Fig. 1):
+//   (a) throughput-per-watt vs task arrival rate on the Core i7 desktop and
+//       the Xeon E5 server — the energy-efficiency crossover;
+//   (b) idle-system vs workload power split at light (10/min) and heavy
+//       (20/min) load on both machines;
+//   (c) throughput-per-watt vs arrival rate for Wordcount / Terasort / Grep
+//       on the Xeon server — per-application efficiency peaks;
+//   (d) normalised map/shuffle/reduce completion-time breakdown per app.
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "common/table.h"
+#include "exp/motivation.h"
+
+using namespace eant;
+
+namespace {
+
+// The motivation study streams small tasks (16 MB splits); concurrency is
+// sized to each machine's cores, as the study probes machine capacity
+// rather than the Hadoop slot configuration.
+constexpr Megabytes kSplitMb = 16.0;
+constexpr Seconds kHorizon = 4.0 * 3600.0;
+
+exp::StreamResult stream(const cluster::MachineType& type,
+                         workload::AppKind app, double rate) {
+  return exp::run_task_stream(type, app, rate, kHorizon, type.cores, 7,
+                              kSplitMb);
+}
+
+void fig1a() {
+  TextTable t("Fig 1(a): throughput/watt vs arrival rate (Wordcount)");
+  t.set_header({"rate (tasks/min)", "Xeon E5 (t/s/W)", "Core i7 (t/s/W)",
+                "winner"});
+  const auto xeon = cluster::catalog::xeon_e5();
+  const auto i7 = cluster::catalog::desktop();
+  for (double rate : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 25.0}) {
+    const auto x = stream(xeon, workload::AppKind::kWordcount, rate);
+    const auto d = stream(i7, workload::AppKind::kWordcount, rate);
+    t.add_row({TextTable::num(rate, 0),
+               TextTable::num(x.throughput_per_watt(), 6),
+               TextTable::num(d.throughput_per_watt(), 6),
+               x.throughput_per_watt() > d.throughput_per_watt() ? "Xeon E5"
+                                                                 : "Core i7"});
+  }
+  t.print();
+  std::puts(
+      "paper: Core i7 wins below ~12 tasks/min, Xeon E5 above (crossover)\n");
+}
+
+void fig1b() {
+  TextTable t("Fig 1(b): idle vs workload power split");
+  t.set_header({"machine", "load", "idle power (W)", "workload power (W)",
+                "idle share"});
+  const auto xeon = cluster::catalog::xeon_e5();
+  const auto i7 = cluster::catalog::desktop();
+  for (const auto* m : {&i7, &xeon}) {
+    for (double rate : {10.0, 20.0}) {
+      const auto r = stream(*m, workload::AppKind::kWordcount, rate);
+      const Watts idle = r.idle_energy / r.horizon;
+      const Watts work = r.workload_energy() / r.horizon;
+      t.add_row({m->name, rate < 15 ? "light (10/min)" : "heavy (20/min)",
+                 TextTable::num(idle, 1), TextTable::num(work, 1),
+                 TextTable::num(idle / (idle + work), 2)});
+    }
+  }
+  t.print();
+  std::puts(
+      "paper: the Xeon's power is dominated by idle-system usage; the i7's "
+      "workload component grows steeply with load\n");
+}
+
+void fig1c() {
+  TextTable t("Fig 1(c): per-app throughput/watt on the Xeon E5");
+  t.set_header({"rate (tasks/min)", "Wordcount", "Terasort", "Grep"});
+  const auto xeon = cluster::catalog::xeon_e5();
+  const std::vector<double> rates = {10.0,  15.0,  20.0,  25.0, 30.0, 40.0,
+                                     60.0,  100.0, 160.0, 250.0, 400.0};
+  const workload::AppKind apps[3] = {workload::AppKind::kWordcount,
+                                     workload::AppKind::kTerasort,
+                                     workload::AppKind::kGrep};
+  std::vector<std::array<double, 3>> curves;
+  for (double rate : rates) {
+    std::array<double, 3> tpw{};
+    for (int i = 0; i < 3; ++i) {
+      tpw[i] = stream(xeon, apps[i], rate).throughput_per_watt();
+    }
+    curves.push_back(tpw);
+    t.add_row({TextTable::num(rate, 0), TextTable::num(tpw[0], 6),
+               TextTable::num(tpw[1], 6), TextTable::num(tpw[2], 6)});
+  }
+  t.print();
+  // The efficiency "knee": the lowest rate reaching 95% of the app's best
+  // observed throughput/watt (the curves plateau at saturation rather than
+  // dipping, so the knee marks the efficiency-optimal operating rate).
+  std::printf("efficiency knees (95%% of peak): ");
+  for (int i = 0; i < 3; ++i) {
+    double best = 0.0;
+    for (const auto& c : curves) best = std::max(best, c[i]);
+    double knee = rates.back();
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      if (curves[r][i] >= 0.95 * best) {
+        knee = rates[r];
+        break;
+      }
+    }
+    std::printf("%s %s%.0f  ", workload::app_name(apps[i]).c_str(),
+                knee >= rates.back() ? ">=" : "", knee);
+  }
+  std::printf("tasks/min\n");
+  std::puts(
+      "paper: the three applications peak at different arrival rates "
+      "(20/35/25 on their hardware)\n");
+}
+
+void fig1d() {
+  TextTable t("Fig 1(d): normalised job completion-time breakdown");
+  t.set_header({"app", "map", "shuffle", "reduce"});
+  for (workload::AppKind app : workload::all_apps()) {
+    const auto b = exp::phase_breakdown(app);
+    t.add_row({workload::app_name(app), TextTable::num(b.map, 2),
+               TextTable::num(b.shuffle, 2), TextTable::num(b.reduce, 2)});
+  }
+  t.print();
+  std::puts(
+      "paper: Wordcount is map(CPU)-intensive; Grep and Terasort are "
+      "shuffle/reduce(IO)-intensive\n");
+}
+
+}  // namespace
+
+int main() {
+  fig1a();
+  fig1b();
+  fig1c();
+  fig1d();
+  return 0;
+}

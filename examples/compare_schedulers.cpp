@@ -1,0 +1,58 @@
+// Compare every scheduler (FIFO, Fair, Tarazu, LATE, E-Ant) on the same
+// workload and cluster: energy, makespan, mean completion time, locality.
+//
+//   ./compare_schedulers [num_jobs] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "exp/builders.h"
+#include "exp/runner.h"
+#include "workload/msd.h"
+
+using namespace eant;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 30;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  workload::MsdConfig wl;
+  wl.num_jobs = num_jobs;
+  wl.input_scale = 1.0 / 200.0;
+  wl.mean_interarrival = 60.0;
+  Rng rng(seed);
+  const auto jobs = workload::MsdGenerator(wl).generate(rng);
+
+  TextTable t("scheduler comparison — " + std::to_string(num_jobs) +
+              " MSD jobs on the paper fleet");
+  t.set_header({"scheduler", "energy (kJ)", "vs Fair", "makespan (s)",
+                "mean JCT (s)", "locality"});
+
+  double fair_energy = 0.0;
+  for (exp::SchedulerKind kind :
+       {exp::SchedulerKind::kFair, exp::SchedulerKind::kFifo,
+        exp::SchedulerKind::kCapacity, exp::SchedulerKind::kTarazu,
+        exp::SchedulerKind::kLate, exp::SchedulerKind::kEAnt}) {
+    exp::RunConfig cfg;
+    cfg.seed = seed;
+    cfg.noise = mr::NoiseConfig::typical();
+    cfg.eant.control_interval = 120.0;
+    cfg.eant.negative_feedback = false;  // see DESIGN.md / EXPERIMENTS.md
+    exp::Run run(exp::paper_fleet(), kind, cfg);
+    run.submit(jobs);
+    run.execute();
+    const auto m = run.metrics();
+    if (kind == exp::SchedulerKind::kFair) fair_energy = m.total_energy;
+    t.add_row({m.scheduler_name, TextTable::num(m.total_energy_kj(), 0),
+               TextTable::num(
+                   100.0 * (m.total_energy - fair_energy) / fair_energy, 1) +
+                   "%",
+               TextTable::num(m.makespan, 0),
+               TextTable::num(m.mean_completion(), 0),
+               TextTable::num(m.locality_fraction(), 2)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Identify a machine's power model the way the paper does (Sec. IV-B):
+// drive the machine at different load levels, sample (utilisation, wall
+// power) pairs from a metered run, and fit P = P_idle + alpha * u with
+// ordinary least squares.  The fitted parameters feed core::EnergyModel.
+//
+//   ./energy_calibration
+
+#include <cstdio>
+
+#include "cluster/catalog.h"
+#include "cluster/cluster.h"
+#include "cluster/power_meter.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/energy_model.h"
+#include "sim/simulator.h"
+
+using namespace eant;
+
+namespace {
+
+/// Meters one machine while stepping its load through several plateaus and
+/// returns the collected (utilisation, power) samples.
+std::vector<core::CalibrationSample> profile(const cluster::MachineType& type) {
+  sim::Simulator sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_machines(type, 1);
+  auto& machine = cluster.machine(0);
+
+  // Load plateaus: 0%, 25%, 50%, 75%, 100% of the cores, 60 s each.
+  for (int step = 0; step <= 4; ++step) {
+    const double target = 0.25 * step * type.cores;
+    sim.schedule_at(step * 60.0, [&machine, target] {
+      machine.adjust_demand(target - machine.demand_cores());
+    });
+  }
+
+  // Sample (utilisation, wall power) once per second; a real rig jitters,
+  // so light measurement noise is added to the meter reading.
+  auto rng = std::make_shared<Rng>(3);
+  auto samples = std::make_shared<std::vector<core::CalibrationSample>>();
+  sim.schedule_periodic(1.0, [&machine, rng, samples] {
+    samples->push_back(
+        {machine.utilization(), machine.power() + rng->normal(0.0, 1.0)});
+    return true;
+  });
+  sim.run_until(5 * 60.0);
+  return *samples;
+}
+
+}  // namespace
+
+int main() {
+  TextTable t("least-squares power-model identification");
+  t.set_header({"machine", "true idle (W)", "fit idle (W)", "true alpha (W)",
+                "fit alpha (W)", "R^2"});
+  for (const auto& type :
+       {cluster::catalog::desktop(), cluster::catalog::t110(),
+        cluster::catalog::xeon_e5(), cluster::catalog::atom()}) {
+    const auto samples = profile(type);
+    const core::PowerParams fit =
+        core::calibrate(samples, type.total_slots());
+    std::vector<double> x, y;
+    for (const auto& s : samples) {
+      x.push_back(s.util);
+      y.push_back(s.power);
+    }
+    const LineFit lf = least_squares(x, y);
+    t.add_row({type.name, TextTable::num(type.idle_power, 1),
+               TextTable::num(fit.idle, 1), TextTable::num(type.alpha, 1),
+               TextTable::num(fit.alpha, 1), TextTable::num(lf.r_squared, 4)});
+  }
+  t.print();
+  std::puts(
+      "\nfitted parameters plug straight into core::EnergyModel::set_params()");
+  return 0;
+}

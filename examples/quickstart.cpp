@@ -1,0 +1,74 @@
+// Quickstart: build a small heterogeneous cluster, submit a few MapReduce
+// jobs, run them under the E-Ant scheduler and read the results.
+//
+//   ./quickstart
+//
+// This walks through the library's main entry points: cluster construction
+// from the machine catalog, the Run harness (simulator + HDFS + JobTracker
+// + scheduler wiring), job submission and metric collection.
+
+#include <cstdio>
+
+#include "cluster/catalog.h"
+#include "common/table.h"
+#include "exp/builders.h"
+#include "exp/runner.h"
+
+using namespace eant;
+
+int main() {
+  // 1. Describe the cluster: two Core i7 desktops, one PowerEdge T420 and
+  //    one Atom micro-server (types from the paper's Table I / Sec. V-B).
+  const exp::ClusterBuilder cluster = exp::machines({
+      cluster::catalog::desktop(),
+      cluster::catalog::desktop(),
+      cluster::catalog::t420(),
+      cluster::catalog::atom(),
+  });
+
+  // 2. Configure the run: seed, noise level and E-Ant's control interval.
+  exp::RunConfig config;
+  config.seed = 1;
+  config.noise = mr::NoiseConfig::typical();
+  config.eant.control_interval = 60.0;
+
+  // 3. Wire everything together with the E-Ant scheduler.
+  exp::Run run(cluster, exp::SchedulerKind::kEAnt, config);
+
+  // 4. Submit a small mixed workload: one job per PUMA application.
+  std::vector<workload::JobSpec> jobs;
+  Seconds t = 0.0;
+  for (workload::AppKind app : workload::all_apps()) {
+    auto job = exp::single_job(app, /*input_mb=*/64.0 * 16, /*reduces=*/2);
+    job.submit_time = t;
+    t += 30.0;
+    jobs.push_back(job);
+  }
+  run.submit(jobs);
+
+  // 5. Execute to completion and inspect the results.
+  run.execute();
+  const exp::RunMetrics m = run.metrics();
+
+  std::printf("scheduler: %s\n", m.scheduler_name.c_str());
+  std::printf("makespan: %.1f s, total energy: %.1f kJ, locality: %.0f%%\n\n",
+              m.makespan, m.total_energy_kj(), 100.0 * m.locality_fraction());
+
+  TextTable jobs_table("job results");
+  jobs_table.set_header({"job", "completion (s)", "maps", "reduces"});
+  for (const auto& j : m.jobs) {
+    jobs_table.add_row({j.class_name, TextTable::num(j.completion_time, 1),
+                        std::to_string(j.maps), std::to_string(j.reduces)});
+  }
+  jobs_table.print();
+
+  TextTable machines_table("per machine type");
+  machines_table.set_header({"type", "energy (kJ)", "avg utilisation"});
+  for (const auto& tm : m.by_type) {
+    machines_table.add_row({tm.type_name,
+                            TextTable::num(tm.energy / 1000.0, 1),
+                            TextTable::num(tm.avg_utilization, 3)});
+  }
+  machines_table.print();
+  return 0;
+}

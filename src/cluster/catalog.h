@@ -1,0 +1,54 @@
+// Catalog of the machine models used in the paper.
+//
+// Table I (motivation study) lists the Core i7 desktop and the PowerEdge
+// Xeon E5 server; Sec. V-B lists the full evaluation fleet: 1 Atom, 3 T110,
+// 2 T420, 1 T320, 1 T620 and 8 Dell desktops.  The power parameters
+// (P_idle, alpha) and speed factors are calibrated — not measured — values
+// chosen so the qualitative behaviour the paper reports holds:
+//
+//   * Xeon servers: high idle power, shallow power slope, many slower cores
+//     (energy-efficient only under heavy load — Fig. 1(a)/(b));
+//   * Core i7 desktops: low idle power, steep slope, fast cores
+//     (energy-efficient under light load);
+//   * Atom: very low power, slow cores (efficient for IO-bound tasks).
+
+#pragma once
+
+#include "cluster/cluster.h"
+#include "cluster/machine.h"
+
+namespace eant::cluster {
+
+/// Machine models from the paper (Table I and Sec. V-B).
+namespace catalog {
+
+/// Dell desktop, Core i7, 8 x 3.4 GHz, 16 GB (Table I "Desktop").
+MachineType desktop();
+
+/// PowerEdge T420, dual Xeon E5, 24 x 1.9 GHz, 32 GB (Table I "PowerEdge").
+MachineType t420();
+
+/// Alias for the motivation study's "Xeon E5" server (same box as T420).
+MachineType xeon_e5();
+
+/// PowerEdge T110, 8-core entry server, 16 GB.
+MachineType t110();
+
+/// PowerEdge T320, 12-core, 24 GB.
+MachineType t320();
+
+/// PowerEdge T620, 24-core, 16 GB.
+MachineType t620();
+
+/// Atom micro-server, 4 cores, 8 GB (the low-power node of Sec. V-B).
+MachineType atom();
+
+}  // namespace catalog
+
+/// Builds the 16-machine evaluation fleet of Sec. V-B:
+/// 8 Desktop + 3 T110 + 2 T420 + 1 T620 + 1 T320 + 1 Atom.
+/// (The paper hosts the master on one desktop; the master does not run
+/// tasks, so the fleet here is the set of slave machines.)
+void add_paper_fleet(Cluster& cluster);
+
+}  // namespace eant::cluster

@@ -1,0 +1,69 @@
+#include "cluster/machine.h"
+
+#include <algorithm>
+
+namespace eant::cluster {
+
+Watts MachineType::power_at(Utilization u) const {
+  const Utilization clamped = std::clamp(u, 0.0, 1.0);
+  return idle_power + alpha * clamped;
+}
+
+Seconds MachineType::task_runtime(double cpu_ref_seconds,
+                                  Megabytes io_mb) const {
+  EANT_CHECK(cpu_ref_seconds >= 0.0, "cpu work must be non-negative");
+  EANT_CHECK(io_mb >= 0.0, "io volume must be non-negative");
+  EANT_ASSERT(cpu_factor > 0.0 && io_mbps > 0.0, "machine type misconfigured");
+  return cpu_ref_seconds / cpu_factor + io_mb / io_mbps;
+}
+
+Machine::Machine(sim::Simulator& sim, MachineId id, MachineType type)
+    : sim_(sim), id_(id), type_(std::move(type)) {
+  EANT_CHECK(type_.cores > 0, "machine needs at least one core");
+  EANT_CHECK(type_.cpu_factor > 0.0, "cpu_factor must be positive");
+  EANT_CHECK(type_.io_mbps > 0.0, "io_mbps must be positive");
+  EANT_CHECK(type_.net_mbps > 0.0, "net_mbps must be positive");
+  EANT_CHECK(type_.idle_power >= 0.0 && type_.alpha >= 0.0,
+             "power parameters must be non-negative");
+  EANT_CHECK(type_.map_slots >= 0 && type_.reduce_slots >= 0,
+             "slot counts must be non-negative");
+  last_settle_ = sim_.now();
+}
+
+void Machine::adjust_demand(double delta_cores) {
+  settle();
+  demand_cores_ += delta_cores;
+  // Guard against floating-point drift when demands are released in a
+  // different order than they were acquired.
+  if (demand_cores_ < 0.0) {
+    EANT_ASSERT(demand_cores_ > -1e-6, "task demand released twice");
+    demand_cores_ = 0.0;
+  }
+}
+
+Utilization Machine::utilization() const {
+  return std::clamp(demand_cores_ / type_.cores, 0.0, 1.0);
+}
+
+Joules Machine::energy() {
+  settle();
+  return energy_;
+}
+
+double Machine::utilization_integral() {
+  settle();
+  return util_integral_;
+}
+
+void Machine::settle() {
+  const Seconds now = sim_.now();
+  EANT_ASSERT(now >= last_settle_, "simulation clock went backwards");
+  const Seconds dt = now - last_settle_;
+  if (dt > 0.0) {
+    energy_ += power() * dt;
+    util_integral_ += utilization() * dt;
+    last_settle_ = now;
+  }
+}
+
+}  // namespace eant::cluster

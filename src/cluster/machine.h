@@ -1,0 +1,97 @@
+// Machine model: hardware description plus runtime CPU-demand tracking and
+// exact energy integration.
+//
+// The power substrate follows the paper's own model family (Sec. IV-B):
+// machine power is linear in CPU utilisation, P(u) = P_idle + alpha * u with
+// u in [0, 1].  The Machine integrates P(u(t)) dt continuously as tasks come
+// and go, giving the "wall power" ground truth that the paper obtained from
+// WattsUP meters; a sampling PowerMeter (power_meter.h) reproduces the
+// metering path itself.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace eant::cluster {
+
+/// Index of a machine within its Cluster.
+using MachineId = std::size_t;
+
+/// Static hardware description of a machine model (catalog entry).
+struct MachineType {
+  std::string name;       ///< model name, e.g. "Desktop", "T420", "Atom"
+  int cores = 1;          ///< physical core count
+  double cpu_factor = 1;  ///< per-core speed relative to the reference core
+  double io_mbps = 100;   ///< effective local disk bandwidth per task stream
+  double net_mbps = 1000; ///< NIC bandwidth (Gigabit Ethernet in the paper)
+  int memory_gb = 8;      ///< descriptive only (Table I)
+  int disk_tb = 1;        ///< descriptive only (Table I)
+  int map_slots = 4;      ///< Hadoop map slots (paper: 4 per slave)
+  int reduce_slots = 2;   ///< Hadoop reduce slots (paper: 2 per slave)
+  Watts idle_power = 50;  ///< P_idle: power with zero CPU utilisation
+  Watts alpha = 80;       ///< slope: extra power at 100% CPU utilisation
+
+  int total_slots() const { return map_slots + reduce_slots; }
+
+  /// Instantaneous power at utilisation u (clamped to [0,1]).
+  Watts power_at(Utilization u) const;
+
+  /// Seconds a task needs on this machine for the given reference-core CPU
+  /// seconds and IO megabytes (sequential phases, the dominant-cost model).
+  Seconds task_runtime(double cpu_ref_seconds, Megabytes io_mb) const;
+};
+
+/// A live machine in the simulation: tracks the aggregate CPU demand of the
+/// tasks it hosts and integrates energy exactly across demand changes.
+class Machine {
+ public:
+  Machine(sim::Simulator& sim, MachineId id, MachineType type);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  MachineId id() const { return id_; }
+  const MachineType& type() const { return type_; }
+
+  /// Adjusts the aggregate CPU demand (in cores) hosted on this machine;
+  /// negative deltas release demand.  The resulting demand must stay >= 0.
+  void adjust_demand(double delta_cores);
+
+  /// Current busy cores (sum of task demands, not clamped).
+  double demand_cores() const { return demand_cores_; }
+
+  /// Machine-level CPU utilisation in [0, 1].
+  Utilization utilization() const;
+
+  /// Instantaneous wall power at the current utilisation.
+  Watts power() const { return type_.power_at(utilization()); }
+
+  /// Exact cumulative energy in joules from t=0 to the current sim time.
+  Joules energy();
+
+  /// Integral of utilisation over time (used for average-utilisation
+  /// metrics, Fig. 8(b)); exact, like the energy integral.
+  double utilization_integral();
+
+  /// True iff the aggregate demand exceeds the core count (tasks would be
+  /// time-sliced); schedulers can consult this for contention modelling.
+  bool oversubscribed() const { return demand_cores_ > type_.cores; }
+
+ private:
+  void settle();  // accumulate energy/util integrals up to now
+
+  sim::Simulator& sim_;
+  MachineId id_;
+  MachineType type_;
+  double demand_cores_ = 0.0;
+  Seconds last_settle_ = 0.0;
+  Joules energy_ = 0.0;
+  double util_integral_ = 0.0;
+};
+
+}  // namespace eant::cluster

@@ -1,0 +1,36 @@
+#include "cluster/power_meter.h"
+
+namespace eant::cluster {
+
+PowerMeter::PowerMeter(sim::Simulator& sim, Machine& machine,
+                       Seconds sample_interval, bool record_series)
+    : sim_(sim),
+      machine_(machine),
+      interval_(sample_interval),
+      record_series_(record_series) {
+  EANT_CHECK(sample_interval > 0.0, "sample interval must be positive");
+  event_ = sim_.schedule_periodic(interval_, [this] { return sample(); });
+}
+
+PowerMeter::~PowerMeter() { sim_.cancel(event_); }
+
+bool PowerMeter::sample() {
+  const Watts w = machine_.power();
+  energy_ += w * interval_;
+  ++samples_;
+  if (record_series_) series_.push_back(Sample{sim_.now(), w});
+  return true;
+}
+
+Watts PowerMeter::mean_power() const {
+  if (samples_ == 0) return 0.0;
+  return energy_ / (static_cast<double>(samples_) * interval_);
+}
+
+void PowerMeter::reset() {
+  energy_ = 0.0;
+  samples_ = 0;
+  series_.clear();
+}
+
+}  // namespace eant::cluster

@@ -1,0 +1,63 @@
+// Error handling utilities shared by every e-ant module.
+//
+// Following the project convention (exceptions signal failure to meet a
+// contract), EANT_CHECK is used for precondition validation on public API
+// boundaries and EANT_ASSERT for internal invariants.  Both throw; neither is
+// compiled out, because the simulator is the test oracle for every
+// experiment and silent invariant violations would invalidate results.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eant {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant of the library is broken; indicates a
+/// bug in e-ant itself rather than in calling code.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace eant
+
+/// Validate a precondition on a public interface; throws PreconditionError.
+#define EANT_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::eant::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant; throws InvariantError.
+#define EANT_ASSERT(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::eant::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace eant {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  EANT_CHECK(!weights.empty(), "weighted_index requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    EANT_CHECK(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  EANT_CHECK(total > 0.0, "weights must have a positive sum");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating-point slack: r can stay non-negative when the draw lands on the
+  // very top of the range; the last positive-weight bucket is the owner.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  throw InvariantError("weighted_index: unreachable");
+}
+
+}  // namespace eant

@@ -1,0 +1,101 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the system (ACO sampling, noise injection,
+// workload generation, HDFS placement) draws from an Rng that is seeded
+// explicitly, so that every experiment in the paper reproduction is exactly
+// replayable.  Rng also supports cheap forking: child streams derived from a
+// parent seed plus a stream id, so adding a consumer never perturbs the draws
+// seen by existing consumers.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eant {
+
+/// A seedable, forkable pseudo-random stream (mt19937_64 core).
+class Rng {
+ public:
+  /// Creates a stream from an explicit seed.
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(mix(seed)) {}
+
+  /// Derives an independent child stream; deterministic in (parent seed used
+  /// at construction, stream_id).  The parent's own sequence is unaffected.
+  Rng fork(std::uint64_t stream_id) const {
+    return Rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi); requires lo <= hi.
+  double uniform(double lo, double hi) {
+    EANT_CHECK(lo <= hi, "uniform range must be ordered");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    EANT_CHECK(lo <= hi, "uniform_int range must be ordered");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal draw with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) {
+    EANT_CHECK(sigma >= 0.0, "sigma must be non-negative");
+    if (sigma == 0.0) return mean;
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Exponential draw with the given rate (rate > 0); mean is 1/rate.
+  double exponential(double rate) {
+    EANT_CHECK(rate > 0.0, "rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Log-normal draw parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    EANT_CHECK(sigma >= 0.0, "sigma must be non-negative");
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Bernoulli draw; requires p in [0, 1].
+  bool bernoulli(double p) {
+    EANT_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
+    return uniform() < p;
+  }
+
+  /// Samples an index in [0, weights.size()) proportional to the weights.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Shuffles a vector in place (Fisher-Yates).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  // splitmix64 finaliser: decorrelates adjacent user-provided seeds.
+  static std::uint64_t mix(std::uint64_t seed) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace eant

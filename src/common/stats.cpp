@@ -1,0 +1,99 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eant {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double nrmse(const std::vector<double>& measured,
+             const std::vector<double>& estimated) {
+  EANT_CHECK(!measured.empty(), "nrmse requires samples");
+  EANT_CHECK(measured.size() == estimated.size(),
+             "nrmse requires equal-length series");
+  double sq = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double d = measured[i] - estimated[i];
+    sq += d * d;
+    total += measured[i];
+  }
+  const double mean = total / static_cast<double>(measured.size());
+  EANT_CHECK(mean != 0.0, "nrmse requires a non-zero measured mean");
+  return std::sqrt(sq / static_cast<double>(measured.size())) / std::abs(mean);
+}
+
+double percentile(std::vector<double> values, double p) {
+  EANT_CHECK(!values.empty(), "percentile requires samples");
+  EANT_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+LineFit least_squares(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  EANT_CHECK(x.size() == y.size(), "least_squares requires paired samples");
+  EANT_CHECK(x.size() >= 2, "least_squares requires at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  EANT_CHECK(denom != 0.0, "least_squares requires non-constant x");
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    fit.r_squared = 1.0;  // constant y fitted exactly by the intercept
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+double mean_of(const std::vector<double>& values) {
+  EANT_CHECK(!values.empty(), "mean_of requires samples");
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double variance_of(const std::vector<double>& values) {
+  const double m = mean_of(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return s / static_cast<double>(values.size());
+}
+
+}  // namespace eant

@@ -1,0 +1,68 @@
+// Small statistics toolkit used by the energy model, the experiment metrics
+// and the test suite: online mean/variance, NRMSE (the paper's accuracy
+// metric for the energy model, Sec. IV-B), percentiles and least-squares
+// line fitting (the paper's method for identifying the power-model slope α).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eant {
+
+/// Welford online accumulator for mean and variance.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Population variance (n denominator); 0 for fewer than 2 samples.
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_); }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Normalised root mean square error between a measured (reference) series
+/// and an estimated series, normalised by the mean of the measured series —
+/// the deviation metric the paper reports for Fig. 4.
+/// Requires equal, non-zero lengths and a non-zero measured mean.
+double nrmse(const std::vector<double>& measured,
+             const std::vector<double>& estimated);
+
+/// Linear interpolation percentile (p in [0,100]) of an unsorted sample.
+double percentile(std::vector<double> values, double p);
+
+/// Result of fitting y ~ intercept + slope * x by ordinary least squares.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination of the fit, in [0, 1] for well-posed data.
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares fit; requires >= 2 points and non-constant x.
+/// This is the "standard system identification technique" the paper uses to
+/// obtain the power-model slope α from (utilisation, power) samples.
+LineFit least_squares(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+/// Arithmetic mean; requires a non-empty vector.
+double mean_of(const std::vector<double>& values);
+
+/// Population variance; requires a non-empty vector.
+double variance_of(const std::vector<double>& values);
+
+}  // namespace eant

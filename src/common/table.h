@@ -1,0 +1,38 @@
+// ASCII table rendering for the benchmark harness.  Every bench binary
+// prints the rows/series of the paper table or figure it reproduces; this
+// keeps that output aligned and uniform.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eant {
+
+/// A simple right-padded text table with a header row and a title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders the table (title, rule, header, rows) as a string.
+  std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eant

@@ -1,0 +1,35 @@
+// Unit aliases used throughout the simulator.
+//
+// We deliberately use documented aliases of double rather than heavyweight
+// strong types: every quantity crosses module boundaries constantly and the
+// arithmetic (power x time = energy, size / bandwidth = time) is the whole
+// point of the code.  The aliases plus the naming convention (suffix the
+// variable with its unit when ambiguous) keep call sites readable.
+
+#pragma once
+
+namespace eant {
+
+/// Simulated wall-clock time and durations, in seconds.
+using Seconds = double;
+
+/// Instantaneous electrical power, in watts.
+using Watts = double;
+
+/// Electrical energy, in joules (1 kJ = 1000 J as used in the paper's plots).
+using Joules = double;
+
+/// Data sizes, in megabytes (HDFS block granularity in the paper is 64 MB).
+using Megabytes = double;
+
+/// CPU utilisation as a fraction of the whole machine, in [0, 1].
+using Utilization = double;
+
+constexpr Seconds kSecondsPerMinute = 60.0;
+constexpr Joules kJoulesPerKilojoule = 1000.0;
+constexpr Megabytes kHdfsBlockMb = 64.0;
+
+constexpr Seconds minutes(double m) { return m * kSecondsPerMinute; }
+constexpr Joules kilojoules(double kj) { return kj * kJoulesPerKilojoule; }
+
+}  // namespace eant

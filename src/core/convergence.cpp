@@ -1,0 +1,60 @@
+#include "core/convergence.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eant::core {
+
+ConvergenceTracker::ConvergenceTracker(double threshold)
+    : threshold_(threshold) {
+  EANT_CHECK(threshold > 0.0 && threshold <= 1.0,
+             "threshold must be in (0, 1]");
+}
+
+void ConvergenceTracker::record_interval(
+    mr::JobId job, Seconds submit_time, Seconds now,
+    const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return;  // nothing assigned this interval
+
+  auto& trace = traces_[job];
+  if (!trace.previous.empty()) {
+    EANT_CHECK(trace.previous.size() == counts.size(),
+               "machine count changed between intervals");
+    std::size_t prev_total = 0;
+    std::size_t inter = 0;
+    for (std::size_t m = 0; m < counts.size(); ++m) {
+      prev_total += trace.previous[m];
+      inter += std::min(counts[m], trace.previous[m]);
+    }
+    const double overlap = static_cast<double>(inter) /
+                           static_cast<double>(std::max(total, prev_total));
+    trace.last_overlap = overlap;
+    if (!trace.converged_at && overlap >= threshold_) {
+      trace.converged_at = now - submit_time;
+    }
+  }
+  trace.previous = counts;
+}
+
+bool ConvergenceTracker::converged(mr::JobId job) const {
+  const auto it = traces_.find(job);
+  return it != traces_.end() && it->second.converged_at.has_value();
+}
+
+std::optional<Seconds> ConvergenceTracker::convergence_time(
+    mr::JobId job) const {
+  const auto it = traces_.find(job);
+  if (it == traces_.end()) return std::nullopt;
+  return it->second.converged_at;
+}
+
+std::optional<double> ConvergenceTracker::last_overlap(mr::JobId job) const {
+  const auto it = traces_.find(job);
+  if (it == traces_.end()) return std::nullopt;
+  return it->second.last_overlap;
+}
+
+}  // namespace eant::core

@@ -1,0 +1,57 @@
+// Convergence tracking for E-Ant's search speed evaluation (paper Sec. VI-C).
+//
+// The paper calls a job's task assignment "stable" when more than 80% of its
+// tasks revisit the same machines compared with the previous control
+// interval.  We measure that as the overlap coefficient between the
+// consecutive per-machine assignment histograms:
+//
+//   overlap = sum over m of min(c_t[m], c_{t-1}[m]) / max(|c_t|, |c_{t-1}|)
+//
+// and record the first interval end at which overlap >= threshold as the
+// job's convergence time (relative to its submission).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "mapreduce/task.h"
+
+namespace eant::core {
+
+/// Detects when each colony's assignment distribution stabilises.
+class ConvergenceTracker {
+ public:
+  explicit ConvergenceTracker(double threshold = 0.8);
+
+  /// Feeds one control interval's per-machine completed-task counts for a
+  /// job; `now` is the interval end (sim time), `submit_time` the job's
+  /// submission time.  Intervals with zero tasks are skipped.
+  void record_interval(mr::JobId job, Seconds submit_time, Seconds now,
+                       const std::vector<std::size_t>& counts);
+
+  /// True once the job has had a stable interval pair.
+  bool converged(mr::JobId job) const;
+
+  /// Time from submission to the first stable interval, if converged.
+  std::optional<Seconds> convergence_time(mr::JobId job) const;
+
+  /// Latest overlap coefficient computed for the job (for observability).
+  std::optional<double> last_overlap(mr::JobId job) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  struct JobTrace {
+    std::vector<std::size_t> previous;
+    std::optional<Seconds> converged_at;
+    std::optional<double> last_overlap;
+  };
+
+  double threshold_;
+  std::map<mr::JobId, JobTrace> traces_;
+};
+
+}  // namespace eant::core

@@ -1,0 +1,198 @@
+#include "core/eant_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+
+namespace eant::core {
+
+EAntScheduler::EAntScheduler(EnergyModel model, Rng rng, EAntConfig config)
+    : model_(std::move(model)), rng_(rng), config_(config) {
+  EANT_CHECK(config.control_interval > 0.0,
+             "control interval must be positive");
+  EANT_CHECK(config.beta >= 0.0, "beta must be non-negative");
+}
+
+void EAntScheduler::attach(mr::JobTracker& job_tracker) {
+  EANT_CHECK(jt_ == nullptr, "E-Ant already attached");
+  jt_ = &job_tracker;
+  const std::size_t machines = jt_->cluster().size();
+  EANT_CHECK(model_.num_machines() >= machines,
+             "energy model lacks parameters for some machines");
+  table_ = std::make_unique<PheromoneTable>(machines, config_.rho,
+                                            config_.tau_init, config_.tau_min);
+  convergence_ = ConvergenceTracker(config_.stability_threshold);
+  estimated_per_machine_.assign(machines, 0.0);
+  jt_->simulator().schedule_periodic(config_.control_interval, [this] {
+    control_tick();
+    return true;
+  });
+}
+
+void EAntScheduler::on_job_submitted(mr::JobId job) {
+  table_->add_job(job, jt_->job(job).spec().exchange_key());
+}
+
+void EAntScheduler::on_job_finished(mr::JobId job) {
+  // Retire the colony's trails.  Its reports from the current (partial)
+  // interval stay buffered: deposits for removed trails are ignored by
+  // apply(), while the interval counts still feed convergence statistics.
+  table_->remove_job(job);
+}
+
+void EAntScheduler::on_task_completed(const mr::TaskReport& report) {
+  const Joules energy = model_.estimate(report);
+  estimated_per_machine_[report.machine] += energy;
+  interval_reports_.push_back(EstimatedReport{report, energy});
+
+  auto& counts = interval_counts_[report.spec.job];
+  if (counts.empty()) counts.assign(jt_->cluster().size(), 0);
+  ++counts[report.machine];
+}
+
+void EAntScheduler::control_tick() {
+  ++intervals_;
+  if (!interval_reports_.empty()) {
+    DeltaMap deposits = compute_deposits(
+        interval_reports_, jt_->cluster().size(), config_.energy_floor);
+    if (config_.machine_exchange) {
+      deposits = machine_level_exchange(deposits, jt_->cluster());
+    }
+    const auto class_key = [this](mr::JobId j) {
+      return jt_->job(j).spec().exchange_key();
+    };
+    if (config_.job_exchange) {
+      deposits = job_level_exchange(deposits, class_key);
+    }
+    if (config_.negative_feedback) {
+      deposits = apply_negative_feedback(deposits, class_key);
+    }
+    deposits = center_deposits(deposits, config_.tau_init);
+    table_->apply(deposits);
+  }
+
+  const Seconds now = jt_->simulator().now();
+  for (const auto& [job, counts] : interval_counts_) {
+    convergence_.record_interval(job, jt_->job(job).submit_time(), now,
+                                 counts);
+  }
+
+  interval_reports_.clear();
+  interval_counts_.clear();
+}
+
+double EAntScheduler::eta_for(mr::JobId job) const {
+  const double s_pool = static_cast<double>(jt_->total_slots());
+  const double s_min = fair_share(jt_->total_slots(),
+                                  jt_->active_jobs().size());
+  const double s_occ =
+      static_cast<double>(jt_->job(job).occupied_slots());
+  return fairness_eta(s_min, s_occ, s_pool);
+}
+
+std::optional<mr::JobId> EAntScheduler::select_job(cluster::MachineId machine,
+                                                   mr::TaskKind kind) {
+  EANT_CHECK(jt_ != nullptr, "scheduler not attached");
+  const std::vector<mr::JobId> runnable = jt_->runnable_jobs(kind);
+  if (runnable.empty()) return std::nullopt;
+
+  // Eq. 7: a job with a node-local pending split on this machine takes the
+  // "infinite" eta branch — realised as the eta cap, so after the beta
+  // exponent of Eq. 8 it becomes a strong but finite boost (the same cap a
+  // real implementation needs to keep the weights representable).  All
+  // other jobs carry the fairness eta.
+  auto eta = [this, machine, kind](mr::JobId j) {
+    if (kind == mr::TaskKind::kMap &&
+        jt_->job(j).has_local_pending_map(machine)) {
+      return kLocalityEta;
+    }
+    return eta_for(j);
+  };
+  // Pull-model realisation of Eq. 3/8's machine dimension: the policy says
+  // what fraction of job j's tasks machine m should host, namely
+  // tau(j,m)/row_sum.  A greedy pull would ignore that and saturate every
+  // slot, so a sampled job accepts the slot with probability proportional
+  // to m's normalised pheromone for that job (scaled so the fleet average
+  // is 1 — with uniform trails every slot is accepted, i.e. the first
+  // interval follows Hadoop's default behaviour, Sec. III-A).  A job that
+  // declines frees the slot for the next-sampled job; when every runnable
+  // job declines, the slot idles until the next heartbeat (3 s) — this is
+  // how E-Ant sheds load from energy-inefficient machines (Fig. 8(b)).
+  //
+  // Shedding must stay work-conserving: a declined slot only pays off when
+  // a better machine can pick the task up immediately — otherwise the
+  // whole fleet idles (>1 kW of idle power here) while the task waits, and
+  // the makespan stretch burns far more than the per-task delta saves.  So
+  // a sampled job may decline machine m only while some machine with a
+  // meaningfully higher trail for it has a free slot of this kind; the
+  // declined work is then picked up within one heartbeat (3 s).
+  // The decline decision races against other assignments: the free slot on
+  // the better machine may be gone before its next heartbeat claims the
+  // declined work.  At high fleet occupancy those races strand tasks in
+  // limbo and inflate completion times, so occupancy raises the acceptance
+  // floor — full steering on an idle fleet, Hadoop-default behaviour at
+  // saturation.
+  const double total_kind_slots = static_cast<double>(
+      kind == mr::TaskKind::kMap ? jt_->cluster().total_map_slots()
+                                 : jt_->cluster().total_reduce_slots());
+  const double occupancy =
+      1.0 - static_cast<double>(jt_->total_free_slots(kind)) /
+                std::max(total_kind_slots, 1.0);
+  std::vector<mr::JobId> candidates = runnable;
+  while (!candidates.empty()) {
+    const auto choice =
+        sample_job(*table_, rng_, candidates, kind, machine, eta, config_.beta);
+    EANT_ASSERT(choice.has_value(), "sampler returned nothing for candidates");
+    // A decline is work-conserving in two situations: another runnable job
+    // remains to take this very slot (a *trade*: under a deep backlog every
+    // slot stays busy either way, but swapping a CPU-heavy task off a
+    // steep-slope machine for an IO-heavy one still lowers the fleet's
+    // power draw), or a better machine has a free slot to pick the task up
+    // within a heartbeat.
+    const bool has_trade = candidates.size() > 1;
+    const bool has_better = better_machine_free(*choice, kind, machine);
+    if (!has_trade && !has_better) return choice;
+    // Acceptance is proportional to this machine's standing against the
+    // colony's best-ranked machine.  (Normalising by the row mean instead
+    // would let trails floored by negative feedback drag the mean down and
+    // make every remaining machine look above-average.)
+    const double best = table_->row_max(*choice, kind);
+    EANT_ASSERT(best > 0.0, "pheromone trail must stay positive");
+    const double normalized = table_->tau(*choice, kind, machine) / best;
+    double floor = config_.min_acceptance;
+    if (kind == mr::TaskKind::kMap &&
+        jt_->job(*choice).has_local_pending_map(machine)) {
+      floor = std::max(floor, config_.local_acceptance_floor);
+    }
+    if (!has_trade) {
+      // The free-slot decline races other assignments (the slot may be
+      // taken before the better machine's next heartbeat); the race gets
+      // costlier as the fleet fills, so occupancy raises the floor.
+      // Squaring keeps it gentle at the paper's moderate utilisations.
+      floor = std::max(floor, occupancy * occupancy);
+    }
+    const double steered = std::clamp(
+        std::pow(normalized, config_.acceptance_sharpness), floor, 1.0);
+    if (rng_.uniform() <= steered) return choice;
+    candidates.erase(std::find(candidates.begin(), candidates.end(), *choice));
+  }
+  return std::nullopt;
+}
+
+bool EAntScheduler::better_machine_free(mr::JobId job, mr::TaskKind kind,
+                                        cluster::MachineId machine) const {
+  const double own_tau = table_->tau(job, kind, machine);
+  const std::size_t n = jt_->cluster().size();
+  for (cluster::MachineId m = 0; m < n; ++m) {
+    if (m == machine) continue;
+    if (jt_->tracker(m).free_slots(kind) <= 0) continue;
+    if (table_->tau(job, kind, m) > kBetterMachineMargin * own_tau) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace eant::core

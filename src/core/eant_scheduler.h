@@ -1,0 +1,118 @@
+// E-Ant: the paper's heterogeneity-aware, energy-minimising task assigner
+// (Sec. III & IV), implemented as a pluggable Scheduler.
+//
+// Per control interval (default 5 minutes, Sec. V-B):
+//   1. the task analyzer estimates the energy of every task completed in the
+//      interval from its TaskTracker utilisation samples (Eq. 2);
+//   2. deposits are computed per colony (Eq. 5), smoothed by the
+//      machine-level and job-level exchange strategies (Sec. IV-D), and
+//      cross-colony negative feedback is applied (Eq. 6);
+//   3. the pheromone table evaporates and absorbs the deposits (Eq. 4).
+// Between ticks, every free slot offered by a heartbeat is filled by
+// sampling a job with probability proportional to
+// tau(j,kind,m)/row_sum * eta(j)^beta (Eq. 8), with absolute priority for
+// jobs holding node-local data (Eq. 7, when beta > 0).
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aco.h"
+#include "core/convergence.h"
+#include "core/energy_model.h"
+#include "core/exchange.h"
+#include "core/heuristic.h"
+#include "core/pheromone.h"
+#include "mapreduce/job_tracker.h"
+#include "mapreduce/scheduler.h"
+
+namespace eant::core {
+
+/// E-Ant tunables (defaults are the paper's choices).
+struct EAntConfig {
+  Seconds control_interval = 300.0;  ///< 5 minutes (Sec. V-B)
+  double rho = 0.5;                  ///< evaporation (the worked example's value)
+  double beta = 0.1;                 ///< locality/fairness weight (Fig. 12(a) knee)
+  double tau_init = 1.0;
+  double tau_min = 0.05;
+  bool machine_exchange = true;      ///< Sec. IV-D machine-level strategy
+  bool job_exchange = true;          ///< Sec. IV-D job-level strategy
+  bool negative_feedback = true;     ///< Eq. 6 cross-colony update
+  double stability_threshold = 0.8;  ///< Sec. VI-C convergence definition
+  Joules energy_floor = 1.0;         ///< guards Eq. 5 ratios
+
+  /// Floor of the slot-acceptance probability (see select_job): even the
+  /// worst-ranked machine keeps exploring occasionally, the acceptance-side
+  /// analogue of the tau floor.
+  double min_acceptance = 0.05;
+
+  /// Exponent sharpening the slot-acceptance probability.  A machine whose
+  /// slots turn over faster is offered tasks more often, which counteracts
+  /// proportional routing; sharpening restores the pheromone ratio's
+  /// authority over placement.
+  double acceptance_sharpness = 3.0;
+
+  /// Acceptance floor when the sampled job has a node-local pending split
+  /// on the offering machine: Eq. 7 ranks locality above everything, and a
+  /// declined local slot usually turns into a remote read elsewhere, so
+  /// local offers decline only half-heartedly.
+  double local_acceptance_floor = 0.5;
+};
+
+/// Realisation of Eq. 7's "infinite" eta for data-local candidates: the cap
+/// at which the heuristic saturates (1000^beta ~= 2 at the paper's beta=0.1).
+constexpr double kLocalityEta = 1e3;
+
+/// A machine only counts as a "better" placement (justifying a declined
+/// slot) when its trail exceeds the offering machine's by this margin.
+constexpr double kBetterMachineMargin = 1.02;
+
+/// The adaptive task assigner.
+class EAntScheduler final : public mr::Scheduler {
+ public:
+  EAntScheduler(EnergyModel model, Rng rng, EAntConfig config = {});
+
+  void attach(mr::JobTracker& job_tracker) override;
+  void on_job_submitted(mr::JobId job) override;
+  void on_job_finished(mr::JobId job) override;
+  void on_task_completed(const mr::TaskReport& report) override;
+  std::optional<mr::JobId> select_job(cluster::MachineId machine,
+                                      mr::TaskKind kind) override;
+  std::string name() const override { return "E-Ant"; }
+
+  // --- observability -----------------------------------------------------------
+
+  const PheromoneTable& pheromone() const { return *table_; }
+  const ConvergenceTracker& convergence() const { return convergence_; }
+  const EAntConfig& config() const { return config_; }
+  std::size_t intervals() const { return intervals_; }
+
+  /// Cumulative Eq. 2 energy estimates per machine (the task analyzer's view
+  /// of where energy went).
+  const std::vector<Joules>& estimated_energy_per_machine() const {
+    return estimated_per_machine_;
+  }
+
+ private:
+  void control_tick();
+  double eta_for(mr::JobId job) const;
+  bool better_machine_free(mr::JobId job, mr::TaskKind kind,
+                           cluster::MachineId machine) const;
+
+  EnergyModel model_;
+  Rng rng_;
+  EAntConfig config_;
+
+  mr::JobTracker* jt_ = nullptr;
+  std::unique_ptr<PheromoneTable> table_;  // sized at attach time
+  ConvergenceTracker convergence_;
+
+  std::vector<EstimatedReport> interval_reports_;
+  std::map<mr::JobId, std::vector<std::size_t>> interval_counts_;
+  std::vector<Joules> estimated_per_machine_;
+  std::size_t intervals_ = 0;
+};
+
+}  // namespace eant::core

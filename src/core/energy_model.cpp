@@ -1,0 +1,56 @@
+#include "core/energy_model.h"
+
+#include "common/error.h"
+
+namespace eant::core {
+
+PowerParams calibrate(const std::vector<CalibrationSample>& samples,
+                      int slots) {
+  EANT_CHECK(slots >= 1, "slots must be positive");
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    x.push_back(s.util);
+    y.push_back(s.power);
+  }
+  const LineFit fit = least_squares(x, y);
+  EANT_CHECK(fit.intercept >= 0.0, "calibrated idle power is negative");
+  EANT_CHECK(fit.slope >= 0.0, "calibrated alpha is negative");
+  return PowerParams{fit.intercept, fit.slope, slots};
+}
+
+EnergyModel EnergyModel::from_cluster(const cluster::Cluster& cluster) {
+  EnergyModel model;
+  for (cluster::MachineId id = 0; id < cluster.size(); ++id) {
+    const auto& type = cluster.machine(id).type();
+    model.set_params(
+        id, PowerParams{type.idle_power, type.alpha, type.total_slots()});
+  }
+  return model;
+}
+
+void EnergyModel::set_params(cluster::MachineId machine, PowerParams params) {
+  EANT_CHECK(params.slots >= 1, "slots must be positive");
+  EANT_CHECK(params.idle >= 0.0 && params.alpha >= 0.0,
+             "power parameters must be non-negative");
+  if (machine >= params_.size()) params_.resize(machine + 1);
+  params_[machine] = params;
+}
+
+const PowerParams& EnergyModel::params(cluster::MachineId machine) const {
+  EANT_CHECK(machine < params_.size(), "no parameters for machine");
+  return params_[machine];
+}
+
+Joules EnergyModel::estimate(const mr::TaskReport& report) const {
+  const PowerParams& p = params(report.machine);
+  Joules total = 0.0;
+  for (const auto& w : report.samples) {
+    EANT_ASSERT(w.duration >= 0.0, "negative sample window");
+    total += (p.idle / p.slots + p.alpha * w.util) * w.duration;
+  }
+  return total;
+}
+
+}  // namespace eant::core

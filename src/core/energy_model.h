@@ -1,0 +1,64 @@
+// Task-level energy model (paper Sec. IV-B, Eq. 2).
+//
+// A Hadoop task runs in a JVM occupying one slot; its energy is estimated
+// from the CPU-utilisation samples its TaskTracker reports each heartbeat:
+//
+//   E(T) = sum over windows [ P_idle(m)/slots(m) + alpha(m) * u_w ] * dt_w
+//
+// The per-machine-type parameters (P_idle, alpha) are constants; the paper
+// obtains alpha with the least-squares method, which `calibrate()`
+// reimplements from (utilisation, wall-power) observations.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "mapreduce/task.h"
+
+namespace eant::core {
+
+/// Power-model constants of one machine (type): P = idle + alpha * u.
+struct PowerParams {
+  Watts idle = 0.0;
+  Watts alpha = 0.0;
+  int slots = 1;  ///< divisor apportioning idle power to tasks (Eq. 2)
+};
+
+/// One observation for system identification: machine utilisation vs
+/// metered wall power.
+struct CalibrationSample {
+  Utilization util = 0.0;
+  Watts power = 0.0;
+};
+
+/// Fits PowerParams from metered samples by ordinary least squares — the
+/// "standard system identification technique" of Sec. IV-B.  Requires at
+/// least two samples with non-constant utilisation.
+PowerParams calibrate(const std::vector<CalibrationSample>& samples,
+                      int slots);
+
+/// Per-machine task-energy estimator.
+class EnergyModel {
+ public:
+  /// Model with no machines; add parameters with set_params.
+  EnergyModel() = default;
+
+  /// Builds a model whose parameters match the cluster's true machine types
+  /// (the paper's calibrated per-type models).
+  static EnergyModel from_cluster(const cluster::Cluster& cluster);
+
+  void set_params(cluster::MachineId machine, PowerParams params);
+  const PowerParams& params(cluster::MachineId machine) const;
+  std::size_t num_machines() const { return params_.size(); }
+
+  /// Eq. 2: energy of a completed task from its utilisation samples.
+  Joules estimate(const mr::TaskReport& report) const;
+
+ private:
+  std::vector<PowerParams> params_;
+};
+
+}  // namespace eant::core

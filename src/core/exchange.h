@@ -1,0 +1,64 @@
+// Information-exchange strategies for robustness against system noise
+// (paper Sec. IV-D).
+//
+// The pheromone deposits computed from one control interval's task reports
+// are smoothed across (a) homogeneous machines — machines of the same
+// hardware type should look equally good for the same job — and (b)
+// homogeneous jobs — jobs of the same application/size class share their
+// experiences.  Both transforms operate on the DeltaMap before it is
+// applied to the pheromone table; either can be enabled independently
+// (the Fig. 10 ablation).
+//
+// Negative cross-colony feedback (Eq. 6) is also implemented here: a
+// machine's deposit for one colony is subtracted from every competing
+// colony of the same task kind, steering different jobs toward the machines
+// that are energy-efficient *for them specifically*.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/pheromone.h"
+
+namespace eant::core {
+
+/// Machine-level exchange: for every trail, replaces each machine's deposit
+/// with the mean deposit over that machine's homogeneous group
+/// (delta(j,m) = Avg over m' in Mh of delta(j,m'), Sec. IV-D).
+DeltaMap machine_level_exchange(const DeltaMap& deltas,
+                                const cluster::Cluster& cluster);
+
+/// Job-level exchange: replaces each colony's deposits with the mean over
+/// all colonies of the same class (same application and size class, same
+/// task kind).  `class_key(job)` supplies the homogeneity key.
+DeltaMap job_level_exchange(
+    const DeltaMap& deltas,
+    const std::function<std::string(mr::JobId)>& class_key);
+
+/// Eq. 6: competing colonies push each other off contested machines.  For
+/// each machine and task kind, colony j receives its own deposit minus the
+/// mean deposit of colonies of *other* job classes on that machine.
+/// Homogeneous jobs (same class) are not each other's competitors — they
+/// already pool their experiences through the job-level exchange — so a
+/// literal sum over all other colonies would make identical jobs cannibalise
+/// their own shared ranking; differentiating across classes is what makes
+/// each job type gravitate to the machines that are energy-efficient for it
+/// specifically (Fig. 9(a)).
+DeltaMap apply_negative_feedback(
+    const DeltaMap& deltas,
+    const std::function<std::string(mr::JobId)>& class_key);
+
+/// Re-centres every deposit row around `center` while preserving the
+/// per-machine differences exactly: d'(m) = center + d(m) - mean(d).
+/// Eq. 3/8's probabilities and the slot-acceptance rule are invariant to a
+/// trail's absolute scale, but the scale still matters numerically: raw
+/// deposit sums swing from ~0 (after negative feedback) to ~task-count,
+/// which would either evaporate trails into the tau floor (losing the
+/// ranking) or blow them up.  Centring pins the scale at tau_init so the
+/// evaporated trail is an EWMA of the *relative* machine ranking.
+DeltaMap center_deposits(const DeltaMap& deltas, double center);
+
+}  // namespace eant::core

@@ -1,0 +1,17 @@
+#include "core/heuristic.h"
+
+#include <algorithm>
+
+namespace eant::core {
+
+double fairness_eta(double s_min, double s_occ, double s_pool, double eta_min,
+                    double eta_max) {
+  EANT_CHECK(s_pool > 0.0, "slot pool must be positive");
+  EANT_CHECK(s_min >= 0.0 && s_occ >= 0.0, "shares must be non-negative");
+  EANT_CHECK(eta_min > 0.0 && eta_max >= eta_min, "eta bounds misordered");
+  const double denom = 1.0 - (s_min - s_occ) / s_pool;
+  if (denom <= 0.0) return eta_max;  // fully starved job: maximum urgency
+  return std::clamp(1.0 / denom, eta_min, eta_max);
+}
+
+}  // namespace eant::core

@@ -1,0 +1,31 @@
+// Heuristic information (paper Sec. IV-C-4, Eq. 7): data locality gets
+// absolute priority, and jobs below their fair share of slots get boosted.
+//
+//   eta(j) = infinity                                 if j has a local task
+//          = 1 / (1 - (S_min - S_occ) / S_pool)       otherwise
+//
+// S_min is the job's minimum (fair) share of slots, S_occ the slots it
+// currently occupies, S_pool the pool's share (for a single-user system,
+// the total slots of the cluster; sum over jobs of S_min == S_pool).
+
+#pragma once
+
+#include "common/error.h"
+
+namespace eant::core {
+
+/// Eq. 7's finite branch: the fairness boost for a job without local data.
+/// Greater than 1 when the job is below its fair share, 1 at its share,
+/// and below 1 when above.  The result is clamped to [eta_min, eta_max] to
+/// keep the assignment weights well-conditioned (the unclamped expression
+/// diverges as S_min - S_occ approaches S_pool).
+double fairness_eta(double s_min, double s_occ, double s_pool,
+                    double eta_min = 1e-3, double eta_max = 1e3);
+
+/// The per-job fair share for a single-user pool with J active jobs.
+inline double fair_share(int total_slots, std::size_t active_jobs) {
+  EANT_CHECK(active_jobs >= 1, "no active jobs");
+  return static_cast<double>(total_slots) / static_cast<double>(active_jobs);
+}
+
+}  // namespace eant::core

@@ -1,0 +1,129 @@
+#include "core/pheromone.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eant::core {
+
+PheromoneTable::PheromoneTable(std::size_t num_machines, double rho,
+                               double tau_init, double tau_min)
+    : num_machines_(num_machines),
+      rho_(rho),
+      tau_init_(tau_init),
+      tau_min_(tau_min) {
+  EANT_CHECK(num_machines >= 1, "pheromone table needs machines");
+  EANT_CHECK(rho >= 0.0 && rho <= 1.0, "evaporation rho must be in [0,1]");
+  EANT_CHECK(tau_init > 0.0, "tau_init must be positive");
+  EANT_CHECK(tau_min > 0.0 && tau_min <= tau_init,
+             "tau_min must be in (0, tau_init]");
+}
+
+void PheromoneTable::add_job(mr::JobId job, const std::string& class_key) {
+  for (mr::TaskKind kind : {mr::TaskKind::kMap, mr::TaskKind::kReduce}) {
+    const TrailKey key{job, kind};
+    EANT_CHECK(!trails_.contains(key), "colony already registered");
+    const auto* prior =
+        class_key.empty() ? nullptr : class_prior(class_key, kind);
+    if (prior != nullptr) {
+      trails_[key] = *prior;
+    } else {
+      trails_[key].assign(num_machines_, tau_init_);
+    }
+    if (!class_key.empty()) classes_[key] = class_key;
+  }
+}
+
+void PheromoneTable::remove_job(mr::JobId job) {
+  for (mr::TaskKind kind : {mr::TaskKind::kMap, mr::TaskKind::kReduce}) {
+    const TrailKey key{job, kind};
+    // Remember the departing colony's learning for future same-class jobs.
+    // The classes_ entry is retained: the colony's final task reports are
+    // still buffered in the scheduler and their deposits must reach the
+    // class prior at the next control tick (a short job often finishes
+    // before a single tick — without this, small jobs would never learn,
+    // the pathology Sec. VI-C warns about).
+    if (auto cit = classes_.find(key); cit != classes_.end()) {
+      if (auto tit = trails_.find(key); tit != trails_.end()) {
+        priors_[{cit->second, kind}] = tit->second;
+      }
+    }
+    trails_.erase(key);
+  }
+}
+
+bool PheromoneTable::has_job(mr::JobId job) const {
+  return trails_.contains(TrailKey{job, mr::TaskKind::kMap});
+}
+
+double PheromoneTable::tau(mr::JobId job, mr::TaskKind kind,
+                           cluster::MachineId machine) const {
+  EANT_CHECK(machine < num_machines_, "machine id out of range");
+  const auto it = trails_.find(TrailKey{job, kind});
+  EANT_CHECK(it != trails_.end(), "unknown colony");
+  return it->second[machine];
+}
+
+double PheromoneTable::row_sum(mr::JobId job, mr::TaskKind kind) const {
+  const auto it = trails_.find(TrailKey{job, kind});
+  EANT_CHECK(it != trails_.end(), "unknown colony");
+  double sum = 0.0;
+  for (double v : it->second) sum += v;
+  return sum;
+}
+
+double PheromoneTable::row_max(mr::JobId job, mr::TaskKind kind) const {
+  const auto it = trails_.find(TrailKey{job, kind});
+  EANT_CHECK(it != trails_.end(), "unknown colony");
+  double best = 0.0;
+  for (double v : it->second) best = std::max(best, v);
+  return best;
+}
+
+void PheromoneTable::apply(const DeltaMap& deposits) {
+  for (const auto& [key, per_machine] : deposits) {
+    EANT_CHECK(per_machine.size() == num_machines_,
+               "deposit vector has wrong machine count");
+    std::vector<double>* target = nullptr;
+    auto it = trails_.find(key);
+    if (it != trails_.end()) {
+      target = &it->second;
+    } else if (auto cit = classes_.find(key); cit != classes_.end()) {
+      // Colony finished mid-interval: its final deposits update the class
+      // prior directly so the learning is inherited by the next same-class
+      // job rather than discarded.
+      auto& prior = priors_[{cit->second, key.second}];
+      if (prior.empty()) prior.assign(num_machines_, tau_init_);
+      target = &prior;
+    } else {
+      continue;  // anonymous colony finished; nothing to learn into
+    }
+    for (std::size_t m = 0; m < num_machines_; ++m) {
+      const double updated =
+          (1.0 - rho_) * (*target)[m] + rho_ * per_machine[m];
+      (*target)[m] = std::max(tau_min_, updated);
+    }
+    // Keep the class memory fresh while colonies are alive, so a colony
+    // that finishes between ticks still leaves its latest learning behind.
+    if (it != trails_.end()) {
+      if (auto cit = classes_.find(key); cit != classes_.end()) {
+        priors_[{cit->second, key.second}] = *target;
+      }
+    }
+  }
+}
+
+const std::vector<double>* PheromoneTable::class_prior(
+    const std::string& class_key, mr::TaskKind kind) const {
+  const auto it = priors_.find({class_key, kind});
+  return it == priors_.end() ? nullptr : &it->second;
+}
+
+std::vector<double> PheromoneTable::trail(mr::JobId job,
+                                          mr::TaskKind kind) const {
+  const auto it = trails_.find(TrailKey{job, kind});
+  EANT_CHECK(it != trails_.end(), "unknown colony");
+  return it->second;
+}
+
+}  // namespace eant::core

@@ -1,0 +1,90 @@
+// Pheromone table for E-Ant's ant-colony optimisation (paper Sec. IV-C).
+//
+// Each job is an ant colony; the trail value tau(j, m) encodes the learned
+// goodness (energy efficiency) of assigning the job's tasks to machine m.
+// Trails are kept per task kind (map/reduce) because the two phases of the
+// same job have very different resource profiles — this is what lets E-Ant
+// place maps and reduces differently (the paper's Fig. 9(b)).
+//
+// Updates follow Eq. 4 (evaporation + deposit), Eq. 5 (deposit = average
+// task energy of the colony / this task's energy) and Eq. 6 (negative
+// cross-colony feedback).  A tau floor keeps every path explorable, the
+// standard MMAS-style guard against probabilities collapsing to zero.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "mapreduce/task.h"
+
+namespace eant::core {
+
+/// Identifies one colony trail: a job's map trails or reduce trails.
+using TrailKey = std::pair<mr::JobId, mr::TaskKind>;
+
+/// Per-interval pheromone deposits: for each trail, the summed deposit on
+/// each machine (Eq. 4's  sum over n of delta-tau^n).
+using DeltaMap = std::map<TrailKey, std::vector<double>>;
+
+/// The tau(j, kind, m) table with evaporation and floor.
+class PheromoneTable {
+ public:
+  PheromoneTable(std::size_t num_machines, double rho, double tau_init = 1.0,
+                 double tau_min = 0.05);
+
+  /// Creates the two trails (map/reduce) of a new colony.  When a non-empty
+  /// class key is given and colonies of that class have learned before, the
+  /// new trails start from the class's remembered trail state instead of
+  /// tau_init — the job-level exchange extended across time, without which
+  /// a short job always dies before its first pheromone update and every
+  /// recurring workload would relearn from scratch (Sec. VI-C notes exactly
+  /// this small-job pathology).
+  void add_job(mr::JobId job, const std::string& class_key = "");
+
+  /// Drops a finished colony's trails.
+  void remove_job(mr::JobId job);
+
+  bool has_job(mr::JobId job) const;
+
+  double tau(mr::JobId job, mr::TaskKind kind,
+             cluster::MachineId machine) const;
+
+  /// Sum of tau over machines for a trail — Eq. 3/8's denominator.
+  double row_sum(mr::JobId job, mr::TaskKind kind) const;
+
+  /// Largest tau in a trail (the colony's best-ranked machine).
+  double row_max(mr::JobId job, mr::TaskKind kind) const;
+
+  /// Applies one control-interval update: tau <- (1-rho) tau + rho * deposit,
+  /// clamped at tau_min.  Deposits for unknown (already removed) trails are
+  /// ignored.  Trails with no deposit this interval are left untouched,
+  /// matching the paper's rule that "the higher the task completion rate,
+  /// the greater the chance of updating the pheromone value of that path".
+  void apply(const DeltaMap& deposits);
+
+  double rho() const { return rho_; }
+  double tau_min() const { return tau_min_; }
+  std::size_t num_machines() const { return num_machines_; }
+
+  /// Snapshot of one trail (for tests/observability).
+  std::vector<double> trail(mr::JobId job, mr::TaskKind kind) const;
+
+  /// The remembered class trail, if any colonies of the class have learned.
+  const std::vector<double>* class_prior(const std::string& class_key,
+                                         mr::TaskKind kind) const;
+
+ private:
+  std::size_t num_machines_;
+  double rho_;
+  double tau_init_;
+  double tau_min_;
+  std::map<TrailKey, std::vector<double>> trails_;
+  std::map<TrailKey, std::string> classes_;
+  std::map<std::pair<std::string, mr::TaskKind>, std::vector<double>> priors_;
+};
+
+}  // namespace eant::core

@@ -1,0 +1,50 @@
+#include "exp/builders.h"
+
+#include "cluster/catalog.h"
+
+namespace eant::exp {
+
+ClusterBuilder paper_fleet() {
+  return [](cluster::Cluster& c) { cluster::add_paper_fleet(c); };
+}
+
+ClusterBuilder homogeneous(cluster::MachineType type, std::size_t count) {
+  return [type, count](cluster::Cluster& c) { c.add_machines(type, count); };
+}
+
+ClusterBuilder machines(std::vector<cluster::MachineType> types) {
+  return [types](cluster::Cluster& c) {
+    for (const auto& t : types) c.add_machines(t, 1);
+  };
+}
+
+workload::JobSpec single_job(workload::AppKind app, Megabytes input_mb,
+                             int num_reduces) {
+  workload::JobSpec spec;
+  spec.app = app;
+  spec.input_mb = input_mb;
+  spec.num_reduces = num_reduces;
+  spec.submit_time = 0.0;
+  // Classify by scaled size for class_key purposes.
+  if (input_mb < 2048) {
+    spec.size_class = workload::SizeClass::kSmall;
+  } else if (input_mb < 16384) {
+    spec.size_class = workload::SizeClass::kMedium;
+  } else {
+    spec.size_class = workload::SizeClass::kLarge;
+  }
+  return spec;
+}
+
+std::vector<workload::JobSpec> job_batch(workload::AppKind app,
+                                         Megabytes input_mb, int num_reduces,
+                                         int count) {
+  std::vector<workload::JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    jobs.push_back(single_job(app, input_mb, num_reduces));
+  }
+  return jobs;
+}
+
+}  // namespace eant::exp

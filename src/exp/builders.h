@@ -1,0 +1,34 @@
+// Cluster/workload builders shared by benches, examples and tests.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "workload/job_spec.h"
+
+namespace eant::exp {
+
+/// A function that populates an empty cluster with machines.
+using ClusterBuilder = std::function<void(cluster::Cluster&)>;
+
+/// The paper's 16-machine heterogeneous fleet (Sec. V-B).
+ClusterBuilder paper_fleet();
+
+/// `count` machines of a single type (homogeneous sub-cluster experiments).
+ClusterBuilder homogeneous(cluster::MachineType type, std::size_t count);
+
+/// An explicit machine list.
+ClusterBuilder machines(std::vector<cluster::MachineType> types);
+
+/// A single job of the given application and input size, submitted at t=0.
+workload::JobSpec single_job(workload::AppKind app, Megabytes input_mb,
+                             int num_reduces);
+
+/// `count` identical jobs submitted together at t=0 (multi-job scenarios).
+std::vector<workload::JobSpec> job_batch(workload::AppKind app,
+                                         Megabytes input_mb, int num_reduces,
+                                         int count);
+
+}  // namespace eant::exp

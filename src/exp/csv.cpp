@@ -1,0 +1,66 @@
+#include "exp/csv.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace eant::exp {
+
+std::string to_csv_by_type(const RunMetrics& metrics) {
+  std::ostringstream os;
+  os << "type,machines,energy_j,avg_utilization,completed_maps,"
+        "completed_reduces\n";
+  for (const auto& t : metrics.by_type) {
+    os << t.type_name << ',' << t.machine_count << ',' << t.energy << ','
+       << t.avg_utilization << ',' << t.completed_maps << ','
+       << t.completed_reduces << '\n';
+  }
+  return os.str();
+}
+
+std::string to_csv_jobs(const RunMetrics& metrics) {
+  std::ostringstream os;
+  os << "job,class,submit_s,completion_s,maps,reduces,map_task_s,"
+        "shuffle_s,reduce_task_s\n";
+  for (const auto& j : metrics.jobs) {
+    os << j.id << ',' << j.class_name << ',' << j.submit_time << ','
+       << j.completion_time << ',' << j.maps << ',' << j.reduces << ','
+       << j.map_task_seconds << ',' << j.shuffle_seconds << ','
+       << j.reduce_task_seconds << '\n';
+  }
+  return os.str();
+}
+
+TimelineCollector::TimelineCollector(sim::Simulator& sim,
+                                     cluster::Cluster& cluster,
+                                     Seconds period)
+    : sim_(sim), cluster_(cluster), period_(period) {
+  EANT_CHECK(period > 0.0, "sampling period must be positive");
+  event_ = sim_.schedule_periodic(period_, [this] { return sample(); });
+}
+
+TimelineCollector::~TimelineCollector() { sim_.cancel(event_); }
+
+bool TimelineCollector::sample() {
+  Sample s;
+  s.time = sim_.now();
+  double util = 0.0;
+  for (cluster::MachineId id = 0; id < cluster_.size(); ++id) {
+    s.fleet_power += cluster_.machine(id).power();
+    util += cluster_.machine(id).utilization();
+  }
+  s.mean_utilization = util / static_cast<double>(cluster_.size());
+  samples_.push_back(s);
+  return true;
+}
+
+std::string TimelineCollector::to_csv() const {
+  std::ostringstream os;
+  os << "time_s,fleet_power_w,mean_utilization\n";
+  for (const auto& s : samples_) {
+    os << s.time << ',' << s.fleet_power << ',' << s.mean_utilization << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace eant::exp

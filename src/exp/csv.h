@@ -1,0 +1,53 @@
+// CSV export of run results and a fleet timeline sampler — for plotting the
+// paper figures from bench output with external tooling.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "exp/metrics.h"
+#include "sim/simulator.h"
+
+namespace eant::exp {
+
+/// Per-machine-type rows ("type,machines,energy_j,avg_utilization,...").
+std::string to_csv_by_type(const RunMetrics& metrics);
+
+/// Per-job rows ("job,class,submit_s,completion_s,maps,reduces,...").
+std::string to_csv_jobs(const RunMetrics& metrics);
+
+/// Samples fleet-wide power and utilisation on a fixed period while a run
+/// executes; attach before Run::execute().
+class TimelineCollector {
+ public:
+  TimelineCollector(sim::Simulator& sim, cluster::Cluster& cluster,
+                    Seconds period = 30.0);
+  ~TimelineCollector();
+
+  TimelineCollector(const TimelineCollector&) = delete;
+  TimelineCollector& operator=(const TimelineCollector&) = delete;
+
+  struct Sample {
+    Seconds time = 0.0;
+    Watts fleet_power = 0.0;
+    double mean_utilization = 0.0;
+  };
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// "time_s,fleet_power_w,mean_utilization" rows.
+  std::string to_csv() const;
+
+ private:
+  bool sample();
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  Seconds period_;
+  sim::EventId event_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace eant::exp

@@ -1,0 +1,102 @@
+#include "exp/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eant::exp {
+
+Seconds RunMetrics::mean_completion(const std::string& class_name) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (!class_name.empty() && j.class_name != class_name) continue;
+    sum += j.completion_time;
+    ++n;
+  }
+  EANT_CHECK(n > 0, "no jobs match the requested class");
+  return sum / static_cast<double>(n);
+}
+
+const TypeMetrics& RunMetrics::type(const std::string& name) const {
+  for (const auto& t : by_type) {
+    if (t.type_name == name) return t;
+  }
+  throw PreconditionError("no metrics for machine type " + name);
+}
+
+MetricsCollector::MetricsCollector(cluster::Cluster& cluster,
+                                   mr::JobTracker& jt)
+    : cluster_(cluster), jt_(jt) {}
+
+void MetricsCollector::install() {
+  jt_.set_report_listener([this](const mr::TaskReport& r) {
+    const auto& type_name = cluster_.machine(r.machine).type().name;
+    const auto& js = jt_.job(r.spec.job);
+    ++tasks_by_type_app_[type_name][workload::app_name(js.spec().app)];
+    ++total_tasks_;
+    if (r.spec.kind == mr::TaskKind::kMap) {
+      ++maps_by_type_[type_name];
+      ++total_maps_;
+      if (r.data_local) ++local_maps_;
+    } else {
+      ++reduces_by_type_[type_name];
+    }
+  });
+
+  jt_.set_job_finished_listener([this](const mr::JobState& js) {
+    JobMetrics jm;
+    jm.id = js.id();
+    jm.class_name = js.spec().class_key();
+    jm.submit_time = js.submit_time();
+    jm.completion_time = js.completion_time();
+    jm.maps = js.num_maps();
+    jm.reduces = js.num_reduces();
+    jm.map_task_seconds = js.map_task_seconds();
+    jm.shuffle_seconds = js.shuffle_seconds();
+    jm.reduce_task_seconds = js.reduce_task_seconds();
+    jobs_.push_back(jm);
+    last_finish_ = std::max(last_finish_, js.finish_time());
+  });
+}
+
+RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
+  RunMetrics rm;
+  rm.scheduler_name = scheduler_name;
+  rm.makespan = last_finish_;
+  rm.jobs = jobs_;
+  rm.total_tasks = total_tasks_;
+  rm.local_maps = local_maps_;
+  rm.total_maps = total_maps_;
+
+  const Seconds elapsed = jt_.simulator().now();
+  for (const auto& type_name : cluster_.type_names()) {
+    TypeMetrics tm;
+    tm.type_name = type_name;
+    double util_sum = 0.0;
+    for (cluster::MachineId id : cluster_.machines_of_type(type_name)) {
+      auto& m = cluster_.machine(id);
+      tm.energy += m.energy();
+      if (elapsed > 0.0) util_sum += m.utilization_integral() / elapsed;
+      ++tm.machine_count;
+    }
+    tm.avg_utilization =
+        tm.machine_count == 0 ? 0.0 : util_sum / tm.machine_count;
+    if (auto it = maps_by_type_.find(type_name); it != maps_by_type_.end()) {
+      tm.completed_maps = it->second;
+    }
+    if (auto it = reduces_by_type_.find(type_name);
+        it != reduces_by_type_.end()) {
+      tm.completed_reduces = it->second;
+    }
+    if (auto it = tasks_by_type_app_.find(type_name);
+        it != tasks_by_type_app_.end()) {
+      tm.tasks_by_app = it->second;
+    }
+    rm.total_energy += tm.energy;
+    rm.by_type.push_back(std::move(tm));
+  }
+  return rm;
+}
+
+}  // namespace eant::exp

@@ -1,0 +1,93 @@
+// Metric collection for experiments: per-machine energy/utilisation,
+// per-job completion times, task-placement histograms and locality — the raw
+// material for every figure in the paper's evaluation section.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "mapreduce/job_tracker.h"
+#include "workload/job_spec.h"
+
+namespace eant::exp {
+
+/// Aggregates per machine type (Fig. 8(a)/(b)).
+struct TypeMetrics {
+  std::string type_name;
+  std::size_t machine_count = 0;
+  Joules energy = 0.0;        ///< exact integrated energy, summed over machines
+  double avg_utilization = 0; ///< time-averaged CPU utilisation (fraction)
+  std::size_t completed_maps = 0;
+  std::size_t completed_reduces = 0;
+  /// Completed tasks per application name (Fig. 9(a)).
+  std::map<std::string, std::size_t> tasks_by_app;
+};
+
+/// Per-job results (Fig. 8(c), fairness).
+struct JobMetrics {
+  mr::JobId id = 0;
+  std::string class_name;  ///< e.g. "Wordcount-S"
+  Seconds submit_time = 0.0;
+  Seconds completion_time = 0.0;  ///< finish - submit
+  std::size_t maps = 0;
+  std::size_t reduces = 0;
+  double map_task_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_task_seconds = 0.0;
+};
+
+/// Everything measured over one experiment run.
+struct RunMetrics {
+  std::string scheduler_name;
+  Seconds makespan = 0.0;   ///< sim time when the last job finished
+  Joules total_energy = 0.0;
+  std::vector<TypeMetrics> by_type;
+  std::vector<JobMetrics> jobs;
+  std::size_t total_tasks = 0;
+  std::size_t local_maps = 0;
+  std::size_t total_maps = 0;
+
+  double locality_fraction() const {
+    return total_maps == 0
+               ? 0.0
+               : static_cast<double>(local_maps) / static_cast<double>(total_maps);
+  }
+
+  /// Mean completion time of jobs whose class matches (empty = all jobs).
+  Seconds mean_completion(const std::string& class_name = {}) const;
+
+  /// Total energy in kilojoules (the paper's plotting unit).
+  double total_energy_kj() const { return total_energy / kJoulesPerKilojoule; }
+
+  const TypeMetrics& type(const std::string& name) const;
+};
+
+/// Collects reports/energies during a run; owned by the Run harness.
+class MetricsCollector {
+ public:
+  MetricsCollector(cluster::Cluster& cluster, mr::JobTracker& jt);
+
+  /// Installs listeners on the JobTracker.  Call once, before execution.
+  void install();
+
+  /// Snapshots final metrics (energies/utilisations read at call time).
+  RunMetrics finalize(const std::string& scheduler_name);
+
+ private:
+  cluster::Cluster& cluster_;
+  mr::JobTracker& jt_;
+  std::map<std::string, std::map<std::string, std::size_t>> tasks_by_type_app_;
+  std::map<std::string, std::size_t> maps_by_type_;
+  std::map<std::string, std::size_t> reduces_by_type_;
+  std::vector<JobMetrics> jobs_;
+  std::size_t total_tasks_ = 0;
+  std::size_t local_maps_ = 0;
+  std::size_t total_maps_ = 0;
+  Seconds last_finish_ = 0.0;
+};
+
+}  // namespace eant::exp

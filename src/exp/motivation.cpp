@@ -1,0 +1,132 @@
+#include "exp/motivation.h"
+
+#include <deque>
+
+#include "cluster/catalog.h"
+#include "cluster/cluster.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "exp/runner.h"
+#include "sim/simulator.h"
+#include "workload/arrival.h"
+
+namespace eant::exp {
+
+namespace {
+
+/// Minimal open-loop executor: FIFO queue feeding `concurrency` slots on a
+/// single machine; no Hadoop machinery so arrival-rate sweeps stay cheap.
+class OpenLoopExecutor {
+ public:
+  OpenLoopExecutor(sim::Simulator& sim, cluster::Machine& machine,
+                   int concurrency, double cpu_ref_seconds, Megabytes io_mb,
+                   double cpu_demand)
+      : sim_(sim),
+        machine_(machine),
+        concurrency_(concurrency),
+        cpu_ref_seconds_(cpu_ref_seconds),
+        io_mb_(io_mb),
+        cpu_demand_(cpu_demand) {
+    EANT_CHECK(concurrency >= 1, "need at least one slot");
+  }
+
+  void arrive() {
+    if (running_ < concurrency_) {
+      start();
+    } else {
+      ++queued_;
+    }
+  }
+
+  std::size_t completed() const { return completed_; }
+
+ private:
+  void start() {
+    ++running_;
+    machine_.adjust_demand(cpu_demand_);
+    Seconds d = machine_.type().task_runtime(cpu_ref_seconds_, io_mb_);
+    const double projected =
+        machine_.demand_cores() / machine_.type().cores;
+    if (projected > 1.0) d *= projected;
+    sim_.schedule_after(d, [this] { finish(); });
+  }
+
+  void finish() {
+    machine_.adjust_demand(-cpu_demand_);
+    --running_;
+    ++completed_;
+    if (queued_ > 0) {
+      --queued_;
+      start();
+    }
+  }
+
+  sim::Simulator& sim_;
+  cluster::Machine& machine_;
+  int concurrency_;
+  double cpu_ref_seconds_;
+  Megabytes io_mb_;
+  double cpu_demand_;
+  int running_ = 0;
+  std::size_t queued_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace
+
+StreamResult run_task_stream(const cluster::MachineType& type,
+                             workload::AppKind app, double rate_per_minute,
+                             Seconds horizon, int concurrency,
+                             std::uint64_t seed, Megabytes split_mb) {
+  EANT_CHECK(horizon > 0.0, "horizon must be positive");
+  sim::Simulator sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_machines(type, 1);
+  auto& machine = cluster.machine(0);
+
+  const auto& profile = workload::profile_for(app);
+  OpenLoopExecutor exec(sim, machine, concurrency,
+                        profile.map_cpu_s_per_mb * split_mb,
+                        profile.map_io_mb_per_mb * split_mb,
+                        profile.map_cpu_demand);
+
+  Rng rng(seed);
+  const workload::PoissonArrivals arrivals(rate_per_minute);
+  const auto times = arrivals.arrivals(horizon, rng);
+  for (Seconds t : times) {
+    sim.schedule_at(t, [&exec] { exec.arrive(); });
+  }
+
+  sim.run_until(horizon);
+
+  StreamResult r;
+  r.rate_per_minute = rate_per_minute;
+  r.arrivals = times.size();
+  r.completed = exec.completed();
+  r.horizon = horizon;
+  r.energy = machine.energy();
+  r.idle_energy = type.idle_power * horizon;
+  r.mean_power = r.energy / horizon;
+  return r;
+}
+
+PhaseBreakdown phase_breakdown(workload::AppKind app, Megabytes input_mb,
+                               std::uint64_t seed) {
+  RunConfig config;
+  config.seed = seed;
+  Run run(homogeneous(cluster::catalog::xeon_e5(), 4), SchedulerKind::kFifo,
+          config);
+  run.submit({single_job(app, input_mb, 8)});
+  run.execute();
+  const auto& jm = run.metrics().jobs.at(0);
+  const double total =
+      jm.map_task_seconds + jm.shuffle_seconds + jm.reduce_task_seconds;
+  EANT_ASSERT(total > 0.0, "job accumulated no task time");
+  PhaseBreakdown b;
+  b.map = jm.map_task_seconds / total;
+  b.shuffle = jm.shuffle_seconds / total;
+  b.reduce = jm.reduce_task_seconds / total;
+  return b;
+}
+
+}  // namespace eant::exp

@@ -1,0 +1,54 @@
+// Motivation-study drivers (paper Sec. II, Fig. 1): open-loop task streams
+// against a single machine at a controlled arrival rate, measuring
+// throughput-per-watt and the idle/workload power split; plus the per-app
+// map/shuffle/reduce completion-time breakdown.
+
+#pragma once
+
+#include "cluster/machine.h"
+#include "common/units.h"
+#include "workload/apps.h"
+
+namespace eant::exp {
+
+/// Result of one open-loop stream measurement.
+struct StreamResult {
+  double rate_per_minute = 0.0;
+  std::size_t arrivals = 0;
+  std::size_t completed = 0;
+  Seconds horizon = 0.0;
+  Joules energy = 0.0;       ///< total machine energy over the horizon
+  Joules idle_energy = 0.0;  ///< P_idle x horizon ("idle system used")
+  Watts mean_power = 0.0;
+
+  /// Tasks per second per watt — the y-axis of Fig. 1(a)/(c).
+  double throughput_per_watt() const {
+    return energy <= 0.0 ? 0.0 : static_cast<double>(completed) / energy;
+  }
+
+  /// "Workload used" power component of Fig. 1(b).
+  Joules workload_energy() const { return energy - idle_energy; }
+};
+
+/// Streams map tasks of `app` (splits of `split_mb`) at `rate_per_minute`
+/// into one machine with `concurrency` task slots for `horizon` seconds.
+/// Queueing is FIFO; CPU contention slows tasks when aggregate demand
+/// exceeds the cores.
+StreamResult run_task_stream(const cluster::MachineType& type,
+                             workload::AppKind app, double rate_per_minute,
+                             Seconds horizon, int concurrency,
+                             std::uint64_t seed, Megabytes split_mb = 64.0);
+
+/// Normalised map/shuffle/reduce time shares of one application run as a
+/// full job (Fig. 1(d)); the three shares sum to 1.
+struct PhaseBreakdown {
+  double map = 0.0;
+  double shuffle = 0.0;
+  double reduce = 0.0;
+};
+
+PhaseBreakdown phase_breakdown(workload::AppKind app,
+                               Megabytes input_mb = 4096.0,
+                               std::uint64_t seed = 1);
+
+}  // namespace eant::exp

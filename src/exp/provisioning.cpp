@@ -1,0 +1,83 @@
+#include "exp/provisioning.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/catalog.h"
+#include "common/error.h"
+
+namespace eant::exp {
+
+std::vector<cluster::MachineType> paper_fleet_types() {
+  namespace cat = cluster::catalog;
+  std::vector<cluster::MachineType> fleet;
+  for (int i = 0; i < 8; ++i) fleet.push_back(cat::desktop());
+  for (int i = 0; i < 3; ++i) fleet.push_back(cat::t110());
+  for (int i = 0; i < 2; ++i) fleet.push_back(cat::t420());
+  fleet.push_back(cat::t620());
+  fleet.push_back(cat::t320());
+  fleet.push_back(cat::atom());
+  return fleet;
+}
+
+ProvisioningPlan covering_subset(
+    const std::vector<cluster::MachineType>& fleet, double capacity_fraction,
+    std::size_t min_active) {
+  EANT_CHECK(!fleet.empty(), "fleet must not be empty");
+  EANT_CHECK(capacity_fraction > 0.0 && capacity_fraction <= 1.0,
+             "capacity fraction must be in (0, 1]");
+  EANT_CHECK(min_active >= 1, "must keep at least one machine active");
+
+  std::vector<std::size_t> order(fleet.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto capability = [&](std::size_t i) {
+    return fleet[i].cores * fleet[i].cpu_factor;
+  };
+  // Most energy-proportional first: lowest idle watts per unit capability.
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fleet[a].idle_power / capability(a) <
+           fleet[b].idle_power / capability(b);
+  });
+
+  double total_capability = 0.0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) total_capability += capability(i);
+
+  ProvisioningPlan plan;
+  double kept = 0.0;
+  for (std::size_t i : order) {
+    if (plan.active.size() >= std::max(min_active, std::size_t{1}) &&
+        kept >= capacity_fraction * total_capability) {
+      break;
+    }
+    plan.active.push_back(i);
+    kept += capability(i);
+  }
+  std::sort(plan.active.begin(), plan.active.end());
+  return plan;
+}
+
+ProvisionedResult run_provisioned(
+    const std::vector<cluster::MachineType>& fleet,
+    const ProvisioningPlan& plan, SchedulerKind scheduler,
+    const std::vector<workload::JobSpec>& jobs, RunConfig config) {
+  EANT_CHECK(!plan.active.empty(), "plan must keep at least one machine");
+  std::vector<cluster::MachineType> active_types;
+  active_types.reserve(plan.active.size());
+  for (std::size_t i : plan.active) {
+    EANT_CHECK(i < fleet.size(), "plan references unknown machine");
+    active_types.push_back(fleet[i]);
+  }
+
+  Run run(machines(active_types), scheduler, config);
+  run.submit(jobs);
+  run.execute();
+
+  ProvisionedResult result;
+  result.metrics = run.metrics();
+  const std::size_t sleeping = fleet.size() - plan.active.size();
+  result.sleeping_energy = static_cast<double>(sleeping) * plan.sleep_power *
+                           result.metrics.makespan;
+  return result;
+}
+
+}  // namespace eant::exp

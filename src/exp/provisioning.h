@@ -1,0 +1,56 @@
+// Server-consolidation extension (the paper's stated future work, Sec. VIII,
+// in the spirit of Leverich & Kozyrakis's covering subset [13]).
+//
+// A ProvisioningPlan keeps a "covering subset" of machines fully powered —
+// enough nodes to keep one replica of every block available — and puts the
+// rest to sleep at a small standby power.  Combined with E-Ant on the active
+// subset, this trades peak capacity for idle-power savings under light load;
+// bench/ablation_provisioning quantifies the trade-off.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/machine.h"
+#include "exp/builders.h"
+#include "exp/metrics.h"
+#include "exp/runner.h"
+
+namespace eant::exp {
+
+/// Which machines of a fleet stay powered; the rest sleep.
+struct ProvisioningPlan {
+  /// Indices (into the full fleet's machine list) of powered machines.
+  std::vector<std::size_t> active;
+  /// Standby draw of each sleeping machine.
+  Watts sleep_power = 3.0;
+};
+
+/// Picks a covering subset of the fleet heuristically: the most
+/// energy-proportional machines first (lowest idle power per unit of
+/// compute capability), keeping at least `min_active` machines and at least
+/// `capacity_fraction` of the fleet's total compute capability.
+ProvisioningPlan covering_subset(const std::vector<cluster::MachineType>& fleet,
+                                 double capacity_fraction,
+                                 std::size_t min_active = 3);
+
+/// Result of a provisioned run: the active-subset run metrics plus the
+/// standby energy of the sleeping machines over the same makespan.
+struct ProvisionedResult {
+  RunMetrics metrics;
+  Joules sleeping_energy = 0.0;
+  Joules total_energy() const { return metrics.total_energy + sleeping_energy; }
+};
+
+/// Runs a workload on the plan's active subset only, charging sleeping
+/// machines their standby power for the whole makespan.
+ProvisionedResult run_provisioned(const std::vector<cluster::MachineType>& fleet,
+                                  const ProvisioningPlan& plan,
+                                  SchedulerKind scheduler,
+                                  const std::vector<workload::JobSpec>& jobs,
+                                  RunConfig config = {});
+
+/// The paper fleet as an explicit machine list (for provisioning plans).
+std::vector<cluster::MachineType> paper_fleet_types();
+
+}  // namespace eant::exp

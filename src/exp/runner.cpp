@@ -1,0 +1,129 @@
+#include "exp/runner.h"
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "sched/capacity.h"
+#include "sched/fair.h"
+#include "sched/fifo.h"
+#include "sched/late.h"
+#include "sched/tarazu.h"
+
+namespace eant::exp {
+
+std::string scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return "FIFO";
+    case SchedulerKind::kFair:
+      return "Fair";
+    case SchedulerKind::kCapacity:
+      return "Capacity";
+    case SchedulerKind::kTarazu:
+      return "Tarazu";
+    case SchedulerKind::kLate:
+      return "LATE";
+    case SchedulerKind::kEAnt:
+      return "E-Ant";
+  }
+  throw PreconditionError("unknown SchedulerKind");
+}
+
+namespace {
+
+std::unique_ptr<mr::Scheduler> make_scheduler(SchedulerKind kind,
+                                              const cluster::Cluster& cluster,
+                                              const RunConfig& config) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<sched::FifoScheduler>();
+    case SchedulerKind::kFair:
+      return std::make_unique<sched::FairScheduler>();
+    case SchedulerKind::kCapacity:
+      return std::make_unique<sched::CapacityScheduler>();
+    case SchedulerKind::kTarazu:
+      return std::make_unique<sched::TarazuScheduler>();
+    case SchedulerKind::kLate:
+      return std::make_unique<sched::LateScheduler>();
+    case SchedulerKind::kEAnt: {
+      const Rng seed_rng = Rng(config.seed).fork(0xea);
+      return std::make_unique<core::EAntScheduler>(
+          core::EnergyModel::from_cluster(cluster), seed_rng, config.eant);
+    }
+  }
+  throw PreconditionError("unknown SchedulerKind");
+}
+
+}  // namespace
+
+Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
+         RunConfig config)
+    : config_(config) {
+  EANT_CHECK(static_cast<bool>(build_cluster), "cluster builder required");
+  sim_ = std::make_unique<sim::Simulator>();
+  cluster_ = std::make_unique<cluster::Cluster>(*sim_);
+  build_cluster(*cluster_);
+  EANT_CHECK(cluster_->size() >= 1, "cluster builder added no machines");
+
+  const Rng root(config_.seed);
+  namenode_ = std::make_unique<hdfs::NameNode>(root.fork(1), cluster_->size());
+  noise_ = std::make_unique<mr::NoiseModel>(config_.noise, root.fork(2));
+  scheduler_ = make_scheduler(scheduler, *cluster_, config_);
+  eant_ = dynamic_cast<core::EAntScheduler*>(scheduler_.get());
+  jt_ = std::make_unique<mr::JobTracker>(*sim_, *cluster_, *namenode_,
+                                         *scheduler_, *noise_,
+                                         config_.job_tracker);
+  jt_->start_trackers();
+  collector_ = std::make_unique<MetricsCollector>(*cluster_, *jt_);
+  collector_->install();
+}
+
+Run::~Run() = default;
+
+void Run::submit(const std::vector<workload::JobSpec>& jobs) {
+  jt_->submit_all(jobs);
+}
+
+void Run::execute() {
+  // Heartbeats and control-interval events repeat forever, so the queue
+  // never drains; step until the workload completes.
+  while (!jt_->all_done()) {
+    EANT_CHECK(sim_->now() <= config_.time_limit,
+               "run exceeded the safety time limit without completing");
+    const bool progressed = sim_->step();
+    EANT_ASSERT(progressed, "event queue drained with jobs outstanding");
+  }
+}
+
+RunMetrics Run::metrics() {
+  return collector_->finalize(scheduler_->name());
+}
+
+Seconds standalone_runtime(const ClusterBuilder& build_cluster,
+                           const workload::JobSpec& job, RunConfig config) {
+  Run run(build_cluster, SchedulerKind::kFifo, config);
+  workload::JobSpec spec = job;
+  spec.submit_time = 0.0;
+  run.submit({spec});
+  run.execute();
+  return run.metrics().jobs.at(0).completion_time;
+}
+
+double slowdown_fairness(const RunMetrics& metrics,
+                         const std::map<std::string, Seconds>& standalone) {
+  EANT_CHECK(!metrics.jobs.empty(), "run has no jobs");
+  std::vector<double> slowdowns;
+  slowdowns.reserve(metrics.jobs.size());
+  for (const auto& j : metrics.jobs) {
+    const auto it = standalone.find(j.class_name);
+    EANT_CHECK(it != standalone.end(),
+               "missing standalone runtime for class " + j.class_name);
+    EANT_CHECK(it->second > 0.0, "standalone runtime must be positive");
+    slowdowns.push_back(j.completion_time / it->second);
+  }
+  const double var = variance_of(slowdowns);
+  // A perfectly uniform slowdown (variance 0) is clamped to a large finite
+  // fairness instead of infinity.
+  return 1.0 / std::max(var, 1e-6);
+}
+
+}  // namespace eant::exp

@@ -1,0 +1,90 @@
+// The Run harness: wires simulator, cluster, HDFS, noise, a scheduler and
+// the JobTracker together, executes a workload to completion and returns
+// RunMetrics.  Every bench and most integration tests go through this.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/eant_scheduler.h"
+#include "exp/builders.h"
+#include "exp/metrics.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job_tracker.h"
+#include "mapreduce/noise.h"
+#include "sim/simulator.h"
+
+namespace eant::exp {
+
+/// Which task-assignment policy a run uses.
+enum class SchedulerKind { kFifo, kFair, kCapacity, kTarazu, kLate, kEAnt };
+
+std::string scheduler_kind_name(SchedulerKind kind);
+
+/// Run-wide knobs.
+struct RunConfig {
+  std::uint64_t seed = 1;
+  mr::NoiseConfig noise = mr::NoiseConfig::none();
+  mr::JobTrackerConfig job_tracker;
+  core::EAntConfig eant;       ///< used when scheduler == kEAnt
+  Seconds time_limit = 14.0 * 24 * 3600;  ///< safety stop (sim time)
+};
+
+/// One experiment execution.  Construct, submit jobs, execute, read metrics.
+class Run {
+ public:
+  Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
+      RunConfig config = {});
+  ~Run();
+
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  /// Schedules jobs at their submit times.
+  void submit(const std::vector<workload::JobSpec>& jobs);
+
+  /// Runs the simulation until every submitted job finished (or the safety
+  /// time limit is hit, which throws — a run that cannot finish is a bug).
+  void execute();
+
+  /// Final metrics; valid after execute().
+  RunMetrics metrics();
+
+  // Component access for specialised experiments/tests.
+  sim::Simulator& simulator() { return *sim_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  mr::JobTracker& job_tracker() { return *jt_; }
+  mr::Scheduler& scheduler() { return *scheduler_; }
+
+  /// Non-null only for SchedulerKind::kEAnt runs.
+  core::EAntScheduler* eant() { return eant_; }
+
+ private:
+  RunConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<hdfs::NameNode> namenode_;
+  std::unique_ptr<mr::NoiseModel> noise_;
+  std::unique_ptr<mr::Scheduler> scheduler_;
+  core::EAntScheduler* eant_ = nullptr;
+  std::unique_ptr<mr::JobTracker> jt_;
+  std::unique_ptr<MetricsCollector> collector_;
+};
+
+/// Completion time of a job running alone on the given cluster under FIFO —
+/// the "standalone execution time" used by the paper's slowdown-based
+/// fairness metric (Sec. VI-D).
+Seconds standalone_runtime(const ClusterBuilder& build_cluster,
+                           const workload::JobSpec& job,
+                           RunConfig config = {});
+
+/// Fairness = 1 / variance(slowdown) over the run's jobs, where slowdown is
+/// completion time / standalone time (Sec. VI-D).  `standalone` maps each
+/// job class to its standalone runtime.
+double slowdown_fairness(const RunMetrics& metrics,
+                         const std::map<std::string, Seconds>& standalone);
+
+}  // namespace eant::exp

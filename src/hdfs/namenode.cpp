@@ -1,0 +1,66 @@
+#include "hdfs/namenode.h"
+
+#include <algorithm>
+
+namespace eant::hdfs {
+
+NameNode::NameNode(Rng rng, std::size_t num_datanodes, int replication)
+    : rng_(rng),
+      num_datanodes_(num_datanodes),
+      replication_(replication),
+      per_node_counts_(num_datanodes, 0) {
+  EANT_CHECK(num_datanodes >= 1, "need at least one datanode");
+  EANT_CHECK(replication >= 1, "replication factor must be >= 1");
+  // Like real HDFS, degrade gracefully when the cluster is smaller than the
+  // requested replication factor.
+  replication_ = static_cast<int>(
+      std::min<std::size_t>(num_datanodes, static_cast<std::size_t>(replication)));
+}
+
+std::vector<BlockId> NameNode::create_file(Megabytes size,
+                                           Megabytes block_size) {
+  EANT_CHECK(size > 0.0, "file size must be positive");
+  EANT_CHECK(block_size > 0.0, "block size must be positive");
+  std::vector<BlockId> ids;
+  Megabytes remaining = size;
+  while (remaining > 0.0) {
+    const Megabytes this_block = std::min(remaining, block_size);
+    remaining -= this_block;
+
+    // Sample `replication_` distinct datanodes (partial Fisher-Yates over a
+    // virtual identity permutation; cheap because replication is small).
+    std::vector<cluster::MachineId> nodes;
+    nodes.reserve(static_cast<std::size_t>(replication_));
+    std::vector<cluster::MachineId> pool(num_datanodes_);
+    for (std::size_t i = 0; i < num_datanodes_; ++i) pool[i] = i;
+    for (int r = 0; r < replication_; ++r) {
+      const auto pick = static_cast<std::size_t>(rng_.uniform_int(
+          static_cast<std::int64_t>(r),
+          static_cast<std::int64_t>(num_datanodes_) - 1));
+      std::swap(pool[static_cast<std::size_t>(r)], pool[pick]);
+      nodes.push_back(pool[static_cast<std::size_t>(r)]);
+      ++per_node_counts_[pool[static_cast<std::size_t>(r)]];
+    }
+
+    ids.push_back(blocks_.size());
+    blocks_.push_back(BlockInfo{this_block, std::move(nodes)});
+  }
+  return ids;
+}
+
+const std::vector<cluster::MachineId>& NameNode::locations(BlockId id) const {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  return blocks_[id].locations;
+}
+
+bool NameNode::is_local(BlockId id, cluster::MachineId machine) const {
+  const auto& locs = locations(id);
+  return std::find(locs.begin(), locs.end(), machine) != locs.end();
+}
+
+Megabytes NameNode::block_size(BlockId id) const {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  return blocks_[id].size;
+}
+
+}  // namespace eant::hdfs

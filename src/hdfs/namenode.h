@@ -1,0 +1,66 @@
+// Minimal HDFS model: files are split into 64 MB blocks, each replicated on
+// `replication` distinct datanodes.  Schedulers query block locations to make
+// locality-aware assignments (the paper's Fig. 6 and Eq. 7's locality branch);
+// map tasks whose split is not local pay a remote-read penalty in the
+// MapReduce engine.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eant::hdfs {
+
+/// Identifies an HDFS block.
+using BlockId = std::uint64_t;
+
+/// Block placement and location service (the NameNode role).
+class NameNode {
+ public:
+  /// `num_datanodes` is the number of machines storing blocks; placement is
+  /// uniform-random over distinct nodes, like default HDFS with one rack.
+  /// The NameNode owns its own RNG stream, so file-creation order is the
+  /// only source of placement variation.
+  NameNode(Rng rng, std::size_t num_datanodes, int replication = 3);
+
+  /// Allocates blocks for a file of the given size (last block may be
+  /// short); returns the block ids in file order.
+  std::vector<BlockId> create_file(Megabytes size,
+                                   Megabytes block_size = kHdfsBlockMb);
+
+  /// Datanodes holding a replica of the block.
+  const std::vector<cluster::MachineId>& locations(BlockId id) const;
+
+  /// True iff the machine holds a replica of the block.
+  bool is_local(BlockId id, cluster::MachineId machine) const;
+
+  /// Size of the block in megabytes.
+  Megabytes block_size(BlockId id) const;
+
+  /// Number of blocks hosted per datanode (placement-balance metric).
+  const std::vector<std::size_t>& blocks_per_node() const {
+    return per_node_counts_;
+  }
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+  int replication() const { return replication_; }
+  std::size_t num_datanodes() const { return num_datanodes_; }
+
+ private:
+  struct BlockInfo {
+    Megabytes size;
+    std::vector<cluster::MachineId> locations;
+  };
+
+  Rng rng_;
+  std::size_t num_datanodes_;
+  int replication_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<std::size_t> per_node_counts_;
+};
+
+}  // namespace eant::hdfs

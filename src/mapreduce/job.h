@@ -1,0 +1,165 @@
+// Per-job runtime state tracked by the JobTracker: task specs, pending
+// queues with per-machine locality indexes, progress counters and the
+// per-machine assignment histogram used by Fig. 9, Tarazu and E-Ant's
+// convergence tracking.
+
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/task.h"
+#include "workload/apps.h"
+#include "workload/job_spec.h"
+
+namespace eant::mr {
+
+/// Lifecycle status of one task.
+enum class TaskStatus { kPending, kRunning, kDone };
+
+/// Mutable state of a submitted job.  Owned and mutated by the JobTracker;
+/// schedulers receive const access.
+class JobState {
+ public:
+  JobState(JobId id, workload::JobSpec spec, std::size_t num_machines);
+
+  JobId id() const { return id_; }
+  const workload::JobSpec& spec() const { return spec_; }
+  const workload::AppProfile& profile() const {
+    return workload::profile_for(spec_.app);
+  }
+
+  /// Builds one map task per HDFS block of the input file.
+  void init_maps(const std::vector<hdfs::BlockId>& blocks,
+                 const hdfs::NameNode& namenode);
+
+  /// Installs reduce specs once the shuffle volume is known.
+  void init_reduces(std::vector<TaskSpec> reduces);
+
+  // --- pending-task queries -------------------------------------------------
+
+  std::size_t num_maps() const { return maps_.size(); }
+  std::size_t num_reduces() const { return reduces_.size(); }
+  bool reduces_built() const { return reduces_built_; }
+
+  std::size_t pending(TaskKind kind) const;
+  std::size_t running(TaskKind kind) const;
+  std::size_t done(TaskKind kind) const;
+
+  bool has_pending(TaskKind kind) const { return pending(kind) > 0; }
+
+  /// True iff a pending map's input block has a replica on `machine`.
+  bool has_local_pending_map(cluster::MachineId machine) const;
+
+  /// Slots the job currently occupies (S_occ of Eq. 7).
+  int occupied_slots() const;
+
+  /// Picks a pending map for the machine, preferring data-local splits; the
+  /// task transitions to Running.  Returns nothing when no map is pending.
+  /// `local_out` reports whether the returned split is machine-local.
+  std::optional<TaskIndex> claim_map(cluster::MachineId machine,
+                                     bool& local_out);
+
+  /// Picks any pending reduce; the task transitions to Running.
+  std::optional<TaskIndex> claim_reduce();
+
+  /// Reverts a claimed-but-not-started task to Pending (used when a
+  /// speculative assignment is abandoned).
+  void unclaim(TaskKind kind, TaskIndex index, cluster::MachineId machine);
+
+  // --- lifecycle transitions (JobTracker only) -------------------------------
+
+  void mark_started(TaskKind kind, TaskIndex index, cluster::MachineId machine,
+                    Seconds now);
+  void mark_done(const TaskReport& report);
+
+  /// Flags a running task as having a speculative duplicate attempt
+  /// (LATE-style speculation).  Requires the task to be Running.
+  void mark_speculative(TaskKind kind, TaskIndex index);
+  bool is_speculative(TaskKind kind, TaskIndex index) const;
+
+  bool all_maps_done() const { return done(TaskKind::kMap) == maps_.size(); }
+  bool complete() const {
+    return reduces_built_ && all_maps_done() &&
+           done(TaskKind::kReduce) == reduces_.size();
+  }
+
+  // --- data access ------------------------------------------------------------
+
+  const TaskSpec& task(TaskKind kind, TaskIndex index) const;
+  TaskStatus status(TaskKind kind, TaskIndex index) const;
+
+  /// Start time of a Running/Done task (its first attempt).
+  Seconds task_start_time(TaskKind kind, TaskIndex index) const;
+
+  /// Mean duration of completed tasks of the kind (0 when none completed) —
+  /// the straggler threshold basis for LATE-style speculation.
+  Seconds mean_completed_duration(TaskKind kind) const;
+
+  /// Expected total map-output volume (input x output ratio), used to size
+  /// the shuffle when building reduces.
+  Megabytes expected_map_output_mb() const;
+
+  /// Tasks of the given kind started on each machine since submission
+  /// (indexed by MachineId) — the Fig. 9 histogram.
+  const std::vector<std::size_t>& started_per_machine(TaskKind kind) const;
+
+  /// Completed tasks per machine.
+  const std::vector<std::size_t>& completed_per_machine(TaskKind kind) const;
+
+  // --- timing & phase accounting ---------------------------------------------
+
+  Seconds submit_time() const { return spec_.submit_time; }
+  Seconds finish_time() const { return finish_time_; }
+  void set_finish_time(Seconds t) { finish_time_ = t; }
+  Seconds completion_time() const { return finish_time_ - spec_.submit_time; }
+
+  /// Accumulated task-seconds per phase (map work, shuffle transfer,
+  /// reduce work) — the Fig. 1(d) breakdown inputs.
+  double map_task_seconds() const { return map_task_seconds_; }
+  double shuffle_seconds() const { return shuffle_seconds_; }
+  double reduce_task_seconds() const { return reduce_task_seconds_; }
+
+ private:
+  struct KindState {
+    std::deque<TaskIndex> pending_queue;
+    std::vector<TaskStatus> status;
+    std::size_t running = 0;
+    std::size_t done = 0;
+    std::vector<std::size_t> started_per_machine;
+    std::vector<std::size_t> completed_per_machine;
+    std::vector<bool> speculative;
+    std::vector<Seconds> start_time;
+    double completed_duration_sum = 0.0;
+  };
+
+  KindState& state(TaskKind kind);
+  const KindState& state(TaskKind kind) const;
+  std::optional<TaskIndex> pop_pending(KindState& ks);
+
+  JobId id_;
+  workload::JobSpec spec_;
+  std::size_t num_machines_;
+
+  std::vector<TaskSpec> maps_;
+  std::vector<TaskSpec> reduces_;
+  bool reduces_built_ = false;
+
+  KindState map_state_;
+  KindState reduce_state_;
+
+  /// Per-machine queues of map indices whose split is local to the machine
+  /// (lazily cleaned: entries may be stale once a task leaves Pending).
+  std::vector<std::deque<TaskIndex>> local_maps_;
+
+  Seconds finish_time_ = 0.0;
+  double map_task_seconds_ = 0.0;
+  double shuffle_seconds_ = 0.0;
+  double reduce_task_seconds_ = 0.0;
+};
+
+}  // namespace eant::mr

@@ -1,0 +1,326 @@
+#include "mapreduce/job_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eant::mr {
+
+JobTracker::JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
+                       hdfs::NameNode& namenode, Scheduler& scheduler,
+                       NoiseModel& noise, JobTrackerConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      namenode_(namenode),
+      scheduler_(scheduler),
+      noise_(noise),
+      config_(std::move(config)) {
+  EANT_CHECK(cluster_.size() >= 1, "cluster must have machines");
+  EANT_CHECK(namenode_.num_datanodes() == cluster_.size(),
+             "NameNode and Cluster must agree on machine count");
+  EANT_CHECK(config_.reduce_slowstart >= 0.0 && config_.reduce_slowstart <= 1.0,
+             "reduce_slowstart must be a fraction");
+  EANT_CHECK(config_.shuffle_mbps > 0.0 && config_.remote_read_mbps > 0.0,
+             "bandwidths must be positive");
+  scheduler_.attach(*this);
+}
+
+void JobTracker::start_trackers() {
+  EANT_CHECK(trackers_.empty(), "trackers already started");
+  double total_capability = 0.0;
+  for (cluster::MachineId id = 0; id < cluster_.size(); ++id) {
+    const auto& type = cluster_.machine(id).type();
+    // Golden-ratio phases spread the heartbeats of adjacent machine ids
+    // across the interval (deterministically), so no machine type is
+    // systematically offered free slots before another.
+    const double frac =
+        std::fmod(0.6180339887498949 * static_cast<double>(id + 1), 1.0);
+    trackers_.push_back(std::make_unique<TaskTracker>(
+        sim_, cluster_.machine(id), *this, noise_, config_.heartbeat_interval,
+        type.map_slots, type.reduce_slots,
+        frac * config_.heartbeat_interval));
+    total_capability += type.cores * type.cpu_factor;
+  }
+  capability_share_.resize(cluster_.size());
+  for (cluster::MachineId id = 0; id < cluster_.size(); ++id) {
+    const auto& type = cluster_.machine(id).type();
+    capability_share_[id] = type.cores * type.cpu_factor / total_capability;
+  }
+}
+
+TaskTracker& JobTracker::tracker(cluster::MachineId id) {
+  EANT_CHECK(id < trackers_.size(), "tracker id out of range");
+  return *trackers_[id];
+}
+
+JobId JobTracker::submit_now(workload::JobSpec spec) {
+  EANT_CHECK(!trackers_.empty(), "start_trackers() must precede submission");
+  const JobId id = jobs_.size();
+  spec.submit_time = sim_.now();
+  auto js = std::make_unique<JobState>(id, spec, cluster_.size());
+  const auto blocks = namenode_.create_file(spec.input_mb);
+  js->init_maps(blocks, namenode_);
+  jobs_.push_back(std::move(js));
+  active_.push_back(id);
+  ++jobs_expected_;
+  scheduler_.on_job_submitted(id);
+  return id;
+}
+
+void JobTracker::submit(workload::JobSpec spec) {
+  ++jobs_expected_;
+  sim_.schedule_at(spec.submit_time, [this, spec]() mutable {
+    --jobs_expected_;  // submit_now re-counts it
+    submit_now(spec);
+  });
+}
+
+void JobTracker::submit_all(const std::vector<workload::JobSpec>& specs) {
+  for (const auto& s : specs) submit(s);
+}
+
+void JobTracker::handle_heartbeat(TaskTracker& tracker) {
+  try_assign(tracker, TaskKind::kMap);
+  try_assign(tracker, TaskKind::kReduce);
+}
+
+void JobTracker::try_speculate(TaskTracker& tracker, TaskKind kind) {
+  if (tracker.free_slots(kind) <= 0) return;
+  const cluster::MachineId m = tracker.machine_id();
+  // Longest-overdue straggler that this machine could beat.
+  JobId best_job = 0;
+  TaskIndex best_index = 0;
+  Seconds best_overshoot = 0.0;
+  bool found = false;
+  const Seconds now = sim_.now();
+  for (JobId id : active_) {
+    const JobState& js = *jobs_[id];
+    const Seconds mean = js.mean_completed_duration(kind);
+    if (mean <= 0.0) continue;
+    const std::size_t total =
+        kind == TaskKind::kMap ? js.num_maps() : js.num_reduces();
+    for (TaskIndex i = 0; i < total; ++i) {
+      if (js.status(kind, i) != TaskStatus::kRunning) continue;
+      if (js.is_speculative(kind, i)) continue;
+      const Seconds elapsed = now - js.task_start_time(kind, i);
+      if (elapsed <= config_.speculative_straggler_beta * mean) continue;
+      // Only worthwhile if a fresh attempt here is expected to beat the
+      // original's progress-to-date.
+      const TaskSpec& spec = js.task(kind, i);
+      const bool local =
+          kind == TaskKind::kReduce || namenode_.is_local(spec.block, m);
+      const Seconds here = base_duration(spec, cluster_.machine(m), local);
+      if (here >= elapsed) continue;
+      if (elapsed - mean > best_overshoot) {
+        best_overshoot = elapsed - mean;
+        best_job = id;
+        best_index = i;
+        found = true;
+      }
+    }
+  }
+  if (found) start_speculative(best_job, kind, best_index, tracker);
+}
+
+void JobTracker::try_assign(TaskTracker& tracker, TaskKind kind) {
+  const cluster::MachineId m = tracker.machine_id();
+  while (tracker.free_slots(kind) > 0) {
+    const auto choice = scheduler_.select_job(m, kind);
+    if (!choice) {
+      if (config_.speculative_execution) try_speculate(tracker, kind);
+      return;
+    }
+    JobState& js = job_mutable(*choice);
+    EANT_CHECK(js.has_pending(kind),
+               "scheduler selected a job with no pending task of this kind");
+
+    bool local = true;
+    std::optional<TaskIndex> index;
+    if (kind == TaskKind::kMap) {
+      index = js.claim_map(m, local);
+    } else {
+      index = js.claim_reduce();
+    }
+    EANT_ASSERT(index.has_value(), "claim failed despite pending work");
+
+    if (kind == TaskKind::kMap && config_.locality_override) {
+      local = config_.locality_override(js.task(kind, *index), m);
+    }
+
+    const TaskSpec& spec = js.task(kind, *index);
+    const Seconds duration =
+        compute_duration(js, spec, cluster_.machine(m), local);
+    js.mark_started(kind, *index, m, sim_.now());
+    tracker.start_task(spec, duration, local);
+  }
+}
+
+Seconds JobTracker::base_duration(const TaskSpec& spec,
+                                  const cluster::Machine& machine,
+                                  bool local) const {
+  Seconds base =
+      machine.type().task_runtime(spec.cpu_ref_seconds, spec.io_mb);
+  if (spec.kind == TaskKind::kMap && !local) {
+    base += spec.input_mb / config_.remote_read_mbps;
+  }
+  base += spec.shuffle_seconds;
+  if (config_.contention_slowdown) {
+    const double projected =
+        (machine.demand_cores() + spec.cpu_demand) / machine.type().cores;
+    if (projected > 1.0) base *= projected;
+  }
+  EANT_ASSERT(base > 0.0, "task duration must be positive");
+  return base;
+}
+
+Seconds JobTracker::compute_duration(const JobState& /*js*/,
+                                     const TaskSpec& spec,
+                                     const cluster::Machine& machine,
+                                     bool local) {
+  Seconds d = base_duration(spec, machine, local);
+  d *= noise_.straggler_multiplier();
+  d *= noise_.duration_multiplier();
+  return d;
+}
+
+double JobTracker::shuffle_skew_penalty(const JobState& js) const {
+  if (config_.skew_penalty_weight <= 0.0) return 1.0;
+  const auto& per_machine = js.completed_per_machine(TaskKind::kMap);
+  std::size_t total = 0;
+  for (auto c : per_machine) total += c;
+  if (total == 0) return 1.0;
+  // Total-variation distance between where map output actually lives and
+  // the capability-proportional placement that balances shuffle fetches.
+  double tv = 0.0;
+  for (cluster::MachineId m = 0; m < per_machine.size(); ++m) {
+    const double share =
+        static_cast<double>(per_machine[m]) / static_cast<double>(total);
+    tv += std::abs(share - capability_share_[m]);
+  }
+  tv *= 0.5;
+  return 1.0 + config_.skew_penalty_weight * tv;
+}
+
+void JobTracker::maybe_build_reduces(JobState& js) {
+  if (js.reduces_built()) return;
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(config_.reduce_slowstart * static_cast<double>(js.num_maps())));
+  if (js.done(TaskKind::kMap) < std::max<std::size_t>(needed, 1)) return;
+
+  const auto& p = js.profile();
+  const Megabytes total_output = js.expected_map_output_mb();
+  const int n = js.spec().num_reduces;
+  const Megabytes per_reduce = total_output / n;
+  const double penalty = shuffle_skew_penalty(js);
+  const Seconds shuffle_time =
+      per_reduce * penalty / config_.shuffle_mbps;
+
+  std::vector<TaskSpec> reduces;
+  reduces.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.job = js.id();
+    t.index = static_cast<TaskIndex>(i);
+    t.kind = TaskKind::kReduce;
+    t.input_mb = per_reduce;
+    t.cpu_ref_seconds = p.reduce_cpu_s_per_mb * per_reduce;
+    t.io_mb = p.reduce_io_mb_per_mb * per_reduce;
+    t.shuffle_seconds = shuffle_time;
+    t.cpu_demand = p.reduce_cpu_demand;
+    reduces.push_back(t);
+  }
+  js.init_reduces(std::move(reduces));
+}
+
+bool JobTracker::start_speculative(JobId job, TaskKind kind, TaskIndex index,
+                                   TaskTracker& tracker) {
+  JobState& js = job_mutable(job);
+  if (js.status(kind, index) != TaskStatus::kRunning) return false;
+  if (js.is_speculative(kind, index)) return false;
+  if (tracker.free_slots(kind) <= 0) return false;
+
+  const TaskSpec& spec = js.task(kind, index);
+  const cluster::MachineId m = tracker.machine_id();
+  const bool local =
+      kind == TaskKind::kReduce || namenode_.is_local(spec.block, m);
+  const Seconds duration =
+      compute_duration(js, spec, cluster_.machine(m), local);
+  js.mark_speculative(kind, index);
+  js.mark_started(kind, index, m, sim_.now());
+  tracker.start_task(spec, duration, local);
+  return true;
+}
+
+void JobTracker::handle_completion(TaskReport report) {
+  JobState& js = job_mutable(report.spec.job);
+  // A speculative twin may already have completed this task; the losing
+  // attempt's report is dropped.
+  if (js.status(report.spec.kind, report.spec.index) == TaskStatus::kDone) {
+    return;
+  }
+  js.mark_done(report);
+  // Kill the losing twin of a speculated task, wherever it still runs.
+  if (js.is_speculative(report.spec.kind, report.spec.index)) {
+    // The winner is already off its tracker's running set, so matching by
+    // (job, kind, index) on every tracker only ever hits the loser.
+    for (auto& t : trackers_) {
+      t->cancel_task(report.spec.job, report.spec.kind, report.spec.index);
+    }
+  }
+  maybe_build_reduces(js);
+
+  scheduler_.on_task_completed(report);
+  if (report_listener_) report_listener_(report);
+
+  if (js.complete()) {
+    js.set_finish_time(sim_.now());
+    ++jobs_completed_;
+    active_.erase(std::remove(active_.begin(), active_.end(), js.id()),
+                  active_.end());
+    scheduler_.on_job_finished(js.id());
+    if (job_finished_listener_) job_finished_listener_(js);
+  }
+}
+
+const JobState& JobTracker::job(JobId id) const {
+  EANT_CHECK(id < jobs_.size(), "job id out of range");
+  return *jobs_[id];
+}
+
+JobState& JobTracker::job_mutable(JobId id) {
+  EANT_CHECK(id < jobs_.size(), "job id out of range");
+  return *jobs_[id];
+}
+
+std::vector<JobId> JobTracker::runnable_jobs(TaskKind kind) const {
+  std::vector<JobId> out;
+  for (JobId id : active_) {
+    if (jobs_[id]->has_pending(kind)) out.push_back(id);
+  }
+  return out;
+}
+
+int JobTracker::total_slots() const {
+  return cluster_.total_map_slots() + cluster_.total_reduce_slots();
+}
+
+int JobTracker::total_free_slots(TaskKind kind) const {
+  int total = 0;
+  for (const auto& t : trackers_) total += t->free_slots(kind);
+  return total;
+}
+
+std::size_t JobTracker::total_pending(TaskKind kind) const {
+  std::size_t total = 0;
+  for (JobId id : active_) total += jobs_[id]->pending(kind);
+  return total;
+}
+
+double JobTracker::capability_share(cluster::MachineId id) const {
+  EANT_CHECK(id < capability_share_.size(),
+             "capability queried before start_trackers()");
+  return capability_share_[id];
+}
+
+}  // namespace eant::mr

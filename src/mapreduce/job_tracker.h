@@ -1,0 +1,178 @@
+// JobTracker: master daemon of the simulated Hadoop cluster.
+//
+// Holds job state, reacts to TaskTracker heartbeats by asking the pluggable
+// Scheduler which job should receive each free slot, computes task runtimes
+// from machine characteristics (including remote-read and shuffle costs) and
+// drives the job lifecycle (maps -> shuffle/reduce gating -> completion).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "hdfs/namenode.h"
+#include "mapreduce/job.h"
+#include "mapreduce/noise.h"
+#include "mapreduce/scheduler.h"
+#include "mapreduce/task_tracker.h"
+#include "workload/job_spec.h"
+
+namespace eant::mr {
+
+/// Tunables of the MapReduce engine (defaults follow the paper's setup).
+struct JobTrackerConfig {
+  /// TaskTracker heartbeat / utilisation sampling period (Hadoop default).
+  Seconds heartbeat_interval = 3.0;
+
+  /// Effective per-reduce shuffle bandwidth (many small fetches over the
+  /// shared network, far below NIC line rate).
+  double shuffle_mbps = 20.0;
+
+  /// Bandwidth of a map task's remote split read when scheduled non-locally
+  /// (the Fig. 6 penalty).  Effective rate, well below NIC line speed:
+  /// remote reads compete with shuffle traffic and the source disk.
+  double remote_read_mbps = 10.0;
+
+  /// Fraction of a job's maps that must finish before its reduces become
+  /// schedulable.  1.0 = reduces wait for all maps (shuffle is folded into
+  /// the reduce runtime).
+  double reduce_slowstart = 1.0;
+
+  /// Model CPU oversubscription: when aggregate demand exceeds the core
+  /// count, new tasks run proportionally slower.
+  bool contention_slowdown = true;
+
+  /// Weight of the map-placement-skew penalty on shuffle time (the effect
+  /// Tarazu's communication-aware balancing mitigates); 0 disables.
+  double skew_penalty_weight = 0.5;
+
+  /// Hadoop's default speculative execution (on in the paper's stock
+  /// 1.2.1 setup): when a machine has a free slot and no pending work, a
+  /// straggling attempt may be duplicated there; the first to finish wins.
+  bool speculative_execution = true;
+
+  /// A task is a straggler once its elapsed time exceeds this multiple of
+  /// the mean completed-task duration of its job and kind.
+  double speculative_straggler_beta = 1.5;
+
+  /// When set, every map task is forced local (true) or remote (false),
+  /// overriding real block placement — used by the Fig. 6 experiment to
+  /// control the data-locality percentage directly.
+  std::function<bool(const TaskSpec&, cluster::MachineId)> locality_override;
+};
+
+/// Master node: job admission, heartbeat-driven assignment, lifecycle.
+class JobTracker {
+ public:
+  JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
+             hdfs::NameNode& namenode, Scheduler& scheduler,
+             NoiseModel& noise, JobTrackerConfig config = {});
+
+  JobTracker(const JobTracker&) = delete;
+  JobTracker& operator=(const JobTracker&) = delete;
+
+  /// Creates one TaskTracker per cluster machine (slots from the machine
+  /// type).  Must be called exactly once, before any submission.
+  void start_trackers();
+
+  TaskTracker& tracker(cluster::MachineId id);
+
+  /// Submits a job immediately; returns its id.
+  JobId submit_now(workload::JobSpec spec);
+
+  /// Schedules submission at spec.submit_time (absolute sim time).
+  void submit(workload::JobSpec spec);
+
+  /// Schedules a whole workload.
+  void submit_all(const std::vector<workload::JobSpec>& specs);
+
+  // --- TaskTracker callbacks --------------------------------------------------
+
+  void handle_heartbeat(TaskTracker& tracker);
+  void handle_completion(TaskReport report);
+
+  /// Launches a duplicate attempt of a Running task on the given tracker
+  /// (LATE-style speculation).  The first attempt to finish wins; the twin
+  /// is killed.  Returns false when the task is no longer running, already
+  /// speculated, or the tracker has no free slot.
+  bool start_speculative(JobId job, TaskKind kind, TaskIndex index,
+                         TaskTracker& tracker);
+
+  // --- queries (schedulers, experiments, tests) --------------------------------
+
+  const JobState& job(JobId id) const;
+  std::size_t num_jobs() const { return jobs_.size(); }
+
+  /// Jobs that are submitted and not yet complete, in submission order.
+  const std::vector<JobId>& active_jobs() const { return active_; }
+
+  /// Active jobs with at least one pending task of the kind.
+  std::vector<JobId> runnable_jobs(TaskKind kind) const;
+
+  /// Total slots in the cluster (S_pool of Eq. 7, single-user system).
+  int total_slots() const;
+
+  /// Currently free slots of the kind, fleet-wide.
+  int total_free_slots(TaskKind kind) const;
+
+  /// Pending tasks of the kind across active jobs (reduces only counted
+  /// once schedulable).
+  std::size_t total_pending(TaskKind kind) const;
+
+  /// Fraction of total cluster compute capability (cores x speed) on the
+  /// machine — Tarazu's balancing target.
+  double capability_share(cluster::MachineId id) const;
+
+  bool all_done() const {
+    return jobs_completed_ == jobs_expected_ && jobs_expected_ > 0;
+  }
+  std::size_t jobs_completed() const { return jobs_completed_; }
+
+  cluster::Cluster& cluster() { return cluster_; }
+  const hdfs::NameNode& namenode() const { return namenode_; }
+  sim::Simulator& simulator() { return sim_; }
+  const JobTrackerConfig& config() const { return config_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Invoked for every completed task (after job-state update).
+  void set_report_listener(std::function<void(const TaskReport&)> fn) {
+    report_listener_ = std::move(fn);
+  }
+
+  /// Invoked when a job finishes.
+  void set_job_finished_listener(std::function<void(const JobState&)> fn) {
+    job_finished_listener_ = std::move(fn);
+  }
+
+ private:
+  JobState& job_mutable(JobId id);
+  void try_assign(TaskTracker& tracker, TaskKind kind);
+  void try_speculate(TaskTracker& tracker, TaskKind kind);
+  Seconds base_duration(const TaskSpec& spec, const cluster::Machine& machine,
+                        bool local) const;
+  Seconds compute_duration(const JobState& js, const TaskSpec& spec,
+                           const cluster::Machine& machine, bool local);
+  void maybe_build_reduces(JobState& js);
+  double shuffle_skew_penalty(const JobState& js) const;
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  hdfs::NameNode& namenode_;
+  Scheduler& scheduler_;
+  NoiseModel& noise_;
+  JobTrackerConfig config_;
+
+  std::vector<std::unique_ptr<TaskTracker>> trackers_;
+  std::vector<std::unique_ptr<JobState>> jobs_;
+  std::vector<JobId> active_;
+  std::vector<double> capability_share_;
+  std::size_t jobs_expected_ = 0;
+  std::size_t jobs_completed_ = 0;
+
+  std::function<void(const TaskReport&)> report_listener_;
+  std::function<void(const JobState&)> job_finished_listener_;
+};
+
+}  // namespace eant::mr

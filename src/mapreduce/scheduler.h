@@ -1,0 +1,48 @@
+// Task-assignment policy interface.
+//
+// Hadoop (and this simulator) uses a pull model: when a TaskTracker
+// heartbeats with free slots, the JobTracker asks the scheduler which job
+// should receive the slot; the JobTracker then picks a concrete task within
+// that job, preferring data-local splits (Hadoop's own mechanics).  All
+// baseline schedulers (FIFO, Fair, Tarazu) and E-Ant implement this
+// interface.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cluster/machine.h"
+#include "mapreduce/task.h"
+
+namespace eant::mr {
+
+class JobTracker;
+
+/// Pluggable task-assignment policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once, before any job is submitted.
+  virtual void attach(JobTracker& job_tracker) { (void)job_tracker; }
+
+  /// Job lifecycle notifications.
+  virtual void on_job_submitted(JobId job) { (void)job; }
+  virtual void on_job_finished(JobId job) { (void)job; }
+
+  /// Task-level feedback delivered with each heartbeat batch — the signal
+  /// E-Ant's task analyzer consumes (Sec. III-A).
+  virtual void on_task_completed(const TaskReport& report) { (void)report; }
+
+  /// Chooses the job that should occupy one free `kind` slot on `machine`,
+  /// or nothing to leave the slot idle this heartbeat.  Only jobs with a
+  /// pending task of `kind` are valid choices.
+  virtual std::optional<JobId> select_job(cluster::MachineId machine,
+                                          TaskKind kind) = 0;
+
+  /// Human-readable policy name ("Fair", "Tarazu", "E-Ant", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace eant::mr

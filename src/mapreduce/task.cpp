@@ -1,0 +1,17 @@
+#include "mapreduce/task.h"
+
+#include "common/error.h"
+
+namespace eant::mr {
+
+std::string kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kMap:
+      return "map";
+    case TaskKind::kReduce:
+      return "reduce";
+  }
+  throw PreconditionError("unknown TaskKind");
+}
+
+}  // namespace eant::mr

@@ -1,0 +1,160 @@
+#include "mapreduce/task_tracker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "mapreduce/job_tracker.h"
+
+namespace eant::mr {
+
+TaskTracker::TaskTracker(sim::Simulator& sim, cluster::Machine& machine,
+                         JobTracker& job_tracker, NoiseModel& noise,
+                         Seconds heartbeat_interval, int map_slots,
+                         int reduce_slots, Seconds heartbeat_phase)
+    : sim_(sim),
+      machine_(machine),
+      job_tracker_(job_tracker),
+      noise_(noise),
+      heartbeat_(heartbeat_interval),
+      map_slots_(map_slots),
+      reduce_slots_(reduce_slots) {
+  EANT_CHECK(heartbeat_interval > 0.0, "heartbeat interval must be positive");
+  EANT_CHECK(heartbeat_phase >= 0.0 && heartbeat_phase < heartbeat_interval,
+             "heartbeat phase must be within one interval");
+  EANT_CHECK(map_slots >= 0 && reduce_slots >= 0,
+             "slot counts must be non-negative");
+  heartbeat_event_ = sim_.schedule_periodic(
+      heartbeat_, [this] { return heartbeat(); },
+      heartbeat_phase > 0.0 ? heartbeat_phase : heartbeat_);
+}
+
+TaskTracker::~TaskTracker() { sim_.cancel(heartbeat_event_); }
+
+int TaskTracker::running(TaskKind kind) const {
+  return kind == TaskKind::kMap ? running_maps_ : running_reduces_;
+}
+
+int TaskTracker::free_slots(TaskKind kind) const {
+  return (kind == TaskKind::kMap ? map_slots_ : reduce_slots_) - running(kind);
+}
+
+std::size_t TaskTracker::completed(TaskKind kind) const {
+  return kind == TaskKind::kMap ? completed_maps_ : completed_reduces_;
+}
+
+void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
+                             bool data_local) {
+  EANT_CHECK(free_slots(spec.kind) > 0, "no free slot of the requested kind");
+  EANT_CHECK(duration > 0.0, "task duration must be positive");
+
+  const std::uint64_t attempt = next_attempt_id_++;
+  Running r;
+  r.spec = spec;
+  r.start = sim_.now();
+  r.data_local = data_local;
+  r.current_demand = spec.cpu_demand * noise_.demand_multiplier();
+  r.last_sample = r.start;
+  machine_.adjust_demand(r.current_demand);
+  r.completion_event =
+      sim_.schedule_after(duration, [this, attempt] { finish_task(attempt); });
+  running_.emplace(attempt, std::move(r));
+
+  if (spec.kind == TaskKind::kMap) {
+    ++running_maps_;
+  } else {
+    ++running_reduces_;
+  }
+}
+
+void TaskTracker::close_sample_window(Running& r) {
+  const Seconds dt = sim_.now() - r.last_sample;
+  if (dt > 0.0) {
+    // The task's effective share of the machine: when aggregate demand
+    // oversubscribes the cores, the OS time-slices and each process gets a
+    // proportional share, so per-task utilisations sum to at most 1 — the
+    // same clamping the machine's own power model applies.
+    const double total =
+        std::max(machine_.demand_cores(),
+                 static_cast<double>(machine_.type().cores));
+    const Utilization true_util = total <= 0.0 ? 0.0 : r.current_demand / total;
+    r.samples.push_back(UtilSample{dt, noise_.measured(true_util)});
+    r.last_sample = sim_.now();
+  }
+}
+
+bool TaskTracker::heartbeat() {
+  // First close the elapsed utilisation window for every running task (the
+  // effective-share computation must see the old aggregate demand), then
+  // redraw each task's true demand for the next window (transient noise).
+  for (auto& [id, r] : running_) {
+    close_sample_window(r);
+  }
+  for (auto& [id, r] : running_) {
+    const double next_demand = r.spec.cpu_demand * noise_.demand_multiplier();
+    machine_.adjust_demand(next_demand - r.current_demand);
+    r.current_demand = next_demand;
+  }
+  // Offer free slots to the JobTracker (the scheduler fills them).
+  job_tracker_.handle_heartbeat(*this);
+  return true;
+}
+
+void TaskTracker::finish_task(std::uint64_t attempt_id) {
+  auto it = running_.find(attempt_id);
+  EANT_ASSERT(it != running_.end(), "completion for unknown attempt");
+  Running& r = it->second;
+  close_sample_window(r);
+  machine_.adjust_demand(-r.current_demand);
+
+  TaskReport report;
+  report.spec = r.spec;
+  report.machine = machine_.id();
+  report.start = r.start;
+  report.finish = sim_.now();
+  report.data_local = r.data_local;
+  report.samples = std::move(r.samples);
+
+  if (r.spec.kind == TaskKind::kMap) {
+    --running_maps_;
+    ++completed_maps_;
+  } else {
+    --running_reduces_;
+    ++completed_reduces_;
+  }
+  running_.erase(it);
+
+  job_tracker_.handle_completion(std::move(report));
+}
+
+std::uint64_t TaskTracker::find_attempt(JobId job, TaskKind kind,
+                                        TaskIndex index) const {
+  for (const auto& [id, r] : running_) {
+    if (r.spec.job == job && r.spec.kind == kind && r.spec.index == index) {
+      return id;
+    }
+  }
+  return 0;
+}
+
+bool TaskTracker::is_running(JobId job, TaskKind kind, TaskIndex index) const {
+  return find_attempt(job, kind, index) != 0;
+}
+
+bool TaskTracker::cancel_task(JobId job, TaskKind kind, TaskIndex index) {
+  const std::uint64_t attempt = find_attempt(job, kind, index);
+  if (attempt == 0) return false;
+  auto it = running_.find(attempt);
+  Running& r = it->second;
+  sim_.cancel(r.completion_event);
+  machine_.adjust_demand(-r.current_demand);
+  if (kind == TaskKind::kMap) {
+    --running_maps_;
+  } else {
+    --running_reduces_;
+  }
+  running_.erase(it);
+  return true;
+}
+
+}  // namespace eant::mr

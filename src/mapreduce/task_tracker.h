@@ -1,0 +1,97 @@
+// TaskTracker: per-machine slave daemon.
+//
+// Runs tasks in map/reduce slots, heartbeats the JobTracker every 3 seconds
+// (Hadoop's default, which the paper uses as the utilisation-sampling
+// granularity for its energy model) and records the per-window CPU
+// utilisation samples that E-Ant's task analyzer turns into per-task energy
+// estimates.  True task demand is redrawn per heartbeat window by the noise
+// model; the recorded samples additionally carry measurement error.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "mapreduce/noise.h"
+#include "mapreduce/task.h"
+#include "sim/simulator.h"
+
+namespace eant::mr {
+
+class JobTracker;
+
+/// Slave-side task executor bound to one Machine.
+class TaskTracker {
+ public:
+  /// `heartbeat_phase` (in [0, heartbeat_interval)) staggers this tracker's
+  /// heartbeat relative to its peers — real TaskTrackers are not
+  /// synchronised, and a synchronised fleet would hand all work to whichever
+  /// machines happen to be offered slots first.
+  TaskTracker(sim::Simulator& sim, cluster::Machine& machine,
+              JobTracker& job_tracker, NoiseModel& noise,
+              Seconds heartbeat_interval, int map_slots, int reduce_slots,
+              Seconds heartbeat_phase = 0.0);
+  ~TaskTracker();
+
+  TaskTracker(const TaskTracker&) = delete;
+  TaskTracker& operator=(const TaskTracker&) = delete;
+
+  cluster::Machine& machine() { return machine_; }
+  cluster::MachineId machine_id() const { return machine_.id(); }
+
+  int map_slots() const { return map_slots_; }
+  int reduce_slots() const { return reduce_slots_; }
+  int running(TaskKind kind) const;
+  int free_slots(TaskKind kind) const;
+
+  /// Launches a task in a free slot; `duration` is the task's wall time as
+  /// computed by the JobTracker.  Requires a free slot of the task's kind.
+  void start_task(const TaskSpec& spec, Seconds duration, bool data_local);
+
+  /// Kills a running attempt (speculative-execution support).  Returns
+  /// false if the attempt already finished.  No report is produced.
+  bool cancel_task(JobId job, TaskKind kind, TaskIndex index);
+
+  /// True iff the given attempt is still running here.
+  bool is_running(JobId job, TaskKind kind, TaskIndex index) const;
+
+  Seconds heartbeat_interval() const { return heartbeat_; }
+
+  /// Total tasks completed by this tracker (per kind).
+  std::size_t completed(TaskKind kind) const;
+
+ private:
+  struct Running {
+    TaskSpec spec;
+    Seconds start = 0.0;
+    bool data_local = false;
+    double current_demand = 0.0;
+    Seconds last_sample = 0.0;
+    std::vector<UtilSample> samples;
+    sim::EventId completion_event = 0;
+  };
+
+  bool heartbeat();
+  void finish_task(std::uint64_t attempt_id);
+  void close_sample_window(Running& r);
+  std::uint64_t find_attempt(JobId job, TaskKind kind, TaskIndex index) const;
+
+  sim::Simulator& sim_;
+  cluster::Machine& machine_;
+  JobTracker& job_tracker_;
+  NoiseModel& noise_;
+  Seconds heartbeat_;
+  int map_slots_;
+  int reduce_slots_;
+  int running_maps_ = 0;
+  int running_reduces_ = 0;
+  std::size_t completed_maps_ = 0;
+  std::size_t completed_reduces_ = 0;
+  std::uint64_t next_attempt_id_ = 1;
+  std::unordered_map<std::uint64_t, Running> running_;
+  sim::EventId heartbeat_event_;
+};
+
+}  // namespace eant::mr

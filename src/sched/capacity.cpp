@@ -1,0 +1,72 @@
+#include "sched/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eant::sched {
+
+CapacityScheduler::CapacityScheduler(std::vector<double> capacities)
+    : capacities_(std::move(capacities)) {
+  EANT_CHECK(!capacities_.empty(), "need at least one queue");
+  double sum = 0.0;
+  for (double c : capacities_) {
+    EANT_CHECK(c > 0.0, "queue capacities must be positive");
+    sum += c;
+  }
+  EANT_CHECK(std::abs(sum - 1.0) < 1e-6, "queue capacities must sum to 1");
+}
+
+void CapacityScheduler::on_job_submitted(mr::JobId job) {
+  job_queue_[job] = next_queue_;
+  next_queue_ = (next_queue_ + 1) % capacities_.size();
+}
+
+std::size_t CapacityScheduler::queue_of(mr::JobId job) const {
+  const auto it = job_queue_.find(job);
+  EANT_CHECK(it != job_queue_.end(), "unknown job");
+  return it->second;
+}
+
+int CapacityScheduler::queue_occupancy(std::size_t queue) const {
+  int occupied = 0;
+  for (mr::JobId id : jt_->active_jobs()) {
+    if (job_queue_.at(id) == queue) {
+      occupied += jt_->job(id).occupied_slots();
+    }
+  }
+  return occupied;
+}
+
+std::optional<mr::JobId> CapacityScheduler::select_job(
+    cluster::MachineId /*machine*/, mr::TaskKind kind) {
+  EANT_CHECK(jt_ != nullptr, "scheduler not attached");
+  const auto runnable = jt_->runnable_jobs(kind);
+  if (runnable.empty()) return std::nullopt;
+
+  // Rank queues by occupancy relative to their guaranteed capacity, most
+  // starved first; spill-over is automatic because a queue with no runnable
+  // jobs simply never matches, letting the next-ranked queue take the slot.
+  const double total_slots = static_cast<double>(jt_->total_slots());
+  std::vector<std::size_t> order(capacities_.size());
+  for (std::size_t q = 0; q < order.size(); ++q) order[q] = q;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double ra = queue_occupancy(a) /
+                                       (capacities_[a] * total_slots);
+                     const double rb = queue_occupancy(b) /
+                                       (capacities_[b] * total_slots);
+                     return ra < rb;
+                   });
+
+  for (std::size_t q : order) {
+    // FIFO within the queue: runnable_jobs() is in submission order.
+    for (mr::JobId id : runnable) {
+      if (job_queue_.at(id) == q) return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace eant::sched

@@ -1,0 +1,46 @@
+// Hadoop Capacity Scheduler (referenced in the paper's related work,
+// Sec. VII): the cluster is divided into queues, each guaranteed a fraction
+// of the slots; within a queue jobs run FIFO, and idle capacity spills over
+// to the busiest queues.  Jobs are mapped to queues round-robin at
+// submission (a stand-in for per-user queue assignment).
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mapreduce/job_tracker.h"
+#include "mapreduce/scheduler.h"
+
+namespace eant::sched {
+
+/// Multi-queue capacity scheduling.
+class CapacityScheduler final : public mr::Scheduler {
+ public:
+  /// `capacities` are the queues' guaranteed slot fractions; they must be
+  /// positive and sum to 1 (within a small tolerance).
+  explicit CapacityScheduler(std::vector<double> capacities = {0.5, 0.3,
+                                                               0.2});
+
+  void attach(mr::JobTracker& job_tracker) override { jt_ = &job_tracker; }
+  void on_job_submitted(mr::JobId job) override;
+  std::optional<mr::JobId> select_job(cluster::MachineId machine,
+                                      mr::TaskKind kind) override;
+  std::string name() const override { return "Capacity"; }
+
+  std::size_t num_queues() const { return capacities_.size(); }
+
+  /// Queue a job was assigned to (for tests/observability).
+  std::size_t queue_of(mr::JobId job) const;
+
+ private:
+  /// Slots currently occupied by a queue's jobs.
+  int queue_occupancy(std::size_t queue) const;
+
+  std::vector<double> capacities_;
+  std::map<mr::JobId, std::size_t> job_queue_;
+  std::size_t next_queue_ = 0;
+  mr::JobTracker* jt_ = nullptr;
+};
+
+}  // namespace eant::sched

@@ -1,0 +1,63 @@
+#include "sched/fair.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eant::sched {
+
+FairScheduler::FairScheduler(int locality_delay)
+    : locality_delay_(locality_delay) {
+  EANT_CHECK(locality_delay >= 0, "locality delay must be non-negative");
+}
+
+std::vector<mr::JobId> FairScheduler::fair_order(mr::TaskKind kind) const {
+  EANT_CHECK(jt_ != nullptr, "scheduler not attached");
+  std::vector<mr::JobId> runnable = jt_->runnable_jobs(kind);
+  if (runnable.empty()) return runnable;
+
+  const std::size_t active = jt_->active_jobs().size();
+  const double share =
+      static_cast<double>(jt_->total_slots()) / static_cast<double>(active);
+  EANT_ASSERT(share > 0.0, "cluster has no slots");
+
+  // Sort most-starved-first by occupied/share; ties resolved by submission
+  // order (earlier job first), matching the Hadoop Fair Scheduler.
+  std::stable_sort(runnable.begin(), runnable.end(),
+                   [&](mr::JobId a, mr::JobId b) {
+                     const double ra = jt_->job(a).occupied_slots() / share;
+                     const double rb = jt_->job(b).occupied_slots() / share;
+                     if (ra != rb) return ra < rb;
+                     return a < b;
+                   });
+  return runnable;
+}
+
+std::optional<mr::JobId> FairScheduler::select_job(
+    cluster::MachineId machine, mr::TaskKind kind) {
+  const auto order = fair_order(kind);
+  if (order.empty()) return std::nullopt;
+  if (locality_delay_ == 0 || kind != mr::TaskKind::kMap) {
+    return order.front();
+  }
+
+  // Delay scheduling: walk the fair ordering; a job with node-local data
+  // here runs (resetting its skip budget), a job without waits until it has
+  // been skipped locality_delay_ times.
+  for (mr::JobId id : order) {
+    if (jt_->job(id).has_local_pending_map(machine)) {
+      skip_counts_[id] = 0;
+      return id;
+    }
+    int& skips = skip_counts_[id];
+    if (skips >= locality_delay_) {
+      skips = 0;
+      return id;  // waited long enough: run non-locally
+    }
+    ++skips;
+    ++locality_waits_;
+  }
+  return std::nullopt;  // everyone is waiting for a better-placed machine
+}
+
+}  // namespace eant::sched

@@ -1,0 +1,18 @@
+#include "sched/fifo.h"
+
+#include "common/error.h"
+
+namespace eant::sched {
+
+std::optional<mr::JobId> FifoScheduler::select_job(
+    cluster::MachineId /*machine*/, mr::TaskKind kind) {
+  EANT_CHECK(jt_ != nullptr, "scheduler not attached");
+  // active_jobs() is kept in submission order, so the first job with
+  // pending work of the requested kind is the FIFO choice.
+  for (mr::JobId id : jt_->active_jobs()) {
+    if (jt_->job(id).has_pending(kind)) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace eant::sched

@@ -1,0 +1,26 @@
+// Hadoop's default FIFO scheduler: the earliest-submitted job with pending
+// work receives every slot.  Included as the heterogeneity-agnostic default
+// the paper's Fig. 10/12 energy savings are measured against.
+
+#pragma once
+
+#include "mapreduce/job_tracker.h"
+#include "mapreduce/scheduler.h"
+
+namespace eant::sched {
+
+/// First-in-first-out job scheduling (Hadoop default).
+class FifoScheduler final : public mr::Scheduler {
+ public:
+  void attach(mr::JobTracker& job_tracker) override { jt_ = &job_tracker; }
+
+  std::optional<mr::JobId> select_job(cluster::MachineId machine,
+                                      mr::TaskKind kind) override;
+
+  std::string name() const override { return "FIFO"; }
+
+ private:
+  mr::JobTracker* jt_ = nullptr;
+};
+
+}  // namespace eant::sched

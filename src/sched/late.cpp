@@ -1,0 +1,81 @@
+#include "sched/late.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eant::sched {
+
+LateScheduler::LateScheduler(double straggler_beta,
+                             double fast_machine_quantile)
+    : straggler_beta_(straggler_beta),
+      fast_machine_quantile_(fast_machine_quantile) {
+  EANT_CHECK(straggler_beta >= 1.0, "straggler beta must be >= 1");
+  EANT_CHECK(fast_machine_quantile >= 0.0 && fast_machine_quantile <= 1.0,
+             "quantile out of range");
+}
+
+bool LateScheduler::machine_is_fast(cluster::MachineId machine) const {
+  // "Fast" = capability share at or above the chosen quantile of the fleet.
+  std::vector<double> shares;
+  const std::size_t n = jt_->cluster().size();
+  shares.reserve(n);
+  for (cluster::MachineId m = 0; m < n; ++m) {
+    shares.push_back(jt_->capability_share(m));
+  }
+  std::vector<double> sorted = shares;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      fast_machine_quantile_ * static_cast<double>(n - 1));
+  return shares[machine] >= sorted[idx];
+}
+
+bool LateScheduler::try_speculate(cluster::MachineId machine,
+                                  mr::TaskKind kind) {
+  if (!machine_is_fast(machine)) return false;
+  const Seconds now = jt_->simulator().now();
+
+  // Longest-elapsed straggler across active jobs.
+  mr::JobId best_job = 0;
+  mr::TaskIndex best_index = 0;
+  Seconds best_elapsed = 0.0;
+  bool found = false;
+  for (mr::JobId id : jt_->active_jobs()) {
+    const auto& js = jt_->job(id);
+    const Seconds mean = js.mean_completed_duration(kind);
+    if (mean <= 0.0) continue;  // no baseline yet
+    const std::size_t total =
+        kind == mr::TaskKind::kMap ? js.num_maps() : js.num_reduces();
+    for (mr::TaskIndex i = 0; i < total; ++i) {
+      if (js.status(kind, i) != mr::TaskStatus::kRunning) continue;
+      if (js.is_speculative(kind, i)) continue;
+      const Seconds elapsed = now - js.task_start_time(kind, i);
+      if (elapsed > straggler_beta_ * mean && elapsed > best_elapsed) {
+        best_job = id;
+        best_index = i;
+        best_elapsed = elapsed;
+        found = true;
+      }
+    }
+  }
+  if (!found) return false;
+  if (!jt_->start_speculative(best_job, kind, best_index,
+                              jt_->tracker(machine))) {
+    return false;
+  }
+  ++speculations_;
+  return true;
+}
+
+std::optional<mr::JobId> LateScheduler::select_job(cluster::MachineId machine,
+                                                   mr::TaskKind kind) {
+  const auto order = fair_order(kind);
+  if (!order.empty()) return order.front();
+  // No pending work anywhere: consider speculating on a straggler.  The
+  // speculative attempt is launched directly (consuming the free slot), so
+  // the answer to the JobTracker remains "no pending assignment".
+  try_speculate(machine, kind);
+  return std::nullopt;
+}
+
+}  // namespace eant::sched

@@ -1,0 +1,64 @@
+#include "sched/tarazu.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eant::sched {
+
+TarazuScheduler::TarazuScheduler(double slack, std::size_t min_samples)
+    : slack_(slack), min_samples_(min_samples) {
+  EANT_CHECK(slack >= 1.0, "slack must be >= 1");
+}
+
+bool TarazuScheduler::over_quota(const mr::JobState& job,
+                                 cluster::MachineId machine) const {
+  // Tarazu's balancing targets wimpy nodes.  "Wimpy" for a tail task means
+  // slow per slot (a straggling last map is bound by one core's speed, not
+  // by the machine's aggregate throughput), so machines at or above the
+  // fleet's median per-core speed are never throttled.
+  auto speed = [this](cluster::MachineId m) {
+    return jt_->cluster().machine(m).type().cpu_factor;
+  };
+  std::vector<double> speeds;
+  const std::size_t n = jt_->cluster().size();
+  speeds.reserve(n);
+  for (cluster::MachineId m = 0; m < n; ++m) speeds.push_back(speed(m));
+  std::nth_element(speeds.begin(), speeds.begin() + speeds.size() / 2,
+                   speeds.end());
+  if (speed(machine) >= speeds[speeds.size() / 2]) return false;
+
+  const auto& per_machine = job.started_per_machine(mr::TaskKind::kMap);
+  std::size_t total = 0;
+  for (auto c : per_machine) total += c;
+  if (total < min_samples_) return false;  // not enough signal yet
+  const double share = static_cast<double>(per_machine[machine] + 1) /
+                       static_cast<double>(total + 1);
+  return share > slack_ * jt_->capability_share(machine);
+}
+
+std::optional<mr::JobId> TarazuScheduler::select_job(cluster::MachineId machine,
+                                                     mr::TaskKind kind) {
+  const auto order = fair_order(kind);
+  if (order.empty()) return std::nullopt;
+  if (kind == mr::TaskKind::kReduce) return order.front();
+
+  // Map assignment: prefer the most-starved job for which this machine is
+  // still under its capability-proportional quota.  Mid-job Tarazu stays
+  // work-conserving (every slot adds throughput), but in a job's final
+  // waves — when its remaining maps fit within the cluster's map slots — a
+  // machine over its quota declines, so slow nodes cannot capture tail
+  // tasks and stretch the job (the straggler effect Tarazu eliminates).
+  const int tail_threshold = jt_->cluster().total_map_slots();
+  for (mr::JobId id : order) {
+    const auto& js = jt_->job(id);
+    const bool in_tail =
+        js.pending(mr::TaskKind::kMap) + js.running(mr::TaskKind::kMap) <=
+        static_cast<std::size_t>(tail_threshold);
+    if (!in_tail || !over_quota(js, machine)) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace eant::sched

@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace eant::sim {
+
+EventId Simulator::schedule_at(Seconds t, std::function<void()> fn) {
+  EANT_CHECK(t >= now_, "cannot schedule in the past");
+  EANT_CHECK(static_cast<bool>(fn), "event callback must be set");
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, std::move(fn), 0.0, nullptr});
+  return id;
+}
+
+EventId Simulator::schedule_periodic(Seconds interval,
+                                     std::function<bool()> fn,
+                                     Seconds first_delay) {
+  EANT_CHECK(interval > 0.0, "periodic interval must be positive");
+  EANT_CHECK(static_cast<bool>(fn), "event callback must be set");
+  if (first_delay < 0.0) first_delay = interval;
+  const EventId id = next_id_++;
+  queue_.push(Entry{now_ + first_delay, next_seq_++, id, nullptr, interval,
+                    std::move(fn)});
+  return id;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    execute(std::move(entry));
+    return true;
+  }
+  return false;
+}
+
+void Simulator::execute(Entry entry) {
+  EANT_ASSERT(entry.time >= now_, "event queue went backwards");
+  now_ = entry.time;
+  ++executed_;
+  if (entry.repeat_fn) {
+    const bool keep = entry.repeat_fn();
+    if (keep && !cancelled_.contains(entry.id)) {
+      entry.time = now_ + entry.repeat_interval;
+      entry.seq = next_seq_++;
+      queue_.push(std::move(entry));
+    } else {
+      cancelled_.erase(entry.id);
+    }
+  } else {
+    entry.fn();
+  }
+}
+
+void Simulator::run_until(Seconds t) {
+  EANT_CHECK(t >= now_, "cannot run to the past");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    execute(std::move(entry));
+  }
+  now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace eant::sim

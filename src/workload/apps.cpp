@@ -1,0 +1,102 @@
+#include "workload/apps.h"
+
+#include "common/error.h"
+
+namespace eant::workload {
+
+const std::vector<AppKind>& all_apps() {
+  static const std::vector<AppKind> kinds = {
+      AppKind::kWordcount, AppKind::kGrep, AppKind::kTerasort};
+  return kinds;
+}
+
+std::string app_name(AppKind kind) {
+  switch (kind) {
+    case AppKind::kWordcount:
+      return "Wordcount";
+    case AppKind::kGrep:
+      return "Grep";
+    case AppKind::kTerasort:
+      return "Terasort";
+  }
+  throw PreconditionError("unknown AppKind");
+}
+
+namespace {
+
+AppProfile make_wordcount() {
+  AppProfile p;
+  p.kind = AppKind::kWordcount;
+  p.name = "Wordcount";
+  // Map/CPU-intensive: tokenising and counting dominates; output is small
+  // (word histograms), so shuffle and reduce are cheap (Fig. 1(d)).
+  p.map_cpu_s_per_mb = 0.45;
+  p.map_io_mb_per_mb = 0.5;
+  p.map_cpu_demand = 1.8;
+  p.map_output_ratio = 0.06;
+  p.reduce_cpu_s_per_mb = 0.20;
+  p.reduce_io_mb_per_mb = 1.0;
+  p.reduce_cpu_demand = 0.8;
+  p.reduce_output_ratio = 0.5;
+  return p;
+}
+
+AppProfile make_grep() {
+  AppProfile p;
+  p.kind = AppKind::kGrep;
+  p.name = "Grep";
+  // Scan-light maps; the PUMA grep job sorts matches, so the measured
+  // behaviour in the paper is shuffle/reduce-intensive (Fig. 1(d)).
+  p.map_cpu_s_per_mb = 0.06;
+  p.map_io_mb_per_mb = 1.2;
+  p.map_cpu_demand = 0.7;
+  p.map_output_ratio = 0.35;
+  p.reduce_cpu_s_per_mb = 0.15;
+  p.reduce_io_mb_per_mb = 2.5;
+  p.reduce_cpu_demand = 0.7;
+  p.reduce_output_ratio = 0.3;
+  return p;
+}
+
+AppProfile make_terasort() {
+  AppProfile p;
+  p.kind = AppKind::kTerasort;
+  p.name = "Terasort";
+  // Full-volume sort: map output equals input, shuffle dominates, reduces
+  // are IO-heavy merge/write phases (Fig. 1(d)).
+  p.map_cpu_s_per_mb = 0.08;
+  p.map_io_mb_per_mb = 2.0;
+  p.map_cpu_demand = 0.9;
+  p.map_output_ratio = 1.0;
+  p.reduce_cpu_s_per_mb = 0.10;
+  p.reduce_io_mb_per_mb = 3.0;
+  p.reduce_cpu_demand = 0.9;
+  p.reduce_output_ratio = 1.0;
+  return p;
+}
+
+}  // namespace
+
+const AppProfile& profile_for(AppKind kind) {
+  static const AppProfile wordcount = make_wordcount();
+  static const AppProfile grep = make_grep();
+  static const AppProfile terasort = make_terasort();
+  switch (kind) {
+    case AppKind::kWordcount:
+      return wordcount;
+    case AppKind::kGrep:
+      return grep;
+    case AppKind::kTerasort:
+      return terasort;
+  }
+  throw PreconditionError("unknown AppKind");
+}
+
+double map_cpu_fraction(const AppProfile& p, double ref_io_mbps) {
+  EANT_CHECK(ref_io_mbps > 0.0, "io bandwidth must be positive");
+  const double cpu = p.map_cpu_s_per_mb;
+  const double io = p.map_io_mb_per_mb / ref_io_mbps;
+  return cpu / (cpu + io);
+}
+
+}  // namespace eant::workload

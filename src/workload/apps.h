@@ -1,0 +1,54 @@
+// Application profiles for the PUMA benchmarks the paper runs (Wordcount,
+// Grep, Terasort — Sec. II and V-C).
+//
+// A profile expresses what a task of the application costs per megabyte of
+// input: reference-core CPU seconds, local IO volume, the CPU demand (cores)
+// the task's JVM occupies while running, and the map-output ratio that
+// determines shuffle volume.  The values are calibrated to reproduce the
+// paper's qualitative characterisation (Fig. 1(c)/(d)): Wordcount is
+// map/CPU-intensive; Grep and Terasort are shuffle/reduce/IO-intensive.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eant::workload {
+
+/// The three PUMA applications used throughout the paper.
+enum class AppKind { kWordcount, kGrep, kTerasort };
+
+/// All application kinds, in a stable order.
+const std::vector<AppKind>& all_apps();
+
+/// Short name ("Wordcount", "Grep", "Terasort").
+std::string app_name(AppKind kind);
+
+/// Per-MB resource costs of one application.
+struct AppProfile {
+  AppKind kind = AppKind::kWordcount;
+  std::string name;
+
+  // Map task costs, per MB of input split.
+  double map_cpu_s_per_mb = 0.1;   ///< reference-core seconds per input MB
+  double map_io_mb_per_mb = 1.0;   ///< local disk traffic per input MB
+  double map_cpu_demand = 1.0;     ///< cores the map JVM occupies
+  double map_output_ratio = 0.1;   ///< map output MB per input MB (shuffle)
+
+  // Reduce task costs, per MB of shuffle input.
+  double reduce_cpu_s_per_mb = 0.1;
+  double reduce_io_mb_per_mb = 1.0;
+  double reduce_cpu_demand = 1.0;
+  double reduce_output_ratio = 1.0;
+};
+
+/// Profile lookup for an application kind.
+const AppProfile& profile_for(AppKind kind);
+
+/// CPU-bound share of a map task's runtime on the reference machine
+/// (used by tests to assert the Fig. 1(d) characterisation).
+double map_cpu_fraction(const AppProfile& p, double ref_io_mbps);
+
+}  // namespace eant::workload

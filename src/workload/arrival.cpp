@@ -1,0 +1,39 @@
+#include "workload/arrival.h"
+
+#include "common/error.h"
+
+namespace eant::workload {
+
+PoissonArrivals::PoissonArrivals(double rate_per_minute)
+    : rate_per_minute_(rate_per_minute) {
+  EANT_CHECK(rate_per_minute > 0.0, "arrival rate must be positive");
+}
+
+std::vector<Seconds> PoissonArrivals::arrivals(Seconds horizon,
+                                               Rng& rng) const {
+  EANT_CHECK(horizon > 0.0, "horizon must be positive");
+  std::vector<Seconds> times;
+  const double rate_per_second = rate_per_minute_ / kSecondsPerMinute;
+  Seconds t = rng.exponential(rate_per_second);
+  while (t < horizon) {
+    times.push_back(t);
+    t += rng.exponential(rate_per_second);
+  }
+  return times;
+}
+
+UniformArrivals::UniformArrivals(double rate_per_minute)
+    : rate_per_minute_(rate_per_minute) {
+  EANT_CHECK(rate_per_minute > 0.0, "arrival rate must be positive");
+}
+
+std::vector<Seconds> UniformArrivals::arrivals(Seconds horizon,
+                                               Rng& /*rng*/) const {
+  EANT_CHECK(horizon > 0.0, "horizon must be positive");
+  std::vector<Seconds> times;
+  const Seconds gap = kSecondsPerMinute / rate_per_minute_;
+  for (Seconds t = 0.0; t < horizon; t += gap) times.push_back(t);
+  return times;
+}
+
+}  // namespace eant::workload

@@ -1,0 +1,47 @@
+// Arrival processes for the motivation experiments (Sec. II): open-loop task
+// streams submitted to a single machine at a controlled rate, used to
+// measure throughput-per-watt curves (Fig. 1(a)/(c)).
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eant::workload {
+
+/// Generates arrival timestamps over a horizon.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Arrival times in [0, horizon), sorted ascending.
+  virtual std::vector<Seconds> arrivals(Seconds horizon, Rng& rng) const = 0;
+};
+
+/// Poisson arrivals at `rate_per_minute` tasks/min (the x-axis of Fig. 1).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_minute);
+
+  std::vector<Seconds> arrivals(Seconds horizon, Rng& rng) const override;
+
+  double rate_per_minute() const { return rate_per_minute_; }
+
+ private:
+  double rate_per_minute_;
+};
+
+/// Deterministic, evenly spaced arrivals (useful for exact-math tests).
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double rate_per_minute);
+
+  std::vector<Seconds> arrivals(Seconds horizon, Rng& rng) const override;
+
+ private:
+  double rate_per_minute_;
+};
+
+}  // namespace eant::workload

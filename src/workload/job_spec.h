@@ -1,0 +1,43 @@
+// Job specification: what a user submits to the JobTracker.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.h"
+#include "workload/apps.h"
+
+namespace eant::workload {
+
+/// Size class of a job, following Table III of the paper.
+enum class SizeClass { kSmall, kMedium, kLarge };
+
+/// "S", "M" or "L".
+std::string size_class_suffix(SizeClass c);
+
+/// A MapReduce job submission.
+struct JobSpec {
+  AppKind app = AppKind::kWordcount;
+  SizeClass size_class = SizeClass::kSmall;
+  Megabytes input_mb = 64.0;
+  int num_reduces = 1;
+  Seconds submit_time = 0.0;
+
+  /// Display name, e.g. "Wordcount-S" (the Fig. 8(c) class labels).
+  std::string display_name() const {
+    return app_name(app) + "-" + size_class_suffix(size_class);
+  }
+
+  /// Display/class label used for reporting (the Fig. 8(c) categories).
+  std::string class_key() const { return display_name(); }
+
+  /// Key identifying "homogeneous jobs" for E-Ant's job-level exchange and
+  /// cross-colony feedback (Sec. IV-D): the paper groups jobs "based on
+  /// their resource demands", and per-task resource character is set by the
+  /// application, not the input size — a small and a large Wordcount job
+  /// run identical tasks and must share experiences, not compete.
+  std::string exchange_key() const { return app_name(app); }
+};
+
+}  // namespace eant::workload

@@ -1,0 +1,85 @@
+#include "workload/msd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eant::workload {
+
+std::string size_class_suffix(SizeClass c) {
+  switch (c) {
+    case SizeClass::kSmall:
+      return "S";
+    case SizeClass::kMedium:
+      return "M";
+    case SizeClass::kLarge:
+      return "L";
+  }
+  throw PreconditionError("unknown SizeClass");
+}
+
+JobSpec MsdGenerator::sample_job(Rng& rng) const {
+  const auto& c = config_;
+  JobSpec job;
+
+  const std::size_t cls = rng.weighted_index(
+      {c.small_share, c.medium_share, c.large_share});
+  Megabytes lo = 0, hi = 0;
+  int rlo = 1, rhi = 1;
+  switch (cls) {
+    case 0:
+      job.size_class = SizeClass::kSmall;
+      lo = c.small_min_mb;
+      hi = c.small_max_mb;
+      rlo = c.small_min_reduces;
+      rhi = c.small_max_reduces;
+      break;
+    case 1:
+      job.size_class = SizeClass::kMedium;
+      lo = c.medium_min_mb;
+      hi = c.medium_max_mb;
+      rlo = c.medium_min_reduces;
+      rhi = c.medium_max_reduces;
+      break;
+    default:
+      job.size_class = SizeClass::kLarge;
+      lo = c.large_min_mb;
+      hi = c.large_max_mb;
+      rlo = c.large_min_reduces;
+      rhi = c.large_max_reduces;
+      break;
+  }
+
+  // Sample log-uniformly within the class range, like production job-size
+  // distributions (heavier mass towards the small end of each class).
+  const double log_size = rng.uniform(std::log(lo), std::log(hi));
+  job.input_mb = std::max(kHdfsBlockMb, std::exp(log_size) * c.input_scale);
+
+  const double reduces =
+      static_cast<double>(rng.uniform_int(rlo, rhi)) * c.reduce_scale;
+  job.num_reduces = std::max(1, static_cast<int>(std::lround(reduces)));
+
+  const auto& apps = all_apps();
+  job.app = apps[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(apps.size()) - 1))];
+  return job;
+}
+
+std::vector<JobSpec> MsdGenerator::generate(Rng& rng) const {
+  EANT_CHECK(config_.num_jobs >= 1, "workload needs at least one job");
+  EANT_CHECK(config_.input_scale > 0.0, "input_scale must be positive");
+  EANT_CHECK(config_.reduce_scale > 0.0, "reduce_scale must be positive");
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(config_.num_jobs));
+  Seconds t = 0.0;
+  for (int i = 0; i < config_.num_jobs; ++i) {
+    JobSpec job = sample_job(rng);
+    job.submit_time = t;
+    t += rng.exponential(1.0 / config_.mean_interarrival);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace eant::workload

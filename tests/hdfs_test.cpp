@@ -1,0 +1,108 @@
+// Unit tests for the HDFS block-placement model: replication, block sizing,
+// locality queries and placement balance.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "hdfs/namenode.h"
+
+namespace eant::hdfs {
+namespace {
+
+TEST(NameNode, CreatesExpectedBlockCount) {
+  NameNode nn(Rng(1), 8);
+  const auto blocks = nn.create_file(256.0);  // 4 x 64 MB
+  EXPECT_EQ(blocks.size(), 4u);
+  for (BlockId b : blocks) EXPECT_DOUBLE_EQ(nn.block_size(b), 64.0);
+}
+
+TEST(NameNode, LastBlockMayBeShort) {
+  NameNode nn(Rng(1), 8);
+  const auto blocks = nn.create_file(100.0);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_DOUBLE_EQ(nn.block_size(blocks[0]), 64.0);
+  EXPECT_DOUBLE_EQ(nn.block_size(blocks[1]), 36.0);
+}
+
+TEST(NameNode, TinyFileGetsOneBlock) {
+  NameNode nn(Rng(1), 8);
+  const auto blocks = nn.create_file(1.0);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_DOUBLE_EQ(nn.block_size(blocks[0]), 1.0);
+}
+
+TEST(NameNode, ReplicasAreDistinctMachines) {
+  NameNode nn(Rng(2), 10, 3);
+  const auto blocks = nn.create_file(64.0 * 50);
+  for (BlockId b : blocks) {
+    const auto& locs = nn.locations(b);
+    EXPECT_EQ(locs.size(), 3u);
+    const std::set<cluster::MachineId> unique(locs.begin(), locs.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (auto m : unique) EXPECT_LT(m, 10u);
+  }
+}
+
+TEST(NameNode, ReplicationDegradesToClusterSize) {
+  NameNode nn(Rng(3), 2, 3);
+  EXPECT_EQ(nn.replication(), 2);
+  const auto blocks = nn.create_file(64.0);
+  EXPECT_EQ(nn.locations(blocks[0]).size(), 2u);
+}
+
+TEST(NameNode, IsLocalMatchesLocations) {
+  NameNode nn(Rng(4), 6, 3);
+  const auto blocks = nn.create_file(64.0);
+  const auto& locs = nn.locations(blocks[0]);
+  std::size_t local = 0;
+  for (cluster::MachineId m = 0; m < 6; ++m) {
+    if (nn.is_local(blocks[0], m)) ++local;
+  }
+  EXPECT_EQ(local, locs.size());
+}
+
+TEST(NameNode, PlacementIsRoughlyBalanced) {
+  NameNode nn(Rng(5), 8, 3);
+  nn.create_file(64.0 * 4000);
+  const auto& counts = nn.blocks_per_node();
+  // 4000 blocks x 3 replicas over 8 nodes -> 1500 expected per node.
+  for (auto c : counts) {
+    EXPECT_GT(c, 1300u);
+    EXPECT_LT(c, 1700u);
+  }
+}
+
+TEST(NameNode, DeterministicForSameSeed) {
+  NameNode a(Rng(6), 8), b(Rng(6), 8);
+  const auto ba = a.create_file(64.0 * 20);
+  const auto bb = b.create_file(64.0 * 20);
+  ASSERT_EQ(ba.size(), bb.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(a.locations(ba[i]), b.locations(bb[i]));
+  }
+}
+
+TEST(NameNode, RejectsBadInput) {
+  EXPECT_THROW(NameNode(Rng(1), 0), PreconditionError);
+  EXPECT_THROW(NameNode(Rng(1), 4, 0), PreconditionError);
+  NameNode nn(Rng(1), 4);
+  EXPECT_THROW(nn.create_file(0.0), PreconditionError);
+  EXPECT_THROW(nn.create_file(64.0, 0.0), PreconditionError);
+  EXPECT_THROW(nn.locations(999), PreconditionError);
+  EXPECT_THROW(nn.block_size(999), PreconditionError);
+}
+
+TEST(NameNode, BlockIdsAreSequentialAcrossFiles) {
+  NameNode nn(Rng(7), 4);
+  const auto f1 = nn.create_file(64.0 * 2);
+  const auto f2 = nn.create_file(64.0 * 3);
+  EXPECT_EQ(f1, (std::vector<BlockId>{0, 1}));
+  EXPECT_EQ(f2, (std::vector<BlockId>{2, 3, 4}));
+  EXPECT_EQ(nn.num_blocks(), 5u);
+}
+
+}  // namespace
+}  // namespace eant::hdfs

@@ -1,0 +1,211 @@
+// Property-based suites (parameterised gtest): invariants that must hold
+// for every scheduler, seed and noise level — slot bounds (the Eq. 1
+// constraint), task conservation, energy accounting consistency, pheromone
+// positivity, and report well-formedness.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/catalog.h"
+#include "common/rng.h"
+#include "core/eant_scheduler.h"
+#include "exp/builders.h"
+#include "exp/runner.h"
+#include "workload/msd.h"
+
+namespace eant {
+namespace {
+
+
+using exp::RunConfig;
+using exp::SchedulerKind;
+
+// --- cross-scheduler execution invariants ---------------------------------------
+
+class SchedulerInvariants
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, int, bool>> {};
+
+TEST_P(SchedulerInvariants, HoldThroughoutARun) {
+  const auto [kind, seed, noisy] = GetParam();
+
+  RunConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.noise = noisy ? mr::NoiseConfig::typical() : mr::NoiseConfig::none();
+  cfg.eant.control_interval = 90.0;
+  exp::Run run(exp::paper_fleet(), kind, cfg);
+
+  workload::MsdConfig wl;
+  wl.num_jobs = 8;
+  wl.input_scale = 1.0 / 400.0;
+  wl.mean_interarrival = 30.0;
+  Rng rng(cfg.seed);
+  const auto jobs = workload::MsdGenerator(wl).generate(rng);
+  run.submit(jobs);
+
+  std::size_t expected_maps = 0;
+  std::size_t reports = 0;
+  auto& jt = run.job_tracker();
+
+  jt.set_report_listener([&](const mr::TaskReport& r) {
+    ++reports;
+    // Eq. 1's slot constraint: concurrent executions never exceed slots.
+    for (cluster::MachineId m = 0; m < run.cluster().size(); ++m) {
+      const auto& type = run.cluster().machine(m).type();
+      ASSERT_LE(jt.tracker(m).running(mr::TaskKind::kMap), type.map_slots);
+      ASSERT_LE(jt.tracker(m).running(mr::TaskKind::kReduce),
+                type.reduce_slots);
+    }
+    // Reports are well-formed.
+    ASSERT_GT(r.finish, r.start);
+    ASSERT_FALSE(r.samples.empty());
+    double window_total = 0.0;
+    for (const auto& s : r.samples) {
+      ASSERT_GE(s.util, 0.0);
+      ASSERT_GT(s.duration, 0.0);
+      window_total += s.duration;
+    }
+    ASSERT_NEAR(window_total, r.duration(), 1e-6);
+  });
+
+  run.execute();
+
+  // Task conservation: every map (one per block) and reduce ran exactly
+  // once (reports for losing speculative attempts are dropped).
+  std::size_t expected_reduces = 0;
+  for (mr::JobId id = 0; id < jt.num_jobs(); ++id) {
+    expected_maps += jt.job(id).num_maps();
+    expected_reduces += jt.job(id).num_reduces();
+    EXPECT_TRUE(jt.job(id).complete());
+  }
+  EXPECT_EQ(reports, expected_maps + expected_reduces);
+
+  // Energy accounting: per-type totals equal the cluster total, all
+  // positive, and no machine reports negative utilisation.
+  const auto m = run.metrics();
+  double type_total = 0.0;
+  for (const auto& t : m.by_type) {
+    EXPECT_GT(t.energy, 0.0);
+    type_total += t.energy;
+  }
+  EXPECT_NEAR(type_total, m.total_energy, 1e-6);
+  // Energy is at least the fleet idle floor over the elapsed time.
+  double idle_floor = 0.0;
+  for (cluster::MachineId id = 0; id < run.cluster().size(); ++id) {
+    idle_floor += run.cluster().machine(id).type().idle_power;
+  }
+  EXPECT_GE(m.total_energy, idle_floor * m.makespan * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerInvariants,
+    ::testing::Combine(::testing::Values(SchedulerKind::kFifo,
+                                         SchedulerKind::kFair,
+                                         SchedulerKind::kTarazu,
+                                         SchedulerKind::kLate,
+                                         SchedulerKind::kEAnt),
+                       ::testing::Values(1, 2),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name = exp::scheduler_kind_name(std::get<0>(info.param));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_seed" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_noisy" : "_clean");
+    });
+
+// --- E-Ant pheromone properties --------------------------------------------------
+
+class PheromonePositivity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PheromonePositivity, RowSumsStayPositiveUnderNegativeFeedback) {
+  const int seed = GetParam();
+  RunConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.noise = mr::NoiseConfig::typical();
+  cfg.eant.control_interval = 60.0;
+  exp::Run run(exp::paper_fleet(), SchedulerKind::kEAnt, cfg);
+
+  // Competing same-class and cross-class jobs maximise negative feedback.
+  std::vector<workload::JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) {
+    auto j = exp::single_job(
+        i % 2 == 0 ? workload::AppKind::kWordcount : workload::AppKind::kGrep,
+        64.0 * 20, 2);
+    j.submit_time = 10.0 * i;
+    jobs.push_back(j);
+  }
+  run.submit(jobs);
+
+  auto* eant = run.eant();
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  while (!jt.all_done()) {
+    ASSERT_TRUE(sim.step());
+    // Sample the invariant as the run progresses.
+    for (mr::JobId id : jt.active_jobs()) {
+      if (!eant->pheromone().has_job(id)) continue;
+      for (mr::TaskKind kind : {mr::TaskKind::kMap, mr::TaskKind::kReduce}) {
+        const auto trail = eant->pheromone().trail(id, kind);
+        for (double tau : trail) {
+          ASSERT_GE(tau, eant->pheromone().tau_min());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PheromonePositivity,
+                         ::testing::Values(11, 22, 33));
+
+// --- workload generator properties -----------------------------------------------
+
+class MsdProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsdProperties, GeneratedJobsAreAlwaysValid) {
+  workload::MsdConfig cfg;
+  cfg.num_jobs = 200;
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto jobs = workload::MsdGenerator(cfg).generate(rng);
+  Seconds prev = -1.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.input_mb, kHdfsBlockMb);
+    EXPECT_GE(j.num_reduces, 1);
+    EXPECT_GE(j.submit_time, prev);
+    prev = j.submit_time;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsdProperties,
+                         ::testing::Values(1, 7, 13, 99));
+
+// --- power-model properties -------------------------------------------------------
+
+class PowerModelMonotonicity
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PowerModelMonotonicity, PowerIncreasesWithUtilisation) {
+  cluster::MachineType t;
+  const std::string name = GetParam();
+  if (name == "Desktop") t = cluster::catalog::desktop();
+  if (name == "T110") t = cluster::catalog::t110();
+  if (name == "T420") t = cluster::catalog::t420();
+  if (name == "T320") t = cluster::catalog::t320();
+  if (name == "T620") t = cluster::catalog::t620();
+  if (name == "Atom") t = cluster::catalog::atom();
+  ASSERT_EQ(t.name, name);
+  double prev = -1.0;
+  for (int i = 0; i <= 10; ++i) {
+    const double p = t.power_at(i / 10.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(t.power_at(0.0), t.idle_power);
+  EXPECT_DOUBLE_EQ(t.power_at(1.0), t.idle_power + t.alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleet, PowerModelMonotonicity,
+                         ::testing::Values("Desktop", "T110", "T420", "T320",
+                                           "T620", "Atom"));
+
+}  // namespace
+}  // namespace eant

@@ -1,0 +1,208 @@
+// Unit tests for the workload module: PUMA application profiles (Fig. 1(d)
+// characterisation), the MSD generator (Table III), arrival processes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "workload/apps.h"
+#include "workload/arrival.h"
+#include "workload/job_spec.h"
+#include "workload/msd.h"
+
+namespace eant::workload {
+namespace {
+
+TEST(Apps, NamesAndLookup) {
+  EXPECT_EQ(app_name(AppKind::kWordcount), "Wordcount");
+  EXPECT_EQ(app_name(AppKind::kGrep), "Grep");
+  EXPECT_EQ(app_name(AppKind::kTerasort), "Terasort");
+  EXPECT_EQ(all_apps().size(), 3u);
+  for (AppKind k : all_apps()) {
+    EXPECT_EQ(profile_for(k).kind, k);
+    EXPECT_EQ(profile_for(k).name, app_name(k));
+  }
+}
+
+TEST(Apps, WordcountIsCpuBoundOthersAreIoBound) {
+  // Paper Fig. 1(d): Wordcount is map/CPU-intensive; Grep and Terasort are
+  // IO-intensive.  Use a 40 MB/s reference disk (desktop-class).
+  const double wc = map_cpu_fraction(profile_for(AppKind::kWordcount), 40.0);
+  const double gr = map_cpu_fraction(profile_for(AppKind::kGrep), 40.0);
+  const double ts = map_cpu_fraction(profile_for(AppKind::kTerasort), 40.0);
+  EXPECT_GT(wc, 0.8);
+  EXPECT_LT(gr, 0.75);
+  EXPECT_LT(ts, 0.75);
+  EXPECT_GT(wc, gr);
+  EXPECT_GT(wc, ts);
+}
+
+TEST(Apps, TerasortShufflesItsWholeInput) {
+  EXPECT_DOUBLE_EQ(profile_for(AppKind::kTerasort).map_output_ratio, 1.0);
+  EXPECT_LT(profile_for(AppKind::kWordcount).map_output_ratio, 0.2);
+}
+
+TEST(Apps, ProfilesArePositive) {
+  for (AppKind k : all_apps()) {
+    const AppProfile& p = profile_for(k);
+    EXPECT_GT(p.map_cpu_s_per_mb, 0.0);
+    EXPECT_GT(p.map_io_mb_per_mb, 0.0);
+    EXPECT_GT(p.map_cpu_demand, 0.0);
+    EXPECT_GT(p.map_output_ratio, 0.0);
+    EXPECT_GT(p.reduce_cpu_s_per_mb, 0.0);
+    EXPECT_GT(p.reduce_io_mb_per_mb, 0.0);
+    EXPECT_GT(p.reduce_cpu_demand, 0.0);
+  }
+}
+
+TEST(JobSpec, DisplayAndClassKey) {
+  JobSpec s;
+  s.app = AppKind::kGrep;
+  s.size_class = SizeClass::kMedium;
+  EXPECT_EQ(s.display_name(), "Grep-M");
+  EXPECT_EQ(s.class_key(), "Grep-M");
+  EXPECT_EQ(size_class_suffix(SizeClass::kSmall), "S");
+  EXPECT_EQ(size_class_suffix(SizeClass::kLarge), "L");
+}
+
+TEST(Msd, GeneratesConfiguredJobCount) {
+  MsdGenerator gen(MsdConfig{});
+  Rng rng(1);
+  const auto jobs = gen.generate(rng);
+  EXPECT_EQ(jobs.size(), 87u);
+}
+
+TEST(Msd, ClassSharesFollowTableThree) {
+  MsdConfig cfg;
+  cfg.num_jobs = 7000;
+  MsdGenerator gen(cfg);
+  Rng rng(2);
+  const auto jobs = gen.generate(rng);
+  std::map<SizeClass, int> counts;
+  for (const auto& j : jobs) ++counts[j.size_class];
+  // Renormalised Table III shares: 4/7, 2/7, 1/7.
+  EXPECT_NEAR(counts[SizeClass::kSmall] / 7000.0, 4.0 / 7.0, 0.03);
+  EXPECT_NEAR(counts[SizeClass::kMedium] / 7000.0, 2.0 / 7.0, 0.03);
+  EXPECT_NEAR(counts[SizeClass::kLarge] / 7000.0, 1.0 / 7.0, 0.03);
+}
+
+TEST(Msd, InputSizesRespectScaledClassRanges) {
+  MsdConfig cfg;
+  cfg.num_jobs = 500;
+  MsdGenerator gen(cfg);
+  Rng rng(3);
+  for (const auto& j : gen.generate(rng)) {
+    double lo = 0, hi = 0;
+    switch (j.size_class) {
+      case SizeClass::kSmall:
+        lo = cfg.small_min_mb;
+        hi = cfg.small_max_mb;
+        break;
+      case SizeClass::kMedium:
+        lo = cfg.medium_min_mb;
+        hi = cfg.medium_max_mb;
+        break;
+      case SizeClass::kLarge:
+        lo = cfg.large_min_mb;
+        hi = cfg.large_max_mb;
+        break;
+    }
+    EXPECT_GE(j.input_mb, std::max(kHdfsBlockMb, lo * cfg.input_scale) - 1e-9);
+    EXPECT_LE(j.input_mb, hi * cfg.input_scale + 1e-9);
+    EXPECT_GE(j.num_reduces, 1);
+  }
+}
+
+TEST(Msd, LargeJobsAreLargerThanSmallJobs) {
+  MsdConfig cfg;
+  cfg.num_jobs = 2000;
+  MsdGenerator gen(cfg);
+  Rng rng(4);
+  double small_max = 0.0, large_min = 1e18;
+  for (const auto& j : gen.generate(rng)) {
+    if (j.size_class == SizeClass::kSmall) {
+      small_max = std::max(small_max, j.input_mb);
+    }
+    if (j.size_class == SizeClass::kLarge) {
+      large_min = std::min(large_min, j.input_mb);
+    }
+  }
+  EXPECT_LT(small_max, large_min * 1.01);  // class ranges are disjoint
+}
+
+TEST(Msd, SubmitTimesAreSortedPoisson) {
+  MsdConfig cfg;
+  cfg.num_jobs = 300;
+  cfg.mean_interarrival = 60.0;
+  MsdGenerator gen(cfg);
+  Rng rng(5);
+  const auto jobs = gen.generate(rng);
+  EXPECT_DOUBLE_EQ(jobs.front().submit_time, 0.0);
+  double prev = -1.0;
+  double total_gap = 0.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit_time, prev);
+    prev = j.submit_time;
+  }
+  total_gap = jobs.back().submit_time / (jobs.size() - 1);
+  EXPECT_NEAR(total_gap, 60.0, 12.0);
+}
+
+TEST(Msd, UsesAllThreeApplications) {
+  MsdConfig cfg;
+  cfg.num_jobs = 200;
+  MsdGenerator gen(cfg);
+  Rng rng(6);
+  std::map<AppKind, int> apps;
+  for (const auto& j : gen.generate(rng)) ++apps[j.app];
+  EXPECT_EQ(apps.size(), 3u);
+  for (const auto& [k, c] : apps) EXPECT_GT(c, 30);
+}
+
+TEST(Msd, DeterministicGivenSeed) {
+  MsdGenerator gen(MsdConfig{});
+  Rng r1(7), r2(7);
+  const auto a = gen.generate(r1);
+  const auto b = gen.generate(r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_DOUBLE_EQ(a[i].input_mb, b[i].input_mb);
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+  }
+}
+
+TEST(Arrival, PoissonRateIsRespected) {
+  PoissonArrivals p(30.0);  // tasks per minute
+  Rng rng(8);
+  const auto times = p.arrivals(3600.0, rng);
+  EXPECT_NEAR(static_cast<double>(times.size()), 1800.0, 150.0);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+    EXPECT_LT(times[i], 3600.0);
+  }
+}
+
+TEST(Arrival, UniformIsEvenlySpaced) {
+  UniformArrivals u(6.0);  // every 10 s
+  Rng rng(9);
+  const auto times = u.arrivals(60.0, rng);
+  ASSERT_EQ(times.size(), 6u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i], 10.0 * static_cast<double>(i));
+  }
+}
+
+TEST(Arrival, RejectsBadInput) {
+  EXPECT_THROW(PoissonArrivals(0.0), PreconditionError);
+  EXPECT_THROW(UniformArrivals(-1.0), PreconditionError);
+  PoissonArrivals p(1.0);
+  Rng rng(10);
+  EXPECT_THROW(p.arrivals(0.0, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace eant::workload
