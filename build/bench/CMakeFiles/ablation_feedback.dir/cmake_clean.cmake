@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feedback.dir/ablation_feedback.cpp.o"
+  "CMakeFiles/ablation_feedback.dir/ablation_feedback.cpp.o.d"
+  "ablation_feedback"
+  "ablation_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_provisioning.dir/ablation_provisioning.cpp.o"
+  "CMakeFiles/ablation_provisioning.dir/ablation_provisioning.cpp.o.d"
+  "ablation_provisioning"
+  "ablation_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

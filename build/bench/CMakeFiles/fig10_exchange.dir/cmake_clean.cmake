@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_exchange.dir/fig10_exchange.cpp.o"
+  "CMakeFiles/fig10_exchange.dir/fig10_exchange.cpp.o.d"
+  "fig10_exchange"
+  "fig10_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_convergence.dir/fig11_convergence.cpp.o"
+  "CMakeFiles/fig11_convergence.dir/fig11_convergence.cpp.o.d"
+  "fig11_convergence"
+  "fig11_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sensitivity.dir/fig12_sensitivity.cpp.o"
+  "CMakeFiles/fig12_sensitivity.dir/fig12_sensitivity.cpp.o.d"
+  "fig12_sensitivity"
+  "fig12_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

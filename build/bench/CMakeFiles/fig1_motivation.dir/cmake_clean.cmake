@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_motivation.dir/fig1_motivation.cpp.o"
+  "CMakeFiles/fig1_motivation.dir/fig1_motivation.cpp.o.d"
+  "fig1_motivation"
+  "fig1_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_energy_model.dir/fig4_energy_model.cpp.o"
+  "CMakeFiles/fig4_energy_model.dir/fig4_energy_model.cpp.o.d"
+  "fig4_energy_model"
+  "fig4_energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

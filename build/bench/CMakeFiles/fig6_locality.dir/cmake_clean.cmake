@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_locality.dir/fig6_locality.cpp.o"
+  "CMakeFiles/fig6_locality.dir/fig6_locality.cpp.o.d"
+  "fig6_locality"
+  "fig6_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

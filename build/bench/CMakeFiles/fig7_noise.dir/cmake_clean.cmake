@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_noise.dir/fig7_noise.cpp.o"
+  "CMakeFiles/fig7_noise.dir/fig7_noise.cpp.o.d"
+  "fig7_noise"
+  "fig7_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

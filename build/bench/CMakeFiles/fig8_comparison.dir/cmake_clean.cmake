@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_comparison.dir/fig8_comparison.cpp.o"
+  "CMakeFiles/fig8_comparison.dir/fig8_comparison.cpp.o.d"
+  "fig8_comparison"
+  "fig8_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

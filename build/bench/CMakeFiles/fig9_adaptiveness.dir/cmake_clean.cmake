@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_adaptiveness.dir/fig9_adaptiveness.cpp.o"
+  "CMakeFiles/fig9_adaptiveness.dir/fig9_adaptiveness.cpp.o.d"
+  "fig9_adaptiveness"
+  "fig9_adaptiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_adaptiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

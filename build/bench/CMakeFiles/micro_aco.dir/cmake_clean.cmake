@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_aco.dir/micro_aco.cpp.o"
+  "CMakeFiles/micro_aco.dir/micro_aco.cpp.o.d"
+  "micro_aco"
+  "micro_aco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_aco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_msd.dir/table3_msd.cpp.o"
+  "CMakeFiles/table3_msd.dir/table3_msd.cpp.o.d"
+  "table3_msd"
+  "table3_msd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_msd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_calibration.dir/energy_calibration.cpp.o"
+  "CMakeFiles/energy_calibration.dir/energy_calibration.cpp.o.d"
+  "energy_calibration"
+  "energy_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

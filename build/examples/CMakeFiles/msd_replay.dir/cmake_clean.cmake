@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_replay.dir/msd_replay.cpp.o"
+  "CMakeFiles/msd_replay.dir/msd_replay.cpp.o.d"
+  "msd_replay"
+  "msd_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/catalog.cpp" "src/CMakeFiles/eant_cluster.dir/cluster/catalog.cpp.o" "gcc" "src/CMakeFiles/eant_cluster.dir/cluster/catalog.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/eant_cluster.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/eant_cluster.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/CMakeFiles/eant_cluster.dir/cluster/machine.cpp.o" "gcc" "src/CMakeFiles/eant_cluster.dir/cluster/machine.cpp.o.d"
+  "/root/repo/src/cluster/power_meter.cpp" "src/CMakeFiles/eant_cluster.dir/cluster/power_meter.cpp.o" "gcc" "src/CMakeFiles/eant_cluster.dir/cluster/power_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_cluster.dir/cluster/catalog.cpp.o"
+  "CMakeFiles/eant_cluster.dir/cluster/catalog.cpp.o.d"
+  "CMakeFiles/eant_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/eant_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/eant_cluster.dir/cluster/machine.cpp.o"
+  "CMakeFiles/eant_cluster.dir/cluster/machine.cpp.o.d"
+  "CMakeFiles/eant_cluster.dir/cluster/power_meter.cpp.o"
+  "CMakeFiles/eant_cluster.dir/cluster/power_meter.cpp.o.d"
+  "libeant_cluster.a"
+  "libeant_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_common.dir/common/rng.cpp.o"
+  "CMakeFiles/eant_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/eant_common.dir/common/stats.cpp.o"
+  "CMakeFiles/eant_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/eant_common.dir/common/table.cpp.o"
+  "CMakeFiles/eant_common.dir/common/table.cpp.o.d"
+  "libeant_common.a"
+  "libeant_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

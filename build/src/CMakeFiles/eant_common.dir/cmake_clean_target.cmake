@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeant_common.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aco.cpp" "src/CMakeFiles/eant_core.dir/core/aco.cpp.o" "gcc" "src/CMakeFiles/eant_core.dir/core/aco.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "src/CMakeFiles/eant_core.dir/core/convergence.cpp.o" "gcc" "src/CMakeFiles/eant_core.dir/core/convergence.cpp.o.d"
+  "/root/repo/src/core/eant_scheduler.cpp" "src/CMakeFiles/eant_core.dir/core/eant_scheduler.cpp.o" "gcc" "src/CMakeFiles/eant_core.dir/core/eant_scheduler.cpp.o.d"
+  "/root/repo/src/core/energy_model.cpp" "src/CMakeFiles/eant_core.dir/core/energy_model.cpp.o" "gcc" "src/CMakeFiles/eant_core.dir/core/energy_model.cpp.o.d"
+  "/root/repo/src/core/exchange.cpp" "src/CMakeFiles/eant_core.dir/core/exchange.cpp.o" "gcc" "src/CMakeFiles/eant_core.dir/core/exchange.cpp.o.d"
+  "/root/repo/src/core/heuristic.cpp" "src/CMakeFiles/eant_core.dir/core/heuristic.cpp.o" "gcc" "src/CMakeFiles/eant_core.dir/core/heuristic.cpp.o.d"
+  "/root/repo/src/core/pheromone.cpp" "src/CMakeFiles/eant_core.dir/core/pheromone.cpp.o" "gcc" "src/CMakeFiles/eant_core.dir/core/pheromone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eant_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

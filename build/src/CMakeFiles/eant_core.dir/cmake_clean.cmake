@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_core.dir/core/aco.cpp.o"
+  "CMakeFiles/eant_core.dir/core/aco.cpp.o.d"
+  "CMakeFiles/eant_core.dir/core/convergence.cpp.o"
+  "CMakeFiles/eant_core.dir/core/convergence.cpp.o.d"
+  "CMakeFiles/eant_core.dir/core/eant_scheduler.cpp.o"
+  "CMakeFiles/eant_core.dir/core/eant_scheduler.cpp.o.d"
+  "CMakeFiles/eant_core.dir/core/energy_model.cpp.o"
+  "CMakeFiles/eant_core.dir/core/energy_model.cpp.o.d"
+  "CMakeFiles/eant_core.dir/core/exchange.cpp.o"
+  "CMakeFiles/eant_core.dir/core/exchange.cpp.o.d"
+  "CMakeFiles/eant_core.dir/core/heuristic.cpp.o"
+  "CMakeFiles/eant_core.dir/core/heuristic.cpp.o.d"
+  "CMakeFiles/eant_core.dir/core/pheromone.cpp.o"
+  "CMakeFiles/eant_core.dir/core/pheromone.cpp.o.d"
+  "libeant_core.a"
+  "libeant_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_exp.dir/exp/builders.cpp.o"
+  "CMakeFiles/eant_exp.dir/exp/builders.cpp.o.d"
+  "CMakeFiles/eant_exp.dir/exp/csv.cpp.o"
+  "CMakeFiles/eant_exp.dir/exp/csv.cpp.o.d"
+  "CMakeFiles/eant_exp.dir/exp/metrics.cpp.o"
+  "CMakeFiles/eant_exp.dir/exp/metrics.cpp.o.d"
+  "CMakeFiles/eant_exp.dir/exp/motivation.cpp.o"
+  "CMakeFiles/eant_exp.dir/exp/motivation.cpp.o.d"
+  "CMakeFiles/eant_exp.dir/exp/provisioning.cpp.o"
+  "CMakeFiles/eant_exp.dir/exp/provisioning.cpp.o.d"
+  "CMakeFiles/eant_exp.dir/exp/runner.cpp.o"
+  "CMakeFiles/eant_exp.dir/exp/runner.cpp.o.d"
+  "libeant_exp.a"
+  "libeant_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

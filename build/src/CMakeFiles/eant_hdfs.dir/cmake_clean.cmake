@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_hdfs.dir/hdfs/namenode.cpp.o"
+  "CMakeFiles/eant_hdfs.dir/hdfs/namenode.cpp.o.d"
+  "libeant_hdfs.a"
+  "libeant_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/job.cpp.o"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/job.cpp.o.d"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/job_tracker.cpp.o"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/job_tracker.cpp.o.d"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/noise.cpp.o"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/noise.cpp.o.d"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/task.cpp.o"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/task.cpp.o.d"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/task_tracker.cpp.o"
+  "CMakeFiles/eant_mapreduce.dir/mapreduce/task_tracker.cpp.o.d"
+  "libeant_mapreduce.a"
+  "libeant_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

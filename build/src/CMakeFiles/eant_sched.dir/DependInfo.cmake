@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/capacity.cpp" "src/CMakeFiles/eant_sched.dir/sched/capacity.cpp.o" "gcc" "src/CMakeFiles/eant_sched.dir/sched/capacity.cpp.o.d"
+  "/root/repo/src/sched/fair.cpp" "src/CMakeFiles/eant_sched.dir/sched/fair.cpp.o" "gcc" "src/CMakeFiles/eant_sched.dir/sched/fair.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/CMakeFiles/eant_sched.dir/sched/fifo.cpp.o" "gcc" "src/CMakeFiles/eant_sched.dir/sched/fifo.cpp.o.d"
+  "/root/repo/src/sched/late.cpp" "src/CMakeFiles/eant_sched.dir/sched/late.cpp.o" "gcc" "src/CMakeFiles/eant_sched.dir/sched/late.cpp.o.d"
+  "/root/repo/src/sched/tarazu.cpp" "src/CMakeFiles/eant_sched.dir/sched/tarazu.cpp.o" "gcc" "src/CMakeFiles/eant_sched.dir/sched/tarazu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eant_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/eant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

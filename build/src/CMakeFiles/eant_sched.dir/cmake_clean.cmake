@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_sched.dir/sched/capacity.cpp.o"
+  "CMakeFiles/eant_sched.dir/sched/capacity.cpp.o.d"
+  "CMakeFiles/eant_sched.dir/sched/fair.cpp.o"
+  "CMakeFiles/eant_sched.dir/sched/fair.cpp.o.d"
+  "CMakeFiles/eant_sched.dir/sched/fifo.cpp.o"
+  "CMakeFiles/eant_sched.dir/sched/fifo.cpp.o.d"
+  "CMakeFiles/eant_sched.dir/sched/late.cpp.o"
+  "CMakeFiles/eant_sched.dir/sched/late.cpp.o.d"
+  "CMakeFiles/eant_sched.dir/sched/tarazu.cpp.o"
+  "CMakeFiles/eant_sched.dir/sched/tarazu.cpp.o.d"
+  "libeant_sched.a"
+  "libeant_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/eant_sim.dir/sim/simulator.cpp.o.d"
+  "libeant_sim.a"
+  "libeant_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

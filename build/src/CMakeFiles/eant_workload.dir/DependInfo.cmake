@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cpp" "src/CMakeFiles/eant_workload.dir/workload/apps.cpp.o" "gcc" "src/CMakeFiles/eant_workload.dir/workload/apps.cpp.o.d"
+  "/root/repo/src/workload/arrival.cpp" "src/CMakeFiles/eant_workload.dir/workload/arrival.cpp.o" "gcc" "src/CMakeFiles/eant_workload.dir/workload/arrival.cpp.o.d"
+  "/root/repo/src/workload/msd.cpp" "src/CMakeFiles/eant_workload.dir/workload/msd.cpp.o" "gcc" "src/CMakeFiles/eant_workload.dir/workload/msd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/eant_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

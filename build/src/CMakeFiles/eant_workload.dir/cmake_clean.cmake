@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_workload.dir/workload/apps.cpp.o"
+  "CMakeFiles/eant_workload.dir/workload/apps.cpp.o.d"
+  "CMakeFiles/eant_workload.dir/workload/arrival.cpp.o"
+  "CMakeFiles/eant_workload.dir/workload/arrival.cpp.o.d"
+  "CMakeFiles/eant_workload.dir/workload/msd.cpp.o"
+  "CMakeFiles/eant_workload.dir/workload/msd.cpp.o.d"
+  "libeant_workload.a"
+  "libeant_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

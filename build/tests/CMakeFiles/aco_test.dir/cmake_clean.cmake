@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aco_test.dir/aco_test.cpp.o"
+  "CMakeFiles/aco_test.dir/aco_test.cpp.o.d"
+  "aco_test"
+  "aco_test.pdb"
+  "aco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eant_test.dir/eant_test.cpp.o"
+  "CMakeFiles/eant_test.dir/eant_test.cpp.o.d"
+  "eant_test"
+  "eant_test.pdb"
+  "eant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

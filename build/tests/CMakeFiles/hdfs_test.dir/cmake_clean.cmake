@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_test.dir/hdfs_test.cpp.o"
+  "CMakeFiles/hdfs_test.dir/hdfs_test.cpp.o.d"
+  "hdfs_test"
+  "hdfs_test.pdb"
+  "hdfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

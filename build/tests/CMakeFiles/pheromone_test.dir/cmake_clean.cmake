@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pheromone_test.dir/pheromone_test.cpp.o"
+  "CMakeFiles/pheromone_test.dir/pheromone_test.cpp.o.d"
+  "pheromone_test"
+  "pheromone_test.pdb"
+  "pheromone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pheromone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
