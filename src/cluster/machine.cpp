@@ -42,7 +42,23 @@ void Machine::adjust_demand(double delta_cores) {
 }
 
 Utilization Machine::utilization() const {
+  if (!up_) return 0.0;
   return std::clamp(demand_cores_ / type_.cores, 0.0, 1.0);
+}
+
+void Machine::set_up(bool up) {
+  if (up == up_) return;
+  settle();  // integrate the old power state up to now
+  if (!up) {
+    EANT_CHECK(demand_cores_ < 1e-9,
+               "machine cannot power down while hosting task demand");
+  }
+  up_ = up;
+}
+
+Seconds Machine::downtime() {
+  settle();
+  return downtime_;
 }
 
 Joules Machine::energy() {
@@ -60,8 +76,9 @@ void Machine::settle() {
   EANT_ASSERT(now >= last_settle_, "simulation clock went backwards");
   const Seconds dt = now - last_settle_;
   if (dt > 0.0) {
-    energy_ += power() * dt;
+    energy_ += power() * dt;  // power() is 0 while the machine is down
     util_integral_ += utilization() * dt;
+    if (!up_) downtime_ += dt;
     last_settle_ = now;
   }
 }

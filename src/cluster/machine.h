@@ -65,11 +65,25 @@ class Machine {
   /// Current busy cores (sum of task demands, not clamped).
   double demand_cores() const { return demand_cores_; }
 
-  /// Machine-level CPU utilisation in [0, 1].
+  /// Machine-level CPU utilisation in [0, 1]; 0 while powered down.
   Utilization utilization() const;
 
-  /// Instantaneous wall power at the current utilisation.
-  Watts power() const { return type_.power_at(utilization()); }
+  /// Powers the machine down (crash) or back up.  While down the machine
+  /// draws zero power and its energy/utilisation integrals stop accruing.
+  /// Going down requires all task demand to have been released first (the
+  /// TaskTracker kills its attempts before pulling the plug).
+  void set_up(bool up);
+
+  /// True while the machine is powered on (the default).
+  bool is_up() const { return up_; }
+
+  /// Cumulative seconds spent powered down so far.
+  Seconds downtime();
+
+  /// Instantaneous wall power at the current utilisation; 0 while down.
+  Watts power() const {
+    return up_ ? type_.power_at(utilization()) : 0.0;
+  }
 
   /// Exact cumulative energy in joules from t=0 to the current sim time.
   Joules energy();
@@ -89,9 +103,11 @@ class Machine {
   MachineId id_;
   MachineType type_;
   double demand_cores_ = 0.0;
+  bool up_ = true;
   Seconds last_settle_ = 0.0;
   Joules energy_ = 0.0;
   double util_integral_ = 0.0;
+  Seconds downtime_ = 0.0;
 };
 
 }  // namespace eant::cluster

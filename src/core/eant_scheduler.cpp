@@ -52,6 +52,28 @@ void EAntScheduler::on_task_completed(const mr::TaskReport& report) {
   ++counts[report.machine];
 }
 
+void EAntScheduler::on_tracker_lost(cluster::MachineId machine) {
+  // The dead machine's learned attraction is void: floor its tau in every
+  // colony (and every class prior) so no colony declines live machines
+  // waiting for a corpse.  Pending interval reports from the machine are
+  // kept — the work *was* done and its energy was real.
+  table_->evaporate_machine(machine);
+}
+
+void EAntScheduler::on_tracker_rejoined(cluster::MachineId machine) {
+  // Neutral re-entry: the machine competes again at its rows' current scale
+  // and earns rank back through deposits.
+  table_->reseed_machine(machine);
+}
+
+void EAntScheduler::on_task_failed(const mr::TaskSpec& spec,
+                                   cluster::MachineId machine) {
+  // A failed attempt is negative evidence about the (job, machine) path —
+  // apply one evaporation step immediately rather than waiting for the
+  // control tick.
+  table_->penalize(spec.job, spec.kind, machine, 1.0 - config_.rho);
+}
+
 void EAntScheduler::control_tick() {
   ++intervals_;
   if (!interval_reports_.empty()) {
@@ -187,6 +209,7 @@ bool EAntScheduler::better_machine_free(mr::JobId job, mr::TaskKind kind,
   const std::size_t n = jt_->cluster().size();
   for (cluster::MachineId m = 0; m < n; ++m) {
     if (m == machine) continue;
+    if (!jt_->tracker_available(m)) continue;
     if (jt_->tracker(m).free_slots(kind) <= 0) continue;
     if (table_->tau(job, kind, m) > kBetterMachineMargin * own_tau) {
       return true;

@@ -78,6 +78,10 @@ class EAntScheduler final : public mr::Scheduler {
   void on_job_submitted(mr::JobId job) override;
   void on_job_finished(mr::JobId job) override;
   void on_task_completed(const mr::TaskReport& report) override;
+  void on_tracker_lost(cluster::MachineId machine) override;
+  void on_tracker_rejoined(cluster::MachineId machine) override;
+  void on_task_failed(const mr::TaskSpec& spec,
+                      cluster::MachineId machine) override;
   std::optional<mr::JobId> select_job(cluster::MachineId machine,
                                       mr::TaskKind kind) override;
   std::string name() const override { return "E-Ant"; }

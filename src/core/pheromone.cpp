@@ -113,6 +113,39 @@ void PheromoneTable::apply(const DeltaMap& deposits) {
   }
 }
 
+void PheromoneTable::evaporate_machine(cluster::MachineId machine) {
+  EANT_CHECK(machine < num_machines_, "machine id out of range");
+  for (auto& [key, row] : trails_) row[machine] = tau_min_;
+  for (auto& [key, row] : priors_) row[machine] = tau_min_;
+}
+
+void PheromoneTable::reseed_machine(cluster::MachineId machine) {
+  EANT_CHECK(machine < num_machines_, "machine id out of range");
+  const auto reseed = [this, machine](std::vector<double>& row) {
+    if (num_machines_ == 1) {
+      row[machine] = tau_init_;
+      return;
+    }
+    double sum = 0.0;
+    for (std::size_t m = 0; m < num_machines_; ++m) {
+      if (m != machine) sum += row[m];
+    }
+    row[machine] =
+        std::max(tau_min_, sum / static_cast<double>(num_machines_ - 1));
+  };
+  for (auto& [key, row] : trails_) reseed(row);
+  for (auto& [key, row] : priors_) reseed(row);
+}
+
+void PheromoneTable::penalize(mr::JobId job, mr::TaskKind kind,
+                              cluster::MachineId machine, double factor) {
+  EANT_CHECK(machine < num_machines_, "machine id out of range");
+  EANT_CHECK(factor >= 0.0 && factor <= 1.0, "penalty factor must be in [0,1]");
+  const auto it = trails_.find(TrailKey{job, kind});
+  if (it == trails_.end()) return;
+  it->second[machine] = std::max(tau_min_, it->second[machine] * factor);
+}
+
 const std::vector<double>* PheromoneTable::class_prior(
     const std::string& class_key, mr::TaskKind kind) const {
   const auto it = priors_.find({class_key, kind});

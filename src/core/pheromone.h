@@ -66,6 +66,23 @@ class PheromoneTable {
   /// the greater the chance of updating the pheromone value of that path".
   void apply(const DeltaMap& deposits);
 
+  /// Drops the machine's tau to the floor in every live trail and class
+  /// prior: a lost machine's accumulated attraction must not survive the
+  /// outage, or colonies keep declining working machines waiting for it.
+  void evaporate_machine(cluster::MachineId machine);
+
+  /// Re-seeds a rejoined machine's tau in every live trail and class prior
+  /// to the row's mean over the other machines — neutral standing at the
+  /// row's current scale, so the machine is explored again without
+  /// inheriting its pre-crash rank.
+  void reseed_machine(cluster::MachineId machine);
+
+  /// Multiplies one trail entry by `factor` (clamped at the floor) — the
+  /// immediate reaction to a failed attempt on the machine, ahead of the
+  /// next control tick.  Unknown colonies are ignored.
+  void penalize(mr::JobId job, mr::TaskKind kind, cluster::MachineId machine,
+                double factor);
+
   double rho() const { return rho_; }
   double tau_min() const { return tau_min_; }
   std::size_t num_machines() const { return num_machines_; }

@@ -10,12 +10,20 @@ Seconds RunMetrics::mean_completion(const std::string& class_name) const {
   double sum = 0.0;
   std::size_t n = 0;
   for (const auto& j : jobs) {
+    if (j.failed) continue;  // a failed job has no completion time
     if (!class_name.empty() && j.class_name != class_name) continue;
     sum += j.completion_time;
     ++n;
   }
   EANT_CHECK(n > 0, "no jobs match the requested class");
   return sum / static_cast<double>(n);
+}
+
+Seconds RunMetrics::mean_recovery_time() const {
+  if (recovery_times.empty()) return 0.0;
+  double sum = 0.0;
+  for (Seconds t : recovery_times) sum += t;
+  return sum / static_cast<double>(recovery_times.size());
 }
 
 const TypeMetrics& RunMetrics::type(const std::string& name) const {
@@ -27,7 +35,9 @@ const TypeMetrics& RunMetrics::type(const std::string& name) const {
 
 MetricsCollector::MetricsCollector(cluster::Cluster& cluster,
                                    mr::JobTracker& jt)
-    : cluster_(cluster), jt_(jt) {}
+    : cluster_(cluster),
+      jt_(jt),
+      model_(core::EnergyModel::from_cluster(cluster)) {}
 
 void MetricsCollector::install() {
   jt_.set_report_listener([this](const mr::TaskReport& r) {
@@ -55,9 +65,18 @@ void MetricsCollector::install() {
     jm.map_task_seconds = js.map_task_seconds();
     jm.shuffle_seconds = js.shuffle_seconds();
     jm.reduce_task_seconds = js.reduce_task_seconds();
+    jm.failed = js.failed();
     jobs_.push_back(jm);
     last_finish_ = std::max(last_finish_, js.finish_time());
   });
+
+  // Wasted work is costed with the same Eq. 2 estimator E-Ant itself uses,
+  // so "energy spent on discarded attempts" is directly comparable to the
+  // per-task energies the scheduler learned from.
+  jt_.set_waste_listener(
+      [this](const mr::TaskReport& r, mr::WasteReason /*reason*/) {
+        wasted_energy_ += model_.estimate(r);
+      });
 }
 
 RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
@@ -68,6 +87,13 @@ RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
   rm.total_tasks = total_tasks_;
   rm.local_maps = local_maps_;
   rm.total_maps = total_maps_;
+  rm.jobs_failed = jt_.jobs_failed();
+  rm.killed_attempts = jt_.killed_attempts();
+  rm.failed_attempts = jt_.failed_attempts();
+  rm.lost_map_outputs = jt_.lost_map_outputs();
+  rm.wasted_task_seconds = jt_.wasted_task_seconds();
+  rm.wasted_energy = wasted_energy_;
+  rm.recovery_times = jt_.recovery_times();
 
   const Seconds elapsed = jt_.simulator().now();
   for (const auto& type_name : cluster_.type_names()) {

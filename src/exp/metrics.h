@@ -10,6 +10,7 @@
 
 #include "cluster/cluster.h"
 #include "common/units.h"
+#include "core/energy_model.h"
 #include "mapreduce/job_tracker.h"
 #include "workload/job_spec.h"
 
@@ -38,6 +39,7 @@ struct JobMetrics {
   double map_task_seconds = 0.0;
   double shuffle_seconds = 0.0;
   double reduce_task_seconds = 0.0;
+  bool failed = false;  ///< ran out of task attempts; excluded from means
 };
 
 /// Everything measured over one experiment run.
@@ -50,6 +52,25 @@ struct RunMetrics {
   std::size_t total_tasks = 0;
   std::size_t local_maps = 0;
   std::size_t total_maps = 0;
+
+  // --- fault & recovery accounting (fig. 13) ---------------------------------
+  std::size_t jobs_failed = 0;
+  std::size_t killed_attempts = 0;    ///< attempts that died with a machine
+  std::size_t failed_attempts = 0;    ///< transient attempt failures
+  std::size_t lost_map_outputs = 0;   ///< completed maps re-run after node loss
+  double wasted_task_seconds = 0.0;   ///< task-seconds of discarded work
+  Joules wasted_energy = 0.0;         ///< Eq. 2 estimate over discarded work
+  std::vector<Seconds> recovery_times;  ///< per node-loss episode
+
+  Seconds mean_recovery_time() const;
+  double wasted_energy_kj() const {
+    return wasted_energy / kJoulesPerKilojoule;
+  }
+
+  /// Fraction of the fleet's total energy that went into discarded work.
+  double wasted_energy_fraction() const {
+    return total_energy <= 0.0 ? 0.0 : wasted_energy / total_energy;
+  }
 
   double locality_fraction() const {
     return total_maps == 0
@@ -80,6 +101,8 @@ class MetricsCollector {
  private:
   cluster::Cluster& cluster_;
   mr::JobTracker& jt_;
+  core::EnergyModel model_;  ///< Eq. 2 estimator for wasted-work energy
+  Joules wasted_energy_ = 0.0;
   std::map<std::string, std::map<std::string, std::size_t>> tasks_by_type_app_;
   std::map<std::string, std::size_t> maps_by_type_;
   std::map<std::string, std::size_t> reduces_by_type_;

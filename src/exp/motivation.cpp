@@ -118,7 +118,8 @@ PhaseBreakdown phase_breakdown(workload::AppKind app, Megabytes input_mb,
           config);
   run.submit({single_job(app, input_mb, 8)});
   run.execute();
-  const auto& jm = run.metrics().jobs.at(0);
+  const RunMetrics metrics = run.metrics();
+  const JobMetrics& jm = metrics.jobs.at(0);
   const double total =
       jm.map_task_seconds + jm.shuffle_seconds + jm.reduce_task_seconds;
   EANT_ASSERT(total > 0.0, "job accumulated no task time");

@@ -73,6 +73,24 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
                                          *scheduler_, *noise_,
                                          config_.job_tracker);
   jt_->start_trackers();
+
+  if (config_.faults.enabled()) {
+    // A dedicated RNG fork: enabling fault injection never perturbs the
+    // namenode/noise/scheduler draws of an otherwise-identical run.
+    injector_ = std::make_unique<sim::FaultInjector>(
+        *sim_, config_.faults, root.fork(3), cluster_->size());
+    injector_->set_handlers(
+        [this](std::size_t m) { jt_->tracker(m).crash(); },
+        [this](std::size_t m) { jt_->tracker(m).restart(); });
+    injector_->start();
+    if (config_.faults.task_failure_prob > 0.0) {
+      jt_->set_attempt_fault_hook(
+          [this](const mr::TaskSpec&, cluster::MachineId) {
+            return injector_->draw_attempt_failure();
+          });
+    }
+  }
+
   collector_ = std::make_unique<MetricsCollector>(*cluster_, *jt_);
   collector_->install();
 }

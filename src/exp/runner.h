@@ -15,6 +15,7 @@
 #include "hdfs/namenode.h"
 #include "mapreduce/job_tracker.h"
 #include "mapreduce/noise.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 
 namespace eant::exp {
@@ -30,6 +31,7 @@ struct RunConfig {
   mr::NoiseConfig noise = mr::NoiseConfig::none();
   mr::JobTrackerConfig job_tracker;
   core::EAntConfig eant;       ///< used when scheduler == kEAnt
+  sim::FaultPlan faults;       ///< machine/task fault injection (off by default)
   Seconds time_limit = 14.0 * 24 * 3600;  ///< safety stop (sim time)
 };
 
@@ -62,6 +64,9 @@ class Run {
   /// Non-null only for SchedulerKind::kEAnt runs.
   core::EAntScheduler* eant() { return eant_; }
 
+  /// Non-null only when the RunConfig's FaultPlan injects something.
+  sim::FaultInjector* fault_injector() { return injector_.get(); }
+
  private:
   RunConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -71,6 +76,7 @@ class Run {
   std::unique_ptr<mr::Scheduler> scheduler_;
   core::EAntScheduler* eant_ = nullptr;
   std::unique_ptr<mr::JobTracker> jt_;
+  std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<MetricsCollector> collector_;
 };
 

@@ -46,6 +46,7 @@ void JobState::init_maps(const std::vector<hdfs::BlockId>& blocks,
   map_state_.status.assign(maps_.size(), TaskStatus::kPending);
   map_state_.speculative.assign(maps_.size(), false);
   map_state_.start_time.assign(maps_.size(), 0.0);
+  map_state_.failed_attempts.assign(maps_.size(), 0);
 }
 
 void JobState::init_reduces(std::vector<TaskSpec> reduces) {
@@ -55,6 +56,7 @@ void JobState::init_reduces(std::vector<TaskSpec> reduces) {
   reduce_state_.status.assign(reduces_.size(), TaskStatus::kPending);
   reduce_state_.speculative.assign(reduces_.size(), false);
   reduce_state_.start_time.assign(reduces_.size(), 0.0);
+  reduce_state_.failed_attempts.assign(reduces_.size(), 0);
   for (TaskIndex i = 0; i < reduces_.size(); ++i) {
     reduce_state_.pending_queue.push_back(i);
   }
@@ -208,6 +210,48 @@ bool JobState::is_speculative(TaskKind kind, TaskIndex index) const {
   const auto& ks = state(kind);
   EANT_CHECK(index < ks.status.size(), "task index out of range");
   return ks.speculative[index];
+}
+
+void JobState::clear_speculative(TaskKind kind, TaskIndex index) {
+  auto& ks = state(kind);
+  EANT_CHECK(index < ks.status.size(), "task index out of range");
+  ks.speculative[index] = false;
+}
+
+int JobState::record_attempt_failure(TaskKind kind, TaskIndex index) {
+  auto& ks = state(kind);
+  EANT_CHECK(index < ks.failed_attempts.size(), "task index out of range");
+  return ++ks.failed_attempts[index];
+}
+
+int JobState::failed_attempts(TaskKind kind, TaskIndex index) const {
+  const auto& ks = state(kind);
+  EANT_CHECK(index < ks.failed_attempts.size(), "task index out of range");
+  return ks.failed_attempts[index];
+}
+
+void JobState::revert_done_map(TaskIndex index, Seconds duration,
+                               const std::vector<cluster::MachineId>& replicas,
+                               cluster::MachineId machine) {
+  auto& ks = map_state_;
+  EANT_CHECK(index < ks.status.size(), "task index out of range");
+  EANT_CHECK(ks.status[index] == TaskStatus::kDone,
+             "only a completed map can be reverted");
+  EANT_CHECK(machine < num_machines_, "machine id out of range");
+  ks.status[index] = TaskStatus::kPending;
+  EANT_ASSERT(ks.done > 0, "done-count underflow");
+  --ks.done;
+  EANT_ASSERT(ks.completed_per_machine[machine] > 0,
+              "completion histogram underflow");
+  --ks.completed_per_machine[machine];
+  ks.completed_duration_sum -= duration;
+  ks.speculative[index] = false;
+  ks.start_time[index] = 0.0;
+  ks.pending_queue.push_back(index);
+  for (cluster::MachineId m : replicas) {
+    EANT_ASSERT(m < num_machines_, "block replica on unknown machine");
+    local_maps_[m].push_back(index);
+  }
 }
 
 const TaskSpec& JobState::task(TaskKind kind, TaskIndex index) const {

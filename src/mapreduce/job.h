@@ -82,9 +82,35 @@ class JobState {
   void mark_speculative(TaskKind kind, TaskIndex index);
   bool is_speculative(TaskKind kind, TaskIndex index) const;
 
+  /// Clears the speculative flag: one of the twin attempts died and the
+  /// survivor continues as the task's only attempt.
+  void clear_speculative(TaskKind kind, TaskIndex index);
+
+  // --- fault tolerance ----------------------------------------------------------
+
+  /// Counts one failed attempt of the task; returns the new total.  The
+  /// JobTracker fails the job once this reaches max_attempts (Hadoop's
+  /// mapred.*.max.attempts semantics).  Attempts killed by machine loss are
+  /// *not* counted — Hadoop distinguishes KILLED from FAILED.
+  int record_attempt_failure(TaskKind kind, TaskIndex index);
+  int failed_attempts(TaskKind kind, TaskIndex index) const;
+
+  /// Reverts a completed map whose output was lost with its machine's local
+  /// disk: Done -> Pending, undoing the completion counters (`duration` and
+  /// `machine` are the lost completion's).  `replicas` re-seeds the
+  /// data-locality index for the re-execution.
+  void revert_done_map(TaskIndex index, Seconds duration,
+                       const std::vector<cluster::MachineId>& replicas,
+                       cluster::MachineId machine);
+
+  /// Marks the whole job failed (a task ran out of attempts).  A failed job
+  /// never completes; the JobTracker retires it.
+  void set_failed() { failed_ = true; }
+  bool failed() const { return failed_; }
+
   bool all_maps_done() const { return done(TaskKind::kMap) == maps_.size(); }
   bool complete() const {
-    return reduces_built_ && all_maps_done() &&
+    return !failed_ && reduces_built_ && all_maps_done() &&
            done(TaskKind::kReduce) == reduces_.size();
   }
 
@@ -134,6 +160,7 @@ class JobState {
     std::vector<std::size_t> completed_per_machine;
     std::vector<bool> speculative;
     std::vector<Seconds> start_time;
+    std::vector<int> failed_attempts;
     double completed_duration_sum = 0.0;
   };
 
@@ -156,6 +183,7 @@ class JobState {
   /// (lazily cleaned: entries may be stale once a task leaves Pending).
   std::vector<std::deque<TaskIndex>> local_maps_;
 
+  bool failed_ = false;
   Seconds finish_time_ = 0.0;
   double map_task_seconds_ = 0.0;
   double shuffle_seconds_ = 0.0;

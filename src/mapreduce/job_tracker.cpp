@@ -23,8 +23,16 @@ JobTracker::JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
              "reduce_slowstart must be a fraction");
   EANT_CHECK(config_.shuffle_mbps > 0.0 && config_.remote_read_mbps > 0.0,
              "bandwidths must be positive");
+  EANT_CHECK(config_.tracker_expiry_window >= 0.0,
+             "tracker expiry window must be non-negative");
+  EANT_CHECK(config_.max_attempts >= 1, "tasks need at least one attempt");
+  EANT_CHECK(config_.blacklist_threshold >= 0 &&
+                 config_.blacklist_duration >= 0.0,
+             "blacklist parameters must be non-negative");
   scheduler_.attach(*this);
 }
+
+JobTracker::~JobTracker() { sim_.cancel(expiry_event_); }
 
 void JobTracker::start_trackers() {
   EANT_CHECK(trackers_.empty(), "trackers already started");
@@ -46,6 +54,16 @@ void JobTracker::start_trackers() {
   for (cluster::MachineId id = 0; id < cluster_.size(); ++id) {
     const auto& type = cluster_.machine(id).type();
     capability_share_[id] = type.cores * type.cpu_factor / total_capability;
+  }
+  tracker_states_.resize(cluster_.size());
+  if (config_.tracker_expiry_window > 0.0) {
+    // The real JobTracker sweeps for expired trackers on a timer of its own;
+    // one sweep per heartbeat interval bounds detection latency at
+    // expiry_window + heartbeat_interval.
+    expiry_event_ = sim_.schedule_periodic(config_.heartbeat_interval, [this] {
+      check_tracker_expiry();
+      return true;
+    });
   }
 }
 
@@ -81,6 +99,21 @@ void JobTracker::submit_all(const std::vector<workload::JobSpec>& specs) {
 }
 
 void JobTracker::handle_heartbeat(TaskTracker& tracker) {
+  const cluster::MachineId m = tracker.machine_id();
+  TrackerState& ts = tracker_states_[m];
+  ts.last_heartbeat = sim_.now();
+  if (ts.lost) {
+    // A declared-lost tracker heartbeating again has rejoined (its lost work
+    // was already re-queued at expiry time).
+    ts.lost = false;
+    scheduler_.on_tracker_rejoined(m);
+  } else if (ts.crash_pending) {
+    // Fast restart: the node crashed and came back before the expiry window
+    // elapsed, so the JobTracker never declared it lost — but the attempts
+    // (and any local map outputs) died with the crash all the same.
+    reclaim_lost_work(m);
+  }
+  if (ts.blacklisted) return;  // no new work while blacklisted
   try_assign(tracker, TaskKind::kMap);
   try_assign(tracker, TaskKind::kReduce);
 }
@@ -148,12 +181,24 @@ void JobTracker::try_assign(TaskTracker& tracker, TaskKind kind) {
       local = config_.locality_override(js.task(kind, *index), m);
     }
 
-    const TaskSpec& spec = js.task(kind, *index);
-    const Seconds duration =
-        compute_duration(js, spec, cluster_.machine(m), local);
-    js.mark_started(kind, *index, m, sim_.now());
-    tracker.start_task(spec, duration, local);
+    launch(js, kind, *index, tracker, local);
   }
+}
+
+void JobTracker::launch(JobState& js, TaskKind kind, TaskIndex index,
+                        TaskTracker& tracker, bool local) {
+  const cluster::MachineId m = tracker.machine_id();
+  const TaskSpec& spec = js.task(kind, index);
+  const Seconds duration =
+      compute_duration(js, spec, cluster_.machine(m), local);
+  Seconds fail_after = 0.0;
+  if (attempt_fault_hook_) {
+    if (const auto frac = attempt_fault_hook_(spec, m)) {
+      fail_after = *frac * duration;
+    }
+  }
+  js.mark_started(kind, index, m, sim_.now());
+  tracker.start_task(spec, duration, local, fail_after);
 }
 
 Seconds JobTracker::base_duration(const TaskSpec& spec,
@@ -236,24 +281,24 @@ void JobTracker::maybe_build_reduces(JobState& js) {
 bool JobTracker::start_speculative(JobId job, TaskKind kind, TaskIndex index,
                                    TaskTracker& tracker) {
   JobState& js = job_mutable(job);
+  if (js.failed()) return false;
   if (js.status(kind, index) != TaskStatus::kRunning) return false;
   if (js.is_speculative(kind, index)) return false;
+  if (!tracker_available(tracker.machine_id())) return false;
   if (tracker.free_slots(kind) <= 0) return false;
 
   const TaskSpec& spec = js.task(kind, index);
   const cluster::MachineId m = tracker.machine_id();
   const bool local =
       kind == TaskKind::kReduce || namenode_.is_local(spec.block, m);
-  const Seconds duration =
-      compute_duration(js, spec, cluster_.machine(m), local);
   js.mark_speculative(kind, index);
-  js.mark_started(kind, index, m, sim_.now());
-  tracker.start_task(spec, duration, local);
+  launch(js, kind, index, tracker, local);
   return true;
 }
 
 void JobTracker::handle_completion(TaskReport report) {
   JobState& js = job_mutable(report.spec.job);
+  if (js.failed()) return;  // late completion of an already-failed job
   // A speculative twin may already have completed this task; the losing
   // attempt's report is dropped.
   if (js.status(report.spec.kind, report.spec.index) == TaskStatus::kDone) {
@@ -268,6 +313,13 @@ void JobTracker::handle_completion(TaskReport report) {
       t->cancel_task(report.spec.job, report.spec.kind, report.spec.index);
     }
   }
+  // A completed map's output lives on the worker's local disk until the job
+  // finishes — it dies (and must be re-run) if that node does.
+  if (report.spec.kind == TaskKind::kMap) {
+    tracker_states_[report.machine]
+        .map_outputs[{report.spec.job, report.spec.index}] = report;
+  }
+  note_recovered(report.spec.job, report.spec.kind, report.spec.index);
   maybe_build_reduces(js);
 
   scheduler_.on_task_completed(report);
@@ -278,9 +330,192 @@ void JobTracker::handle_completion(TaskReport report) {
     ++jobs_completed_;
     active_.erase(std::remove(active_.begin(), active_.end(), js.id()),
                   active_.end());
+    drop_job_bookkeeping(js.id());
     scheduler_.on_job_finished(js.id());
     if (job_finished_listener_) job_finished_listener_(js);
   }
+}
+
+void JobTracker::report_waste(const TaskReport& report, WasteReason reason) {
+  wasted_task_seconds_ += report.duration();
+  if (waste_listener_) waste_listener_(report, reason);
+}
+
+bool JobTracker::running_elsewhere(JobId job, TaskKind kind,
+                                   TaskIndex index) const {
+  for (const auto& t : trackers_) {
+    if (t->is_running(job, kind, index)) return true;
+  }
+  return false;
+}
+
+void JobTracker::record_crash_casualties(cluster::MachineId machine,
+                                         std::vector<TaskReport> killed) {
+  EANT_CHECK(machine < tracker_states_.size(), "unknown tracker crashed");
+  TrackerState& ts = tracker_states_[machine];
+  ts.crash_pending = true;
+  killed_attempts_ += killed.size();
+  for (auto& r : killed) {
+    report_waste(r, WasteReason::kCrashKilled);
+    ts.lost_attempts.push_back(std::move(r));
+  }
+}
+
+void JobTracker::handle_task_failure(TaskReport report) {
+  const cluster::MachineId m = report.machine;
+  EANT_CHECK(m < tracker_states_.size(), "failure from unknown tracker");
+  TrackerState& ts = tracker_states_[m];
+  ++failed_attempts_;
+  report_waste(report, WasteReason::kAttemptFailed);
+  scheduler_.on_task_failed(report.spec, m);
+
+  ++ts.failures;
+  if (config_.blacklist_threshold > 0 && !ts.blacklisted &&
+      ts.failures >= config_.blacklist_threshold) {
+    ts.blacklisted = true;
+    scheduler_.on_tracker_lost(m);
+    sim_.schedule_after(config_.blacklist_duration, [this, m] {
+      TrackerState& s = tracker_states_[m];
+      s.blacklisted = false;
+      s.failures = 0;
+      if (trackers_[m]->alive() && !s.lost) scheduler_.on_tracker_rejoined(m);
+    });
+  }
+
+  JobState& js = job_mutable(report.spec.job);
+  const TaskKind kind = report.spec.kind;
+  const TaskIndex index = report.spec.index;
+  if (js.failed() || js.complete()) return;
+  // A speculative winner may already have finished the task; the loser's
+  // failure is then moot.
+  if (js.status(kind, index) != TaskStatus::kRunning) return;
+
+  const int attempts = js.record_attempt_failure(kind, index);
+  if (attempts >= config_.max_attempts) {
+    fail_job(js);
+    return;
+  }
+  js.clear_speculative(kind, index);
+  if (!running_elsewhere(report.spec.job, kind, index)) {
+    js.unclaim(kind, index, m);  // re-queue for the next attempt
+  }
+  // else: the speculative twin is still running and carries the task alone.
+}
+
+void JobTracker::check_tracker_expiry() {
+  if (config_.tracker_expiry_window <= 0.0) return;
+  const Seconds now = sim_.now();
+  for (cluster::MachineId m = 0; m < tracker_states_.size(); ++m) {
+    TrackerState& ts = tracker_states_[m];
+    if (ts.lost) continue;
+    if (now - ts.last_heartbeat <= config_.tracker_expiry_window) continue;
+    ts.lost = true;
+    reclaim_lost_work(m);
+    scheduler_.on_tracker_lost(m);
+  }
+}
+
+void JobTracker::reclaim_lost_work(cluster::MachineId machine) {
+  TrackerState& ts = tracker_states_[machine];
+  ts.crash_pending = false;
+  RecoveryRecord rec;
+  rec.start = sim_.now();
+
+  // Attempts that were running when the node died: back to Pending, unless a
+  // speculative twin elsewhere already carries (or carried) the task.
+  for (auto& r : ts.lost_attempts) {
+    JobState& js = job_mutable(r.spec.job);
+    if (js.failed() || js.complete()) continue;
+    const TaskKind kind = r.spec.kind;
+    const TaskIndex index = r.spec.index;
+    if (js.status(kind, index) != TaskStatus::kRunning) continue;
+    js.clear_speculative(kind, index);
+    if (running_elsewhere(r.spec.job, kind, index)) continue;
+    js.unclaim(kind, index, machine);
+    rec.outstanding.insert({r.spec.job, kind, index});
+  }
+  ts.lost_attempts.clear();
+
+  // Completed map outputs lived on the node's local disk: in-flight jobs
+  // must re-run those maps (reduce outputs are HDFS-replicated and safe).
+  for (auto& [key, r] : ts.map_outputs) {
+    JobState& js = job_mutable(key.first);
+    if (js.failed() || js.complete()) continue;
+    if (js.status(TaskKind::kMap, key.second) != TaskStatus::kDone) continue;
+    js.revert_done_map(key.second, r.duration(),
+                       namenode_.locations(r.spec.block), machine);
+    ++lost_map_outputs_;
+    report_waste(r, WasteReason::kLostMapOutput);
+    rec.outstanding.insert({key.first, TaskKind::kMap, key.second});
+  }
+  ts.map_outputs.clear();
+
+  if (!rec.outstanding.empty()) recoveries_.push_back(std::move(rec));
+}
+
+void JobTracker::note_recovered(JobId job, TaskKind kind, TaskIndex index) {
+  for (auto it = recoveries_.begin(); it != recoveries_.end();) {
+    it->outstanding.erase({job, kind, index});
+    if (it->outstanding.empty()) {
+      recovery_times_.push_back(sim_.now() - it->start);
+      it = recoveries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void JobTracker::drop_job_bookkeeping(JobId job) {
+  for (auto& ts : tracker_states_) {
+    std::erase_if(ts.map_outputs,
+                  [job](const auto& kv) { return kv.first.first == job; });
+    std::erase_if(ts.lost_attempts,
+                  [job](const TaskReport& r) { return r.spec.job == job; });
+  }
+  for (auto it = recoveries_.begin(); it != recoveries_.end();) {
+    std::erase_if(it->outstanding,
+                  [job](const auto& key) { return std::get<0>(key) == job; });
+    if (it->outstanding.empty()) {
+      it = recoveries_.erase(it);  // aborted by job retirement, not timed
+    } else {
+      ++it;
+    }
+  }
+}
+
+void JobTracker::fail_job(JobState& js) {
+  js.set_failed();
+  js.set_finish_time(sim_.now());
+  ++jobs_failed_;
+  active_.erase(std::remove(active_.begin(), active_.end(), js.id()),
+                active_.end());
+  // Kill the job's surviving attempts everywhere; their partial work is
+  // wasted along with everything the job already completed.
+  for (auto& t : trackers_) {
+    if (!t->alive()) continue;
+    for (auto& r : t->cancel_job(js.id())) {
+      report_waste(r, WasteReason::kJobFailed);
+    }
+  }
+  drop_job_bookkeeping(js.id());
+  scheduler_.on_job_finished(js.id());
+  if (job_finished_listener_) job_finished_listener_(js);
+}
+
+bool JobTracker::tracker_available(cluster::MachineId id) const {
+  EANT_CHECK(id < trackers_.size(), "tracker id out of range");
+  const TrackerState& ts = tracker_states_[id];
+  return trackers_[id]->alive() && !ts.lost && !ts.blacklisted;
+}
+
+bool JobTracker::tracker_lost(cluster::MachineId id) const {
+  EANT_CHECK(id < tracker_states_.size(), "tracker id out of range");
+  return tracker_states_[id].lost;
+}
+
+bool JobTracker::tracker_blacklisted(cluster::MachineId id) const {
+  EANT_CHECK(id < tracker_states_.size(), "tracker id out of range");
+  return tracker_states_[id].blacklisted;
 }
 
 const JobState& JobTracker::job(JobId id) const {
@@ -307,7 +542,10 @@ int JobTracker::total_slots() const {
 
 int JobTracker::total_free_slots(TaskKind kind) const {
   int total = 0;
-  for (const auto& t : trackers_) total += t->free_slots(kind);
+  for (cluster::MachineId m = 0; m < trackers_.size(); ++m) {
+    if (!tracker_available(m)) continue;
+    total += trackers_[m]->free_slots(kind);
+  }
   return total;
 }
 

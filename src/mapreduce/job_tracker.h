@@ -4,11 +4,23 @@
 // Scheduler which job should receive each free slot, computes task runtimes
 // from machine characteristics (including remote-read and shuffle costs) and
 // drives the job lifecycle (maps -> shuffle/reduce gating -> completion).
+//
+// Fault tolerance follows Hadoop 1.x: a crashed tracker is detected only by
+// heartbeat silence (tracker expiry); its running attempts AND the completed
+// map outputs of in-flight jobs are re-queued, because map outputs live on
+// the dead node's local disk while reduce outputs are HDFS-replicated.
+// Transient attempt failures count toward a per-task max_attempts budget
+// (exhaustion fails the job) and a per-tracker blacklist threshold.
 
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -61,6 +73,35 @@ struct JobTrackerConfig {
   /// overriding real block placement — used by the Fig. 6 experiment to
   /// control the data-locality percentage directly.
   std::function<bool(const TaskSpec&, cluster::MachineId)> locality_override;
+
+  // --- fault tolerance --------------------------------------------------------
+
+  /// A tracker that has not heartbeat for this long is declared lost and its
+  /// work re-queued (Hadoop's mapred.tasktracker.expiry.interval, 10 min).
+  /// 0 disables loss detection.
+  Seconds tracker_expiry_window = 600.0;
+
+  /// A task whose attempt fails this many times fails its whole job
+  /// (Hadoop's mapred.map/reduce.max.attempts).  Attempts killed by node
+  /// loss do not count — Hadoop distinguishes KILLED from FAILED.
+  int max_attempts = 4;
+
+  /// A tracker accumulating this many attempt failures is blacklisted —
+  /// no new work until `blacklist_duration` passes.  0 disables.
+  int blacklist_threshold = 4;
+
+  /// How long a blacklisted tracker sits out before its failure count is
+  /// forgiven.
+  Seconds blacklist_duration = 3600.0;
+};
+
+/// Why a piece of completed-or-partial work was thrown away — tags the
+/// wasted-work reports delivered to the waste listener.
+enum class WasteReason {
+  kCrashKilled,    ///< attempt died with its machine
+  kAttemptFailed,  ///< transient task failure
+  kLostMapOutput,  ///< completed map re-run because its output died with a node
+  kJobFailed,      ///< attempts killed when their job ran out of retries
 };
 
 /// Master node: job admission, heartbeat-driven assignment, lifecycle.
@@ -69,6 +110,8 @@ class JobTracker {
   JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
              hdfs::NameNode& namenode, Scheduler& scheduler,
              NoiseModel& noise, JobTrackerConfig config = {});
+
+  ~JobTracker();
 
   JobTracker(const JobTracker&) = delete;
   JobTracker& operator=(const JobTracker&) = delete;
@@ -92,6 +135,19 @@ class JobTracker {
 
   void handle_heartbeat(TaskTracker& tracker);
   void handle_completion(TaskReport report);
+
+  /// A running attempt died of a transient fault (injected via the attempt
+  /// fault hook).  Counts toward the task's max_attempts and the tracker's
+  /// blacklist threshold; the task re-queues unless its job runs dry.
+  void handle_task_failure(TaskReport report);
+
+  /// Called by a crashing TaskTracker with the partial-work reports of its
+  /// killed attempts.  Accounting + deferred-requeue bookkeeping only: the
+  /// protocol reaction (re-queueing, scheduler notification) waits until the
+  /// loss is *detected* — heartbeat expiry or the tracker's rejoin —
+  /// mirroring real Hadoop, where a dead node is just silence.
+  void record_crash_casualties(cluster::MachineId machine,
+                               std::vector<TaskReport> killed);
 
   /// Launches a duplicate attempt of a Running task on the given tracker
   /// (LATE-style speculation).  The first attempt to finish wins; the twin
@@ -126,9 +182,37 @@ class JobTracker {
   double capability_share(cluster::MachineId id) const;
 
   bool all_done() const {
-    return jobs_completed_ == jobs_expected_ && jobs_expected_ > 0;
+    return jobs_completed_ + jobs_failed_ == jobs_expected_ &&
+           jobs_expected_ > 0;
   }
   std::size_t jobs_completed() const { return jobs_completed_; }
+  std::size_t jobs_failed() const { return jobs_failed_; }
+
+  // --- fault-tolerance queries ------------------------------------------------
+
+  /// True iff the machine's tracker can receive work: alive, not declared
+  /// lost, not blacklisted.  Schedulers weighing "is a better machine free"
+  /// must consult this, not just free_slots().
+  bool tracker_available(cluster::MachineId id) const;
+
+  bool tracker_lost(cluster::MachineId id) const;
+  bool tracker_blacklisted(cluster::MachineId id) const;
+
+  /// Attempts killed by machine crashes / transient failures so far.
+  std::size_t killed_attempts() const { return killed_attempts_; }
+  std::size_t failed_attempts() const { return failed_attempts_; }
+
+  /// Completed maps re-executed because their output died with a node.
+  std::size_t lost_map_outputs() const { return lost_map_outputs_; }
+
+  /// Task-seconds of work thrown away (killed, failed and re-run attempts).
+  double wasted_task_seconds() const { return wasted_task_seconds_; }
+
+  /// One entry per node-loss episode that orphaned work: seconds from loss
+  /// detection until every re-queued task had completed again.
+  const std::vector<Seconds>& recovery_times() const {
+    return recovery_times_;
+  }
 
   cluster::Cluster& cluster() { return cluster_; }
   const hdfs::NameNode& namenode() const { return namenode_; }
@@ -141,12 +225,49 @@ class JobTracker {
     report_listener_ = std::move(fn);
   }
 
-  /// Invoked when a job finishes.
+  /// Invoked when a job finishes (successfully or failed — check
+  /// JobState::failed()).
   void set_job_finished_listener(std::function<void(const JobState&)> fn) {
     job_finished_listener_ = std::move(fn);
   }
 
+  /// Consulted once per attempt launch; returning a value in (0, 1) makes
+  /// the attempt fail after that fraction of its duration (the FaultInjector
+  /// plugs its transient-failure draw in here).
+  void set_attempt_fault_hook(
+      std::function<std::optional<double>(const TaskSpec&, cluster::MachineId)>
+          fn) {
+    attempt_fault_hook_ = std::move(fn);
+  }
+
+  /// Invoked for every piece of wasted work, tagged with why it was wasted.
+  void set_waste_listener(std::function<void(const TaskReport&, WasteReason)> fn) {
+    waste_listener_ = std::move(fn);
+  }
+
  private:
+  /// Per-tracker master-side bookkeeping (heartbeat freshness, loss state,
+  /// blacklist, and the work that dies if the node does).
+  struct TrackerState {
+    Seconds last_heartbeat = 0.0;
+    bool lost = false;
+    bool blacklisted = false;
+    /// The node crashed and its casualties await detection + re-queue.
+    bool crash_pending = false;
+    int failures = 0;
+    /// Attempts killed by a crash, awaiting detection + re-queue.
+    std::vector<TaskReport> lost_attempts;
+    /// Completed map outputs on the node's local disk, lost with it.
+    std::map<std::pair<JobId, TaskIndex>, TaskReport> map_outputs;
+  };
+
+  /// One node-loss episode: tasks re-queued at detection, drained as they
+  /// complete again; the drain instant closes the recovery window.
+  struct RecoveryRecord {
+    Seconds start = 0.0;
+    std::set<std::tuple<JobId, TaskKind, TaskIndex>> outstanding;
+  };
+
   JobState& job_mutable(JobId id);
   void try_assign(TaskTracker& tracker, TaskKind kind);
   void try_speculate(TaskTracker& tracker, TaskKind kind);
@@ -156,6 +277,15 @@ class JobTracker {
                            const cluster::Machine& machine, bool local);
   void maybe_build_reduces(JobState& js);
   double shuffle_skew_penalty(const JobState& js) const;
+  void launch(JobState& js, TaskKind kind, TaskIndex index,
+              TaskTracker& tracker, bool local);
+  void check_tracker_expiry();
+  void reclaim_lost_work(cluster::MachineId machine);
+  void fail_job(JobState& js);
+  void report_waste(const TaskReport& report, WasteReason reason);
+  void note_recovered(JobId job, TaskKind kind, TaskIndex index);
+  void drop_job_bookkeeping(JobId job);
+  bool running_elsewhere(JobId job, TaskKind kind, TaskIndex index) const;
 
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
@@ -170,9 +300,22 @@ class JobTracker {
   std::vector<double> capability_share_;
   std::size_t jobs_expected_ = 0;
   std::size_t jobs_completed_ = 0;
+  std::size_t jobs_failed_ = 0;
+
+  std::vector<TrackerState> tracker_states_;
+  std::vector<RecoveryRecord> recoveries_;
+  std::vector<Seconds> recovery_times_;
+  std::size_t killed_attempts_ = 0;
+  std::size_t failed_attempts_ = 0;
+  std::size_t lost_map_outputs_ = 0;
+  double wasted_task_seconds_ = 0.0;
+  sim::EventId expiry_event_ = 0;
 
   std::function<void(const TaskReport&)> report_listener_;
   std::function<void(const JobState&)> job_finished_listener_;
+  std::function<std::optional<double>(const TaskSpec&, cluster::MachineId)>
+      attempt_fault_hook_;
+  std::function<void(const TaskReport&, WasteReason)> waste_listener_;
 };
 
 }  // namespace eant::mr

@@ -35,6 +35,24 @@ class Scheduler {
   /// E-Ant's task analyzer consumes (Sec. III-A).
   virtual void on_task_completed(const TaskReport& report) { (void)report; }
 
+  /// Fault notifications.  The JobTracker declares a machine's tracker lost
+  /// when its heartbeats expire or it is blacklisted; `rejoined` fires when
+  /// a restarted tracker heartbeats again (or the blacklist lapses).  While
+  /// lost, the machine is never offered to select_job, but schedulers that
+  /// keep per-machine state (E-Ant's pheromone rows) should decay or drop it
+  /// so stale attraction does not survive the outage.
+  virtual void on_tracker_lost(cluster::MachineId machine) { (void)machine; }
+  virtual void on_tracker_rejoined(cluster::MachineId machine) {
+    (void)machine;
+  }
+
+  /// A task attempt died on the machine (transient failure, not node loss).
+  virtual void on_task_failed(const TaskSpec& spec,
+                              cluster::MachineId machine) {
+    (void)spec;
+    (void)machine;
+  }
+
   /// Chooses the job that should occupy one free `kind` slot on `machine`,
   /// or nothing to leave the slot idle this heartbeat.  Only jobs with a
   /// pending task of `kind` are valid choices.

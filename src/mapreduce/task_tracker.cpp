@@ -24,18 +24,22 @@ TaskTracker::TaskTracker(sim::Simulator& sim, cluster::Machine& machine,
              "heartbeat phase must be within one interval");
   EANT_CHECK(map_slots >= 0 && reduce_slots >= 0,
              "slot counts must be non-negative");
-  heartbeat_event_ = sim_.schedule_periodic(
-      heartbeat_, [this] { return heartbeat(); },
-      heartbeat_phase > 0.0 ? heartbeat_phase : heartbeat_);
+  start_heartbeat(heartbeat_phase > 0.0 ? heartbeat_phase : heartbeat_);
 }
 
 TaskTracker::~TaskTracker() { sim_.cancel(heartbeat_event_); }
+
+void TaskTracker::start_heartbeat(Seconds first_delay) {
+  heartbeat_event_ = sim_.schedule_periodic(
+      heartbeat_, [this] { return heartbeat(); }, first_delay);
+}
 
 int TaskTracker::running(TaskKind kind) const {
   return kind == TaskKind::kMap ? running_maps_ : running_reduces_;
 }
 
 int TaskTracker::free_slots(TaskKind kind) const {
+  if (!alive_) return 0;
   return (kind == TaskKind::kMap ? map_slots_ : reduce_slots_) - running(kind);
 }
 
@@ -44,7 +48,8 @@ std::size_t TaskTracker::completed(TaskKind kind) const {
 }
 
 void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
-                             bool data_local) {
+                             bool data_local, Seconds fail_after) {
+  EANT_CHECK(alive_, "a crashed TaskTracker cannot start tasks");
   EANT_CHECK(free_slots(spec.kind) > 0, "no free slot of the requested kind");
   EANT_CHECK(duration > 0.0, "task duration must be positive");
 
@@ -56,8 +61,13 @@ void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
   r.current_demand = spec.cpu_demand * noise_.demand_multiplier();
   r.last_sample = r.start;
   machine_.adjust_demand(r.current_demand);
-  r.completion_event =
-      sim_.schedule_after(duration, [this, attempt] { finish_task(attempt); });
+  if (fail_after > 0.0 && fail_after < duration) {
+    r.completion_event =
+        sim_.schedule_after(fail_after, [this, attempt] { fail_task(attempt); });
+  } else {
+    r.completion_event =
+        sim_.schedule_after(duration, [this, attempt] { finish_task(attempt); });
+  }
   running_.emplace(attempt, std::move(r));
 
   if (spec.kind == TaskKind::kMap) {
@@ -100,13 +110,7 @@ bool TaskTracker::heartbeat() {
   return true;
 }
 
-void TaskTracker::finish_task(std::uint64_t attempt_id) {
-  auto it = running_.find(attempt_id);
-  EANT_ASSERT(it != running_.end(), "completion for unknown attempt");
-  Running& r = it->second;
-  close_sample_window(r);
-  machine_.adjust_demand(-r.current_demand);
-
+TaskReport TaskTracker::make_report(Running& r) {
   TaskReport report;
   report.spec = r.spec;
   report.machine = machine_.id();
@@ -114,17 +118,48 @@ void TaskTracker::finish_task(std::uint64_t attempt_id) {
   report.finish = sim_.now();
   report.data_local = r.data_local;
   report.samples = std::move(r.samples);
+  return report;
+}
 
-  if (r.spec.kind == TaskKind::kMap) {
+void TaskTracker::release_slot(TaskKind kind) {
+  if (kind == TaskKind::kMap) {
     --running_maps_;
-    ++completed_maps_;
   } else {
     --running_reduces_;
+  }
+}
+
+void TaskTracker::finish_task(std::uint64_t attempt_id) {
+  auto it = running_.find(attempt_id);
+  EANT_ASSERT(it != running_.end(), "completion for unknown attempt");
+  Running& r = it->second;
+  close_sample_window(r);
+  machine_.adjust_demand(-r.current_demand);
+  TaskReport report = make_report(r);
+
+  release_slot(r.spec.kind);
+  if (r.spec.kind == TaskKind::kMap) {
+    ++completed_maps_;
+  } else {
     ++completed_reduces_;
   }
   running_.erase(it);
 
   job_tracker_.handle_completion(std::move(report));
+}
+
+void TaskTracker::fail_task(std::uint64_t attempt_id) {
+  auto it = running_.find(attempt_id);
+  EANT_ASSERT(it != running_.end(), "failure for unknown attempt");
+  Running& r = it->second;
+  close_sample_window(r);
+  machine_.adjust_demand(-r.current_demand);
+  TaskReport report = make_report(r);
+
+  release_slot(r.spec.kind);
+  running_.erase(it);
+
+  job_tracker_.handle_task_failure(std::move(report));
 }
 
 std::uint64_t TaskTracker::find_attempt(JobId job, TaskKind kind,
@@ -148,13 +183,60 @@ bool TaskTracker::cancel_task(JobId job, TaskKind kind, TaskIndex index) {
   Running& r = it->second;
   sim_.cancel(r.completion_event);
   machine_.adjust_demand(-r.current_demand);
-  if (kind == TaskKind::kMap) {
-    --running_maps_;
-  } else {
-    --running_reduces_;
-  }
+  release_slot(kind);
   running_.erase(it);
   return true;
+}
+
+std::vector<TaskReport> TaskTracker::cancel_job(JobId job) {
+  std::vector<TaskReport> killed;
+  for (auto it = running_.begin(); it != running_.end();) {
+    Running& r = it->second;
+    if (r.spec.job != job) {
+      ++it;
+      continue;
+    }
+    sim_.cancel(r.completion_event);
+    close_sample_window(r);
+    machine_.adjust_demand(-r.current_demand);
+    killed.push_back(make_report(r));
+    release_slot(r.spec.kind);
+    it = running_.erase(it);
+  }
+  return killed;
+}
+
+void TaskTracker::crash() {
+  EANT_CHECK(alive_, "TaskTracker is already down");
+  alive_ = false;
+  sim_.cancel(heartbeat_event_);
+
+  // Every running attempt dies with the machine.  Close the current sample
+  // window first so the partial work is measurable, then release the demand
+  // so the machine can power down.
+  std::vector<TaskReport> killed;
+  killed.reserve(running_.size());
+  for (auto& [id, r] : running_) {
+    sim_.cancel(r.completion_event);
+    close_sample_window(r);
+    machine_.adjust_demand(-r.current_demand);
+    killed.push_back(make_report(r));
+  }
+  running_.clear();
+  running_maps_ = 0;
+  running_reduces_ = 0;
+  machine_.set_up(false);
+
+  // Accounting + deferred-requeue bookkeeping only: the JobTracker's
+  // *protocol* reaction waits for heartbeat expiry (or the rejoin).
+  job_tracker_.record_crash_casualties(machine_.id(), std::move(killed));
+}
+
+void TaskTracker::restart() {
+  EANT_CHECK(!alive_, "TaskTracker is already up");
+  alive_ = true;
+  machine_.set_up(true);
+  start_heartbeat(heartbeat_);
 }
 
 }  // namespace eant::mr

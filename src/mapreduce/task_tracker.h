@@ -6,6 +6,13 @@
 // utilisation samples that E-Ant's task analyzer turns into per-task energy
 // estimates.  True task demand is redrawn per heartbeat window by the noise
 // model; the recorded samples additionally carry measurement error.
+//
+// Fault model: the daemon can crash() — every running attempt dies, the
+// heartbeat stops and the machine powers down — and later restart().  The
+// JobTracker learns about the crash only through the missing heartbeats
+// (tracker expiry), exactly like real Hadoop; the partial work of killed
+// attempts is reported to the JobTracker immediately for *accounting only*
+// (the simulator's equivalent of reading the dead node's logs afterwards).
 
 #pragma once
 
@@ -44,22 +51,46 @@ class TaskTracker {
   int map_slots() const { return map_slots_; }
   int reduce_slots() const { return reduce_slots_; }
   int running(TaskKind kind) const;
+
+  /// Free slots of the kind; 0 while the daemon is down.
   int free_slots(TaskKind kind) const;
 
+  /// True while the daemon is running (heartbeating, accepting tasks).
+  bool alive() const { return alive_; }
+
   /// Launches a task in a free slot; `duration` is the task's wall time as
-  /// computed by the JobTracker.  Requires a free slot of the task's kind.
-  void start_task(const TaskSpec& spec, Seconds duration, bool data_local);
+  /// computed by the JobTracker.  Requires a free slot of the task's kind
+  /// and a live daemon.  A positive `fail_after` makes the attempt die after
+  /// that many seconds instead of completing (transient task failure); the
+  /// JobTracker receives the failure via handle_task_failure.
+  void start_task(const TaskSpec& spec, Seconds duration, bool data_local,
+                  Seconds fail_after = 0.0);
 
   /// Kills a running attempt (speculative-execution support).  Returns
   /// false if the attempt already finished.  No report is produced.
   bool cancel_task(JobId job, TaskKind kind, TaskIndex index);
 
+  /// Kills every running attempt of the job (job-failure cleanup); returns
+  /// the partial-work reports of the killed attempts.
+  std::vector<TaskReport> cancel_job(JobId job);
+
   /// True iff the given attempt is still running here.
   bool is_running(JobId job, TaskKind kind, TaskIndex index) const;
 
+  /// Machine crash: kills every running attempt, stops the heartbeat and
+  /// powers the machine down.  The killed attempts' partial work is handed
+  /// to the JobTracker for wasted-work accounting and later requeue (the
+  /// JobTracker acts on it only once it *detects* the loss).
+  void crash();
+
+  /// Restart after repair: powers the machine up and resumes heartbeats.
+  /// Slots start empty; the JobTracker learns of the rejoin from the first
+  /// heartbeat.
+  void restart();
+
   Seconds heartbeat_interval() const { return heartbeat_; }
 
-  /// Total tasks completed by this tracker (per kind).
+  /// Total tasks completed by this tracker (per kind); survives crashes.
   std::size_t completed(TaskKind kind) const;
 
  private:
@@ -70,12 +101,16 @@ class TaskTracker {
     double current_demand = 0.0;
     Seconds last_sample = 0.0;
     std::vector<UtilSample> samples;
-    sim::EventId completion_event = 0;
+    sim::EventId completion_event = 0;  // completion or scheduled failure
   };
 
   bool heartbeat();
+  void start_heartbeat(Seconds first_delay);
   void finish_task(std::uint64_t attempt_id);
+  void fail_task(std::uint64_t attempt_id);
   void close_sample_window(Running& r);
+  TaskReport make_report(Running& r);
+  void release_slot(TaskKind kind);
   std::uint64_t find_attempt(JobId job, TaskKind kind, TaskIndex index) const;
 
   sim::Simulator& sim_;
@@ -87,6 +122,7 @@ class TaskTracker {
   int reduce_slots_;
   int running_maps_ = 0;
   int running_reduces_ = 0;
+  bool alive_ = true;
   std::size_t completed_maps_ = 0;
   std::size_t completed_reduces_ = 0;
   std::uint64_t next_attempt_id_ = 1;

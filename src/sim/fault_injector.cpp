@@ -1,0 +1,134 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace eant::sim {
+
+FaultPlan& FaultPlan::crash_at(std::size_t machine, Seconds t) {
+  events.push_back(FaultEvent{t, machine, FaultEvent::Kind::kCrash});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_at(std::size_t machine, Seconds t) {
+  events.push_back(FaultEvent{t, machine, FaultEvent::Kind::kRecover});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_for(std::size_t machine, Seconds t,
+                                Seconds downtime) {
+  EANT_CHECK(downtime > 0.0, "downtime must be positive");
+  crash_at(machine, t);
+  recover_at(machine, t + downtime);
+  return *this;
+}
+
+FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
+                             std::size_t num_machines)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      task_rng_(rng.fork(0)),
+      up_(num_machines, true) {
+  EANT_CHECK(num_machines >= 1, "fault injector needs machines");
+  EANT_CHECK(plan_.mtbf >= 0.0 && plan_.mttr >= 0.0,
+             "MTBF/MTTR must be non-negative");
+  EANT_CHECK(
+      plan_.task_failure_prob >= 0.0 && plan_.task_failure_prob < 1.0,
+      "task failure probability must be in [0, 1)");
+  for (const auto& e : plan_.events) {
+    EANT_CHECK(e.machine < num_machines, "fault plan names unknown machine");
+    EANT_CHECK(e.time >= 0.0, "fault plan event in the past");
+  }
+  machine_rng_.reserve(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    machine_rng_.push_back(rng.fork(m + 1));
+  }
+}
+
+void FaultInjector::set_handlers(MachineHandler on_crash,
+                                 MachineHandler on_recover) {
+  EANT_CHECK(static_cast<bool>(on_crash) && static_cast<bool>(on_recover),
+             "both fault handlers must be set");
+  on_crash_ = std::move(on_crash);
+  on_recover_ = std::move(on_recover);
+}
+
+void FaultInjector::start() {
+  EANT_CHECK(!started_, "fault injector already started");
+  EANT_CHECK(static_cast<bool>(on_crash_),
+             "set_handlers() must precede start()");
+  started_ = true;
+  for (const auto& e : plan_.events) {
+    if (e.kind == FaultEvent::Kind::kCrash) {
+      sim_.schedule_at(e.time, [this, m = e.machine] { crash(m); });
+    } else {
+      sim_.schedule_at(e.time, [this, m = e.machine] { recover(m); });
+    }
+  }
+  if (plan_.mtbf > 0.0) {
+    for (std::size_t m = 0; m < up_.size(); ++m) {
+      schedule_stochastic_crash(m);
+    }
+  }
+}
+
+bool FaultInjector::is_up(std::size_t machine) const {
+  EANT_CHECK(machine < up_.size(), "machine index out of range");
+  return up_[machine];
+}
+
+std::optional<double> FaultInjector::draw_attempt_failure() {
+  if (plan_.task_failure_prob <= 0.0) return std::nullopt;
+  if (!task_rng_.bernoulli(plan_.task_failure_prob)) return std::nullopt;
+  // Failures strike part-way through the attempt: never at the very start
+  // (zero wasted work would be invisible) nor at the very end (that would be
+  // a completed task whose report got lost, a different failure mode).
+  return task_rng_.uniform(0.05, 0.95);
+}
+
+std::size_t FaultInjector::crashes() const {
+  return static_cast<std::size_t>(
+      std::count_if(log_.begin(), log_.end(),
+                    [](const Transition& t) { return !t.up; }));
+}
+
+void FaultInjector::crash(std::size_t machine) {
+  if (!up_[machine]) return;  // scripted/stochastic overlap: already down
+  up_[machine] = false;
+  log_.push_back(Transition{sim_.now(), machine, false});
+  on_crash_(machine);
+}
+
+void FaultInjector::recover(std::size_t machine) {
+  if (up_[machine]) return;  // already recovered by another path
+  up_[machine] = true;
+  log_.push_back(Transition{sim_.now(), machine, true});
+  on_recover_(machine);
+}
+
+void FaultInjector::schedule_stochastic_crash(std::size_t machine) {
+  const Seconds dt = machine_rng_[machine].exponential(1.0 / plan_.mtbf);
+  sim_.schedule_after(dt, [this, machine] {
+    if (up_[machine]) {
+      crash(machine);
+      if (plan_.mttr > 0.0) schedule_stochastic_recovery(machine);
+      // mttr == 0: the machine stays down; its failure process ends.
+    } else {
+      // The machine was already down (scripted crash); keep the failure
+      // process alive so stochastic faults resume after it recovers.
+      schedule_stochastic_crash(machine);
+    }
+  });
+}
+
+void FaultInjector::schedule_stochastic_recovery(std::size_t machine) {
+  const Seconds dt = machine_rng_[machine].exponential(1.0 / plan_.mttr);
+  sim_.schedule_after(dt, [this, machine] {
+    recover(machine);
+    schedule_stochastic_crash(machine);
+  });
+}
+
+}  // namespace eant::sim

@@ -1,0 +1,127 @@
+// Fault injection for the cluster simulation.
+//
+// A FaultPlan describes *what* goes wrong: scripted machine crash/recover
+// events, stochastic machine failures (exponential MTBF) with exponential
+// repair times (MTTR), and a transient per-attempt task-failure probability.
+// The FaultInjector turns the plan into simulator events and invokes
+// machine-level handlers (wired to TaskTracker::crash/restart by the exp
+// harness) when a machine goes down or comes back.
+//
+// The injector lives in the sim layer on purpose: it knows machines only as
+// indices and reports faults through callbacks, so the MapReduce engine owns
+// all recovery semantics.  Every random draw comes from dedicated forked RNG
+// streams (one per machine for MTBF/MTTR, one for task failures), so a run
+// is exactly reproducible per seed and adding fault injection never perturbs
+// the draws of other components.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace eant::sim {
+
+/// One scripted machine fault transition.
+struct FaultEvent {
+  enum class Kind { kCrash, kRecover };
+  Seconds time = 0.0;
+  std::size_t machine = 0;
+  Kind kind = Kind::kCrash;
+};
+
+/// Declarative description of the faults to inject into a run.
+struct FaultPlan {
+  /// Scripted transitions (applied in time order; redundant transitions —
+  /// crashing a machine that is already down — are ignored).
+  std::vector<FaultEvent> events;
+
+  /// Mean time between stochastic failures per machine (exponential);
+  /// 0 disables stochastic machine failures.
+  Seconds mtbf = 0.0;
+
+  /// Mean time to repair a stochastically failed machine (exponential);
+  /// 0 with mtbf > 0 means crashed machines stay down forever.
+  Seconds mttr = 0.0;
+
+  /// Probability that any single task attempt dies before completing
+  /// (Hadoop's transient task failures: bad disk sector, JVM crash, ...).
+  double task_failure_prob = 0.0;
+
+  /// True when the plan injects anything at all.
+  bool enabled() const {
+    return !events.empty() || mtbf > 0.0 || task_failure_prob > 0.0;
+  }
+
+  /// Scripting helpers.
+  FaultPlan& crash_at(std::size_t machine, Seconds t);
+  FaultPlan& recover_at(std::size_t machine, Seconds t);
+  /// Crash at t and recover `downtime` seconds later.
+  FaultPlan& crash_for(std::size_t machine, Seconds t, Seconds downtime);
+};
+
+/// Executes a FaultPlan against a Simulator.
+class FaultInjector {
+ public:
+  using MachineHandler = std::function<void(std::size_t machine)>;
+
+  /// One applied machine transition (for logs, tests and determinism
+  /// checks).
+  struct Transition {
+    Seconds time = 0.0;
+    std::size_t machine = 0;
+    bool up = false;  ///< state after the transition
+  };
+
+  FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
+                std::size_t num_machines);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the crash/recover callbacks.  Must precede start().
+  void set_handlers(MachineHandler on_crash, MachineHandler on_recover);
+
+  /// Schedules every scripted event and seeds the stochastic failure
+  /// processes.  Call exactly once.
+  void start();
+
+  /// The injector's view of a machine's state.
+  bool is_up(std::size_t machine) const;
+
+  /// Transient task-failure draw, consulted once per launched attempt.
+  /// Empty: the attempt runs to completion.  Otherwise: the fraction of the
+  /// attempt's nominal duration after which it fails.
+  std::optional<double> draw_attempt_failure();
+
+  /// Every machine transition actually applied, in simulation order.
+  const std::vector<Transition>& log() const { return log_; }
+
+  /// Number of crash transitions applied so far.
+  std::size_t crashes() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void crash(std::size_t machine);
+  void recover(std::size_t machine);
+  void schedule_stochastic_crash(std::size_t machine);
+  void schedule_stochastic_recovery(std::size_t machine);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  std::vector<Rng> machine_rng_;  // one stream per machine (MTBF/MTTR draws)
+  Rng task_rng_;                  // transient task-failure stream
+  std::vector<bool> up_;
+  MachineHandler on_crash_;
+  MachineHandler on_recover_;
+  std::vector<Transition> log_;
+  bool started_ = false;
+};
+
+}  // namespace eant::sim

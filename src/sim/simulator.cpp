@@ -9,6 +9,7 @@ EventId Simulator::schedule_at(Seconds t, std::function<void()> fn) {
   EANT_CHECK(static_cast<bool>(fn), "event callback must be set");
   const EventId id = next_id_++;
   queue_.push(Entry{t, next_seq_++, id, std::move(fn), 0.0, nullptr});
+  queued_.insert(id);
   return id;
 }
 
@@ -21,6 +22,7 @@ EventId Simulator::schedule_periodic(Seconds interval,
   const EventId id = next_id_++;
   queue_.push(Entry{now_ + first_delay, next_seq_++, id, nullptr, interval,
                     std::move(fn)});
+  queued_.insert(id);
   return id;
 }
 
@@ -28,6 +30,7 @@ bool Simulator::step() {
   while (!queue_.empty()) {
     Entry entry = queue_.top();
     queue_.pop();
+    queued_.erase(entry.id);
     if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
@@ -42,18 +45,24 @@ void Simulator::execute(Entry entry) {
   EANT_ASSERT(entry.time >= now_, "event queue went backwards");
   now_ = entry.time;
   ++executed_;
+  executing_id_ = entry.id;
   if (entry.repeat_fn) {
     const bool keep = entry.repeat_fn();
     if (keep && !cancelled_.contains(entry.id)) {
       entry.time = now_ + entry.repeat_interval;
       entry.seq = next_seq_++;
+      queued_.insert(entry.id);
       queue_.push(std::move(entry));
     } else {
       cancelled_.erase(entry.id);
     }
   } else {
     entry.fn();
+    // A one-shot callback may have cancelled its own (already-fired) id;
+    // drop the tombstone so it cannot skew pending().
+    cancelled_.erase(entry.id);
   }
+  executing_id_ = 0;
 }
 
 void Simulator::run_until(Seconds t) {
@@ -61,6 +70,7 @@ void Simulator::run_until(Seconds t) {
   while (!queue_.empty() && queue_.top().time <= t) {
     Entry entry = queue_.top();
     queue_.pop();
+    queued_.erase(entry.id);
     if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;

@@ -49,7 +49,13 @@ class Simulator {
                             Seconds first_delay = -1.0);
 
   /// Cancels a pending event; a no-op if it already fired or was cancelled.
-  void cancel(EventId id) { cancelled_.insert(id); }
+  /// Cancelling the event currently executing (a periodic callback cancelling
+  /// itself) stops its repetition.
+  void cancel(EventId id) {
+    // Only ids that are actually live may enter cancelled_, otherwise a
+    // stale id would sit in the set forever and skew pending().
+    if (queued_.contains(id) || id == executing_id_) cancelled_.insert(id);
+  }
 
   /// Executes the next pending event; returns false when the queue is empty.
   bool step();
@@ -84,10 +90,12 @@ class Simulator {
   void execute(Entry entry);
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> queued_;     // ids currently in the queue
+  std::unordered_set<EventId> cancelled_;  // always a subset of live ids
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  EventId executing_id_ = 0;  // id of the event being executed (0 = none)
   std::uint64_t executed_ = 0;
 };
 

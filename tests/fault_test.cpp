@@ -1,0 +1,438 @@
+// Fault-injection & fault-tolerance suite: FaultPlan/FaultInjector
+// mechanics, machine power-down accounting, TaskTracker crash/restart, the
+// JobTracker's Hadoop-style recovery protocol (tracker expiry, re-queueing,
+// attempt budgets, blacklisting) and E-Ant's re-convergence after node loss.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "cluster/machine.h"
+#include "common/error.h"
+#include "core/eant_scheduler.h"
+#include "exp/builders.h"
+#include "exp/runner.h"
+#include "mapreduce/job_tracker.h"
+#include "sim/fault_injector.h"
+#include "sim/simulator.h"
+#include "workload/job_spec.h"
+
+namespace eant {
+namespace {
+
+using cluster::MachineId;
+using mr::TaskKind;
+
+// --- FaultPlan ---------------------------------------------------------------
+
+TEST(FaultPlan, DisabledByDefault) {
+  sim::FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlan, HelpersBuildScriptedEvents) {
+  sim::FaultPlan plan;
+  plan.crash_for(2, 100.0, 50.0).crash_at(0, 30.0).recover_at(0, 40.0);
+  EXPECT_TRUE(plan.enabled());
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].machine, 2u);
+  EXPECT_EQ(plan.events[0].kind, sim::FaultEvent::Kind::kCrash);
+  EXPECT_DOUBLE_EQ(plan.events[0].time, 100.0);
+  EXPECT_EQ(plan.events[1].kind, sim::FaultEvent::Kind::kRecover);
+  EXPECT_DOUBLE_EQ(plan.events[1].time, 150.0);
+  EXPECT_EQ(plan.events[2].machine, 0u);
+  EXPECT_EQ(plan.events[3].machine, 0u);
+}
+
+TEST(FaultPlan, StochasticAndTransientKnobsEnable) {
+  sim::FaultPlan mtbf_only;
+  mtbf_only.mtbf = 1000.0;
+  EXPECT_TRUE(mtbf_only.enabled());
+  sim::FaultPlan task_only;
+  task_only.task_failure_prob = 0.01;
+  EXPECT_TRUE(task_only.enabled());
+}
+
+// --- FaultInjector -----------------------------------------------------------
+
+// Drains a simulator whose queue never empties (stochastic fault processes
+// reschedule forever) up to a time horizon.
+void run_until(sim::Simulator& sim, Seconds horizon) {
+  while (sim.now() < horizon) {
+    if (!sim.step()) break;
+  }
+}
+
+TEST(FaultInjector, ScriptedTransitionsFireInOrder) {
+  sim::Simulator sim;
+  sim::FaultPlan plan;
+  plan.crash_for(1, 10.0, 5.0).crash_at(0, 12.0);
+  sim::FaultInjector inj(sim, plan, Rng(7), 2);
+  std::vector<std::size_t> crashed, recovered;
+  inj.set_handlers([&](std::size_t m) { crashed.push_back(m); },
+                   [&](std::size_t m) { recovered.push_back(m); });
+  inj.start();
+  EXPECT_TRUE(inj.is_up(0));
+  EXPECT_TRUE(inj.is_up(1));
+  run_until(sim, 100.0);
+
+  ASSERT_EQ(crashed, (std::vector<std::size_t>{1, 0}));
+  ASSERT_EQ(recovered, (std::vector<std::size_t>{1}));
+  EXPECT_FALSE(inj.is_up(0));  // never recovered
+  EXPECT_TRUE(inj.is_up(1));
+  EXPECT_EQ(inj.crashes(), 2u);
+  ASSERT_EQ(inj.log().size(), 3u);
+  EXPECT_DOUBLE_EQ(inj.log()[0].time, 10.0);
+  EXPECT_FALSE(inj.log()[0].up);
+  EXPECT_DOUBLE_EQ(inj.log()[1].time, 12.0);
+  EXPECT_DOUBLE_EQ(inj.log()[2].time, 15.0);
+  EXPECT_TRUE(inj.log()[2].up);
+}
+
+TEST(FaultInjector, RedundantScriptedTransitionsAreIgnored) {
+  sim::Simulator sim;
+  sim::FaultPlan plan;
+  plan.crash_at(0, 10.0).crash_at(0, 11.0).recover_at(0, 20.0).recover_at(0,
+                                                                          21.0);
+  sim::FaultInjector inj(sim, plan, Rng(7), 1);
+  int crashes = 0, recoveries = 0;
+  inj.set_handlers([&](std::size_t) { ++crashes; },
+                   [&](std::size_t) { ++recoveries; });
+  inj.start();
+  run_until(sim, 100.0);
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_EQ(inj.log().size(), 2u);
+}
+
+TEST(FaultInjector, StochasticFailuresDeterministicPerSeed) {
+  auto collect = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    sim::FaultPlan plan;
+    plan.mtbf = 400.0;
+    plan.mttr = 60.0;
+    sim::FaultInjector inj(sim, plan, Rng(seed), 4);
+    inj.set_handlers([](std::size_t) {}, [](std::size_t) {});
+    inj.start();
+    run_until(sim, 5000.0);
+    return inj.log();
+  };
+
+  const auto a = collect(42);
+  const auto b = collect(42);
+  const auto c = collect(43);
+
+  ASSERT_FALSE(a.empty()) << "mtbf=400 over 5000 s must produce failures";
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].machine, b[i].machine);
+    EXPECT_EQ(a[i].up, b[i].up);
+  }
+  // A different seed draws different crash times.
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(a.front().time, c.front().time);
+}
+
+TEST(FaultInjector, TransientDrawsAreFractionsInUnitInterval) {
+  sim::Simulator sim;
+  sim::FaultPlan plan;
+  plan.task_failure_prob = 0.5;
+  sim::FaultInjector inj(sim, plan, Rng(1), 1);
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto f = inj.draw_attempt_failure();
+    if (f) {
+      ++failures;
+      EXPECT_GT(*f, 0.0);
+      EXPECT_LT(*f, 1.0);
+    }
+  }
+  // ~Binomial(1000, 0.5); 400..600 is > 6 sigma.
+  EXPECT_GT(failures, 400);
+  EXPECT_LT(failures, 600);
+}
+
+// --- Machine power-down ------------------------------------------------------
+
+TEST(Machine, PowersDownToZeroAndAccruesDowntime) {
+  sim::Simulator sim;
+  cluster::Machine m(sim, 0, cluster::catalog::desktop());
+  const Watts idle = m.type().idle_power;
+  EXPECT_GT(m.power(), 0.0);
+
+  sim.schedule_at(100.0, [] {});
+  sim.step();
+  const Joules before_crash = m.energy();
+  EXPECT_NEAR(before_crash, idle * 100.0, 1e-6);
+
+  m.set_up(false);
+  EXPECT_FALSE(m.is_up());
+  EXPECT_DOUBLE_EQ(m.power(), 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization(), 0.0);
+
+  sim.schedule_at(160.0, [] {});
+  sim.step();
+  // No energy accrues while down; downtime does.
+  EXPECT_NEAR(m.energy(), before_crash, 1e-9);
+  EXPECT_NEAR(m.downtime(), 60.0, 1e-9);
+
+  m.set_up(true);
+  sim.schedule_at(200.0, [] {});
+  sim.step();
+  EXPECT_NEAR(m.energy(), before_crash + idle * 40.0, 1e-6);
+  EXPECT_NEAR(m.downtime(), 60.0, 1e-9);
+}
+
+// --- end-to-end recovery through the exp harness -----------------------------
+
+exp::RunConfig faulted_config(Seconds expiry_window = 30.0) {
+  exp::RunConfig cfg;
+  cfg.seed = 5;
+  cfg.job_tracker.tracker_expiry_window = expiry_window;
+  return cfg;
+}
+
+std::vector<workload::JobSpec> small_workload() {
+  // Enough maps that a mid-run crash always orphans work, small enough that
+  // the suite stays fast.
+  auto jobs = exp::job_batch(workload::AppKind::kWordcount, 64.0 * 24, 2, 3);
+  jobs[1].submit_time = 40.0;
+  jobs[2].submit_time = 80.0;
+  return jobs;
+}
+
+TEST(FaultRecovery, EAntCompletesAllJobsThroughMidRunCrash) {
+  exp::RunConfig cfg = faulted_config();
+  // Down long past the expiry window: the loss must be detected and the
+  // orphaned work re-executed while the machine is still dark.
+  cfg.faults.crash_for(0, 60.0, 400.0);
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kEAnt, cfg);
+  run.submit(small_workload());
+  run.execute();
+
+  auto& jt = run.job_tracker();
+  EXPECT_EQ(jt.jobs_completed(), 3u);
+  EXPECT_EQ(jt.jobs_failed(), 0u);
+  for (mr::JobId id = 0; id < jt.num_jobs(); ++id) {
+    EXPECT_TRUE(jt.job(id).complete());
+  }
+  // The crash orphaned running attempts (and usually finished map outputs).
+  EXPECT_GT(jt.killed_attempts(), 0u);
+  EXPECT_GT(jt.wasted_task_seconds(), 0.0);
+  ASSERT_FALSE(jt.recovery_times().empty());
+  for (Seconds r : jt.recovery_times()) EXPECT_GT(r, 0.0);
+
+  const auto m = run.metrics();
+  EXPECT_GT(m.wasted_energy, 0.0);
+  EXPECT_LT(m.wasted_energy, m.total_energy);
+  EXPECT_GT(m.mean_recovery_time(), 0.0);
+}
+
+TEST(FaultRecovery, ExpiryDeclaresLossAndEAntFloorsPheromoneRow) {
+  exp::RunConfig cfg = faulted_config();
+  const MachineId victim = 0;
+  const Seconds crash_time = 60.0;
+  const Seconds downtime = 400.0;
+  cfg.faults.crash_for(victim, crash_time, downtime);
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kEAnt, cfg);
+  run.submit(small_workload());
+
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  auto* eant = run.eant();
+  // Loss must be declared within one expiry window plus a heartbeat of the
+  // crash — the sweep runs at heartbeat granularity.
+  const Seconds detect_deadline = crash_time +
+                                  cfg.job_tracker.tracker_expiry_window +
+                                  2.0 * cfg.job_tracker.heartbeat_interval;
+  bool checked_floor = false;
+  while (!jt.all_done()) {
+    ASSERT_TRUE(sim.step());
+    if (sim.now() < crash_time) {
+      EXPECT_TRUE(jt.tracker_available(victim));
+    } else if (sim.now() > detect_deadline && !checked_floor &&
+               !jt.tracker(victim).alive()) {
+      EXPECT_TRUE(jt.tracker_lost(victim));
+      EXPECT_FALSE(jt.tracker_available(victim));
+      // Every active colony's trail at the dead machine sits at the floor:
+      // E-Ant stopped steering work there.
+      for (mr::JobId id : jt.active_jobs()) {
+        if (!eant->pheromone().has_job(id)) continue;
+        for (TaskKind kind : {TaskKind::kMap, TaskKind::kReduce}) {
+          EXPECT_DOUBLE_EQ(eant->pheromone().trail(id, kind)[victim],
+                           eant->pheromone().tau_min());
+        }
+      }
+      checked_floor = true;
+    }
+  }
+  EXPECT_TRUE(checked_floor) << "loss was never observed while jobs ran";
+  // Heartbeats keep running after the workload drains; step past the
+  // machine's repair and first post-restart heartbeat — the rejoin must
+  // clear the lost flag and make the tracker schedulable again.
+  const Seconds rejoin_deadline =
+      crash_time + downtime + 2.0 * cfg.job_tracker.heartbeat_interval;
+  while (sim.now() < rejoin_deadline) {
+    ASSERT_TRUE(sim.step());
+  }
+  EXPECT_TRUE(jt.tracker(victim).alive());
+  EXPECT_FALSE(jt.tracker_lost(victim));
+  EXPECT_TRUE(jt.tracker_available(victim));
+}
+
+TEST(FaultRecovery, DeadMachineReceivesNoWorkWhileLost) {
+  exp::RunConfig cfg = faulted_config();
+  const MachineId victim = 0;
+  cfg.faults.crash_for(victim, 60.0, 400.0);
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kEAnt, cfg);
+  run.submit(small_workload());
+
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  while (!jt.all_done()) {
+    ASSERT_TRUE(sim.step());
+    if (!jt.tracker(victim).alive()) {
+      ASSERT_EQ(jt.tracker(victim).running(TaskKind::kMap), 0);
+      ASSERT_EQ(jt.tracker(victim).running(TaskKind::kReduce), 0);
+      ASSERT_EQ(jt.tracker(victim).free_slots(TaskKind::kMap), 0);
+      ASSERT_EQ(jt.tracker(victim).free_slots(TaskKind::kReduce), 0);
+    }
+  }
+  EXPECT_EQ(jt.jobs_failed(), 0u);
+}
+
+TEST(FaultRecovery, FastRestartBeforeExpiryStillReclaimsLostWork) {
+  // Down for well under the (default, 600 s) expiry window: the tracker is
+  // never declared lost, but the crash evidence still forces a re-queue on
+  // the first post-restart heartbeat.
+  exp::RunConfig cfg;
+  cfg.seed = 5;
+  cfg.faults.crash_for(0, 60.0, 20.0);
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kFifo, cfg);
+  run.submit(small_workload());
+
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  bool ever_lost = false;
+  while (!jt.all_done()) {
+    ASSERT_TRUE(sim.step());
+    ever_lost = ever_lost || jt.tracker_lost(0);
+  }
+  EXPECT_FALSE(ever_lost);
+  EXPECT_GT(jt.killed_attempts(), 0u);
+  EXPECT_EQ(jt.jobs_failed(), 0u);
+  EXPECT_EQ(jt.jobs_completed(), 3u);
+}
+
+TEST(FaultRecovery, TransientFailuresEverywhereFailEveryJob) {
+  // Near-certain attempt death: the job burns its attempt budget and fails,
+  // and the run still terminates cleanly (all_done counts failures).
+  exp::RunConfig cfg;
+  cfg.seed = 5;
+  cfg.job_tracker.blacklist_threshold = 0;
+  cfg.faults.task_failure_prob = 0.999;
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kFifo, cfg);
+  run.submit({exp::single_job(workload::AppKind::kWordcount, 64.0 * 4, 1)});
+  run.execute();
+
+  auto& jt = run.job_tracker();
+  EXPECT_EQ(jt.jobs_failed(), 1u);
+  EXPECT_EQ(jt.jobs_completed(), 0u);
+  EXPECT_TRUE(jt.job(0).failed());
+  EXPECT_GE(jt.failed_attempts(),
+            static_cast<std::size_t>(cfg.job_tracker.max_attempts));
+  const auto m = run.metrics();
+  ASSERT_EQ(m.jobs.size(), 1u);
+  EXPECT_TRUE(m.jobs[0].failed);
+  EXPECT_EQ(m.jobs_failed, 1u);
+  EXPECT_GT(m.wasted_energy, 0.0);
+}
+
+TEST(FaultRecovery, BlacklistSidelinesFlakyTrackerThenForgives) {
+  exp::RunConfig cfg;
+  cfg.seed = 5;
+  cfg.job_tracker.blacklist_threshold = 2;
+  cfg.job_tracker.blacklist_duration = 60.0;
+  // A generous budget so the flaky machine's failures never kill the job.
+  cfg.job_tracker.max_attempts = 50;
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kFifo, cfg);
+
+  const MachineId flaky = 1;
+  run.job_tracker().set_attempt_fault_hook(
+      [&](const mr::TaskSpec&, MachineId m) -> std::optional<double> {
+        if (m != flaky) return std::nullopt;
+        return 0.5;  // every attempt on the flaky machine dies halfway
+      });
+  run.submit(small_workload());
+
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  bool ever_blacklisted = false;
+  bool ever_forgiven = false;
+  bool ever_drained = false;
+  bool drained = false;  // leftovers running at blacklist time have died
+  while (!jt.all_done()) {
+    ASSERT_TRUE(sim.step());
+    if (jt.tracker_blacklisted(flaky)) {
+      ever_blacklisted = true;
+      ASSERT_FALSE(jt.tracker_available(flaky));
+      // Blacklisting stops NEW work but does not kill running attempts;
+      // once those die (the hook fails them all), the tracker must stay
+      // idle for the rest of the sit-out.
+      const int r = jt.tracker(flaky).running(TaskKind::kMap) +
+                    jt.tracker(flaky).running(TaskKind::kReduce);
+      if (drained) {
+        ASSERT_EQ(r, 0);
+      } else if (r == 0) {
+        drained = true;
+        ever_drained = true;
+      }
+    } else {
+      if (ever_blacklisted) ever_forgiven = true;
+      drained = false;
+    }
+  }
+  EXPECT_TRUE(ever_blacklisted);
+  EXPECT_TRUE(ever_drained) << "blacklisted tracker never went idle";
+  EXPECT_TRUE(ever_forgiven) << "blacklist was never lifted during the run";
+  EXPECT_EQ(jt.jobs_failed(), 0u);
+  EXPECT_EQ(jt.jobs_completed(), 3u);
+}
+
+TEST(FaultRecovery, RecoveryTimesDrainAsRequeuedWorkCompletes) {
+  exp::RunConfig cfg = faulted_config();
+  cfg.faults.crash_for(0, 60.0, 400.0);
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kFair, cfg);
+  run.submit(small_workload());
+  run.execute();
+
+  auto& jt = run.job_tracker();
+  ASSERT_FALSE(jt.recovery_times().empty());
+  for (Seconds r : jt.recovery_times()) {
+    EXPECT_GT(r, 0.0);
+    // Re-execution cannot take longer than the whole run.
+    EXPECT_LT(r, run.metrics().makespan);
+  }
+}
+
+TEST(FaultRecovery, StochasticMachineFailuresRunToCompletion) {
+  // MTBF/MTTR churn across the whole fleet: crashes and rejoins keep
+  // happening and every job still finishes.
+  exp::RunConfig cfg = faulted_config();
+  cfg.faults.mtbf = 1500.0;
+  cfg.faults.mttr = 60.0;
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kEAnt, cfg);
+  run.submit(small_workload());
+  run.execute();
+
+  auto& jt = run.job_tracker();
+  EXPECT_EQ(jt.jobs_completed() + jt.jobs_failed(), 3u);
+  ASSERT_NE(run.fault_injector(), nullptr);
+  EXPECT_GT(run.fault_injector()->crashes(), 0u);
+}
+
+}  // namespace
+}  // namespace eant

@@ -470,6 +470,146 @@ TEST(JobTracker, SpeculativeAttemptWinnerKillsLoser) {
   EXPECT_TRUE(h.jt->job(id).complete());
 }
 
+TEST(JobTracker, CancelOnFinishedAttemptReturnsFalse) {
+  Harness h(1);
+  const JobId id = h.jt->submit_now(wordcount_job(64.0, 1));
+  h.run_to_completion();
+  // Cancelling an attempt that already finished must be a no-op refusal,
+  // not an error — the twin-kill after a speculative win hits this path.
+  EXPECT_FALSE(h.jt->tracker(0).cancel_task(id, TaskKind::kMap, 0));
+  EXPECT_FALSE(h.jt->tracker(0).cancel_task(id, TaskKind::kReduce, 0));
+}
+
+TEST(JobTracker, TwinKillNeverDoubleCountsCompleted) {
+  Harness h(2);
+  const JobId id = h.jt->submit_now(wordcount_job(64.0 * 2, 1));
+  bool speculated = false;
+  while (!h.jt->all_done()) {
+    if (!speculated) {
+      for (cluster::MachineId m = 0; m < 2 && !speculated; ++m) {
+        for (TaskIndex i = 0; i < 2 && !speculated; ++i) {
+          if (h.jt->job(id).status(TaskKind::kMap, i) == TaskStatus::kRunning &&
+              h.jt->start_speculative(id, TaskKind::kMap, i,
+                                      h.jt->tracker(m))) {
+            speculated = true;
+          }
+        }
+      }
+    }
+    ASSERT_TRUE(h.sim.step());
+  }
+  ASSERT_TRUE(speculated);
+  // The loser of a speculated task is killed, not completed: the fleet-wide
+  // completion counters must add up to exactly one completion per task.
+  std::size_t completed_maps = 0;
+  std::size_t completed_reduces = 0;
+  for (cluster::MachineId m = 0; m < 2; ++m) {
+    completed_maps += h.jt->tracker(m).completed(TaskKind::kMap);
+    completed_reduces += h.jt->tracker(m).completed(TaskKind::kReduce);
+  }
+  EXPECT_EQ(completed_maps, 2u);
+  EXPECT_EQ(completed_reduces, 1u);
+}
+
+TEST(JobTracker, FailedAttemptRequeuesAndJobStillCompletes) {
+  Harness h(2);
+  // The first two attempts launched (whichever machines get them) die
+  // halfway; the engine must retry and finish, with speculation enabled.
+  int faults_left = 2;
+  h.jt->set_attempt_fault_hook(
+      [&](const TaskSpec&, cluster::MachineId) -> std::optional<double> {
+        if (faults_left <= 0) return std::nullopt;
+        --faults_left;
+        return 0.5;
+      });
+  const JobId id = h.jt->submit_now(wordcount_job(64.0 * 4, 1));
+  h.run_to_completion();
+  EXPECT_EQ(faults_left, 0);
+  EXPECT_TRUE(h.jt->job(id).complete());
+  EXPECT_EQ(h.jt->failed_attempts(), 2u);
+  EXPECT_GT(h.jt->wasted_task_seconds(), 0.0);
+  // The transient failures counted toward their tasks' attempt budgets.
+  std::size_t budget_used = 0;
+  for (TaskIndex i = 0; i < h.jt->job(id).num_maps(); ++i) {
+    budget_used += static_cast<std::size_t>(
+        h.jt->job(id).failed_attempts(TaskKind::kMap, i));
+  }
+  for (TaskIndex i = 0; i < h.jt->job(id).num_reduces(); ++i) {
+    budget_used += static_cast<std::size_t>(
+        h.jt->job(id).failed_attempts(TaskKind::kReduce, i));
+  }
+  EXPECT_EQ(budget_used, 2u);
+}
+
+TEST(JobTracker, JobFailsAfterMaxAttempts) {
+  JobTrackerConfig cfg;
+  cfg.max_attempts = 3;
+  cfg.blacklist_threshold = 0;  // isolate the attempt-budget behaviour
+  Harness h(2, NoiseConfig::none(), cfg);
+  h.jt->set_attempt_fault_hook(
+      [](const TaskSpec&, cluster::MachineId) { return 0.5; });
+  std::size_t attempt_waste = 0;
+  std::size_t job_waste = 0;
+  h.jt->set_waste_listener([&](const TaskReport&, WasteReason reason) {
+    if (reason == WasteReason::kAttemptFailed) ++attempt_waste;
+    if (reason == WasteReason::kJobFailed) ++job_waste;
+  });
+  const JobId id = h.jt->submit_now(wordcount_job(64.0 * 2, 1));
+  h.run_to_completion();
+  EXPECT_TRUE(h.jt->job(id).failed());
+  EXPECT_FALSE(h.jt->job(id).complete());
+  EXPECT_EQ(h.jt->jobs_failed(), 1u);
+  EXPECT_EQ(h.jt->jobs_completed(), 0u);
+  EXPECT_TRUE(h.jt->active_jobs().empty());
+  // The first task to burn its budget kills the job: exactly max_attempts
+  // transient failures on that task, and the rest of the fleet's running
+  // attempts are reaped as job-failure waste.
+  EXPECT_GE(attempt_waste, static_cast<std::size_t>(cfg.max_attempts));
+  // No machine may still host demand for the dead job.
+  for (cluster::MachineId m = 0; m < 2; ++m) {
+    EXPECT_EQ(h.jt->tracker(m).running(TaskKind::kMap), 0);
+    EXPECT_EQ(h.jt->tracker(m).running(TaskKind::kReduce), 0);
+  }
+  (void)job_waste;  // may be zero when no sibling attempt was in flight
+}
+
+TEST(JobTracker, SpeculativeTwinSurvivesLoserFailure) {
+  Harness h(2);
+  // The job's single map fails near the end of its original attempt; a
+  // speculative twin launched on the other machine must survive the loser's
+  // failure and complete the task without the speculative flag leaking.
+  bool fault_armed = true;
+  h.jt->set_attempt_fault_hook(
+      [&](const TaskSpec&, cluster::MachineId) -> std::optional<double> {
+        if (!fault_armed) return std::nullopt;
+        fault_armed = false;
+        return 0.9;
+      });
+  const JobId id = h.jt->submit_now(wordcount_job(64.0, 1));
+  bool speculated = false;
+  while (!h.jt->all_done()) {
+    if (!speculated &&
+        h.jt->job(id).status(TaskKind::kMap, 0) == TaskStatus::kRunning) {
+      // Duplicate onto whichever machine is NOT hosting the doomed original.
+      for (cluster::MachineId m = 0; m < 2 && !speculated; ++m) {
+        if (h.jt->tracker(m).is_running(id, TaskKind::kMap, 0)) {
+          speculated = h.jt->start_speculative(id, TaskKind::kMap, 0,
+                                               h.jt->tracker(1 - m));
+        }
+      }
+    }
+    ASSERT_TRUE(h.sim.step());
+  }
+  EXPECT_TRUE(speculated);
+  EXPECT_TRUE(h.jt->job(id).complete());
+  EXPECT_FALSE(h.jt->job(id).is_speculative(TaskKind::kMap, 0));
+  EXPECT_EQ(h.jt->failed_attempts(), 1u);
+  // Exactly one attempt completed the map: the surviving twin.
+  EXPECT_EQ(h.jt->tracker(0).completed(TaskKind::kMap) +
+                h.jt->tracker(1).completed(TaskKind::kMap),
+            1u);
+}
+
 TEST(JobTracker, TrackerCancelRemovesDemand) {
   Harness h(1);
   const JobId id = h.jt->submit_now(wordcount_job(64.0, 1));

@@ -83,6 +83,55 @@ TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
   EXPECT_EQ(fires, 2);
 }
 
+TEST(Simulator, CancelAfterFireDoesNotLeakPendingCount) {
+  // Regression: cancelling an already-fired one-shot used to insert a stale
+  // id into the tombstone set forever, skewing (and eventually underflowing)
+  // pending().
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.cancel(id);  // stale: must be a true no-op
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 1u);  // would have been 0 (or huge) with the leak
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelOfUnknownIdIsIgnored) {
+  Simulator sim;
+  sim.cancel(12345);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.schedule_at(1.0, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, OneShotSelfCancelDuringCallbackDoesNotLeak) {
+  Simulator sim;
+  EventId id = 0;
+  id = sim.schedule_at(1.0, [&] { sim.cancel(id); });  // cancel self, mid-fire
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, CancelledThenFiredSlotKeepsPendingConsistent) {
+  Simulator sim;
+  // Cancel a pending event, let its tombstone be consumed, then make sure
+  // later ids are unaffected.
+  const EventId a = sim.schedule_at(1.0, [] {});
+  const EventId b = sim.schedule_at(2.0, [] {});
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  sim.cancel(a);  // long gone
+  sim.cancel(b);  // fired
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulator, StepExecutesExactlyOneEvent) {
   Simulator sim;
   int fires = 0;
