@@ -1,0 +1,31 @@
+// Three-level data locality, shared by the HDFS placement model, the network
+// fabric and the schedulers.  Hadoop's NetworkTopology distinguishes exactly
+// these levels: a split read from the task's own node, from another node in
+// the same rack (one switch hop, no core traversal), or from a different
+// rack (crosses the oversubscribed rack-to-core uplink).
+
+#pragma once
+
+#include <string>
+
+namespace eant {
+
+enum class Locality {
+  kNodeLocal,  ///< a replica lives on the task's machine
+  kRackLocal,  ///< a replica lives in the task's rack (but not its node)
+  kOffRack,    ///< every replica is in another rack
+};
+
+inline std::string locality_name(Locality l) {
+  switch (l) {
+    case Locality::kNodeLocal:
+      return "node-local";
+    case Locality::kRackLocal:
+      return "rack-local";
+    case Locality::kOffRack:
+      return "off-rack";
+  }
+  return "?";
+}
+
+}  // namespace eant

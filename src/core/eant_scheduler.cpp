@@ -126,9 +126,13 @@ std::optional<mr::JobId> EAntScheduler::select_job(cluster::MachineId machine,
   // real implementation needs to keep the weights representable).  All
   // other jobs carry the fairness eta.
   auto eta = [this, machine, kind](mr::JobId j) {
-    if (kind == mr::TaskKind::kMap &&
-        jt_->job(j).has_local_pending_map(machine)) {
-      return kLocalityEta;
+    if (kind == mr::TaskKind::kMap) {
+      if (jt_->job(j).has_local_pending_map(machine)) return kLocalityEta;
+      // Middle tier on multi-rack topologies: a rack-local split avoids the
+      // oversubscribed core but still crosses a wire (false on a flat rack).
+      if (jt_->job(j).has_rack_local_pending_map(machine)) {
+        return kRackLocalityEta;
+      }
     }
     return eta_for(j);
   };
@@ -184,9 +188,12 @@ std::optional<mr::JobId> EAntScheduler::select_job(cluster::MachineId machine,
     EANT_ASSERT(best > 0.0, "pheromone trail must stay positive");
     const double normalized = table_->tau(*choice, kind, machine) / best;
     double floor = config_.min_acceptance;
-    if (kind == mr::TaskKind::kMap &&
-        jt_->job(*choice).has_local_pending_map(machine)) {
-      floor = std::max(floor, config_.local_acceptance_floor);
+    if (kind == mr::TaskKind::kMap) {
+      if (jt_->job(*choice).has_local_pending_map(machine)) {
+        floor = std::max(floor, config_.local_acceptance_floor);
+      } else if (jt_->job(*choice).has_rack_local_pending_map(machine)) {
+        floor = std::max(floor, config_.rack_local_acceptance_floor);
+      }
     }
     if (!has_trade) {
       // The free-slot decline races other assignments (the slot may be

@@ -59,11 +59,22 @@ struct EAntConfig {
   /// declined local slot usually turns into a remote read elsewhere, so
   /// local offers decline only half-heartedly.
   double local_acceptance_floor = 0.5;
+
+  /// Acceptance floor for a rack-local offer on a multi-rack topology —
+  /// between the node-local floor and min_acceptance, because a declined
+  /// rack-local slot risks a cross-rack read over the oversubscribed
+  /// uplink.  Inert with one flat rack.
+  double rack_local_acceptance_floor = 0.25;
 };
 
 /// Realisation of Eq. 7's "infinite" eta for data-local candidates: the cap
 /// at which the heuristic saturates (1000^beta ~= 2 at the paper's beta=0.1).
 constexpr double kLocalityEta = 1e3;
+
+/// Intermediate eta tier for rack-local candidates on a multi-rack topology
+/// (the paper's testbed was one flat rack, so Eq. 7 had no middle branch):
+/// the geometric mean of the local boost and no boost, i.e. sqrt(kLocalityEta).
+constexpr double kRackLocalityEta = 31.6227766016838;
 
 /// A machine only counts as a "better" placement (justifying a declined
 /// slot) when its trail exceeds the offering machine's by this margin.

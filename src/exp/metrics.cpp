@@ -49,6 +49,7 @@ void MetricsCollector::install() {
       ++maps_by_type_[type_name];
       ++total_maps_;
       if (r.data_local) ++local_maps_;
+      if (r.locality == Locality::kRackLocal) ++rack_local_maps_;
     } else {
       ++reduces_by_type_[type_name];
     }
@@ -86,6 +87,7 @@ RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
   rm.jobs = jobs_;
   rm.total_tasks = total_tasks_;
   rm.local_maps = local_maps_;
+  rm.rack_local_maps = rack_local_maps_;
   rm.total_maps = total_maps_;
   rm.jobs_failed = jt_.jobs_failed();
   rm.killed_attempts = jt_.killed_attempts();

@@ -12,6 +12,7 @@
 #include "common/units.h"
 #include "core/energy_model.h"
 #include "mapreduce/job_tracker.h"
+#include "net/fabric.h"
 #include "workload/job_spec.h"
 
 namespace eant::exp {
@@ -50,8 +51,13 @@ struct RunMetrics {
   std::vector<TypeMetrics> by_type;
   std::vector<JobMetrics> jobs;
   std::size_t total_tasks = 0;
-  std::size_t local_maps = 0;
+  std::size_t local_maps = 0;       ///< node-local maps
+  std::size_t rack_local_maps = 0;  ///< fed from a same-rack replica
   std::size_t total_maps = 0;
+
+  // --- network fabric (only meaningful when fabric_active) -------------------
+  bool fabric_active = false;  ///< flow-model network vs legacy scalars
+  net::FabricMetrics network;
 
   // --- fault & recovery accounting (fig. 13) ---------------------------------
   std::size_t jobs_failed = 0;
@@ -76,6 +82,13 @@ struct RunMetrics {
     return total_maps == 0
                ? 0.0
                : static_cast<double>(local_maps) / static_cast<double>(total_maps);
+  }
+
+  /// Fraction of maps fed from a same-rack (but not same-node) replica.
+  double rack_locality_fraction() const {
+    return total_maps == 0 ? 0.0
+                           : static_cast<double>(rack_local_maps) /
+                                 static_cast<double>(total_maps);
   }
 
   /// Mean completion time of jobs whose class matches (empty = all jobs).
@@ -109,6 +122,7 @@ class MetricsCollector {
   std::vector<JobMetrics> jobs_;
   std::size_t total_tasks_ = 0;
   std::size_t local_maps_ = 0;
+  std::size_t rack_local_maps_ = 0;
   std::size_t total_maps_ = 0;
   Seconds last_finish_ = 0.0;
 };

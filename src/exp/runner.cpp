@@ -65,13 +65,21 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
   EANT_CHECK(cluster_->size() >= 1, "cluster builder added no machines");
 
   const Rng root(config_.seed);
-  namenode_ = std::make_unique<hdfs::NameNode>(root.fork(1), cluster_->size());
+  std::vector<std::size_t> racks;  // empty = one flat rack
+  if (config_.topology) {
+    net::Topology topo(*config_.topology, cluster_->size());
+    racks = topo.rack_assignment();
+    fabric_ = std::make_unique<net::Fabric>(*sim_, std::move(topo));
+  }
+  namenode_ = std::make_unique<hdfs::NameNode>(
+      root.fork(1), cluster_->size(), hdfs::kDefaultReplication, racks);
   noise_ = std::make_unique<mr::NoiseModel>(config_.noise, root.fork(2));
   scheduler_ = make_scheduler(scheduler, *cluster_, config_);
   eant_ = dynamic_cast<core::EAntScheduler*>(scheduler_.get());
   jt_ = std::make_unique<mr::JobTracker>(*sim_, *cluster_, *namenode_,
                                          *scheduler_, *noise_,
                                          config_.job_tracker);
+  if (fabric_) jt_->attach_fabric(*fabric_);
   jt_->start_trackers();
 
   if (config_.faults.enabled()) {
@@ -113,7 +121,12 @@ void Run::execute() {
 }
 
 RunMetrics Run::metrics() {
-  return collector_->finalize(scheduler_->name());
+  RunMetrics rm = collector_->finalize(scheduler_->name());
+  if (fabric_) {
+    rm.fabric_active = true;
+    rm.network = fabric_->metrics();
+  }
+  return rm;
 }
 
 Seconds standalone_runtime(const ClusterBuilder& build_cluster,

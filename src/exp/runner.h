@@ -15,6 +15,7 @@
 #include "hdfs/namenode.h"
 #include "mapreduce/job_tracker.h"
 #include "mapreduce/noise.h"
+#include "net/fabric.h"
 #include "sim/fault_injector.h"
 #include "sim/simulator.h"
 
@@ -33,6 +34,15 @@ struct RunConfig {
   core::EAntConfig eant;       ///< used when scheduler == kEAnt
   sim::FaultPlan faults;       ///< machine/task fault injection (off by default)
   Seconds time_limit = 14.0 * 24 * 3600;  ///< safety stop (sim time)
+
+  /// When set, the run builds a network fabric over this topology: HDFS
+  /// places blocks rack-aware, and shuffles / remote reads / replication
+  /// writes become contending flows instead of scalar-bandwidth costs.
+  /// Presets: net::TopologySpec::flat() (one rack, infinite links — the
+  /// legacy timing, but with flow metrics) and
+  /// net::TopologySpec::oversubscribed() (4 racks, finite access links and a
+  /// 1.5x-oversubscribed rack uplink).  Unset = legacy scalar model.
+  std::optional<net::TopologySpec> topology;
 };
 
 /// One experiment execution.  Construct, submit jobs, execute, read metrics.
@@ -67,10 +77,14 @@ class Run {
   /// Non-null only when the RunConfig's FaultPlan injects something.
   sim::FaultInjector* fault_injector() { return injector_.get(); }
 
+  /// Non-null only when the RunConfig set a topology.
+  net::Fabric* fabric() { return fabric_.get(); }
+
  private:
   RunConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<net::Fabric> fabric_;  ///< must outlive the JobTracker
   std::unique_ptr<hdfs::NameNode> namenode_;
   std::unique_ptr<mr::NoiseModel> noise_;
   std::unique_ptr<mr::Scheduler> scheduler_;

@@ -1,13 +1,16 @@
 #include "hdfs/namenode.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace eant::hdfs {
 
-NameNode::NameNode(Rng rng, std::size_t num_datanodes, int replication)
+NameNode::NameNode(Rng rng, std::size_t num_datanodes, int replication,
+                   std::vector<std::size_t> racks)
     : rng_(rng),
       num_datanodes_(num_datanodes),
       replication_(replication),
+      racks_(std::move(racks)),
       per_node_counts_(num_datanodes, 0) {
   EANT_CHECK(num_datanodes >= 1, "need at least one datanode");
   EANT_CHECK(replication >= 1, "replication factor must be >= 1");
@@ -15,6 +18,90 @@ NameNode::NameNode(Rng rng, std::size_t num_datanodes, int replication)
   // requested replication factor.
   replication_ = static_cast<int>(
       std::min<std::size_t>(num_datanodes, static_cast<std::size_t>(replication)));
+
+  if (racks_.empty()) racks_.assign(num_datanodes_, 0);
+  EANT_CHECK(racks_.size() == num_datanodes_,
+             "rack assignment must cover every datanode");
+  num_racks_ = 1 + *std::max_element(racks_.begin(), racks_.end());
+  per_rack_counts_.assign(num_racks_, 0);
+}
+
+cluster::MachineId NameNode::take_balanced(
+    std::vector<cluster::MachineId>& pool) {
+  EANT_CHECK(!pool.empty(), "no placement candidates left");
+  const auto draw = [&] {
+    return static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(pool.size()) - 1));
+  };
+  std::size_t best = draw();
+  const std::size_t other = draw();
+  // Power of two choices: the emptier of two random candidates.  This keeps
+  // the per-node counts within a tight band where plain uniform sampling
+  // drifts O(sqrt(n)) apart.
+  if (per_node_counts_[pool[other]] < per_node_counts_[pool[best]])
+    best = other;
+  const cluster::MachineId node = pool[best];
+  pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+  return node;
+}
+
+std::vector<cluster::MachineId> NameNode::place_flat() {
+  std::vector<cluster::MachineId> pool(num_datanodes_);
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<cluster::MachineId> nodes;
+  nodes.reserve(static_cast<std::size_t>(replication_));
+  for (int r = 0; r < replication_; ++r) nodes.push_back(take_balanced(pool));
+  return nodes;
+}
+
+std::vector<cluster::MachineId> NameNode::place_rack_aware() {
+  std::vector<cluster::MachineId> nodes;
+  nodes.reserve(static_cast<std::size_t>(replication_));
+
+  // Replica 1: anywhere (the "writer's node" — writers are uniformly spread
+  // here, so a balanced pick over the whole fleet models it).
+  std::vector<cluster::MachineId> pool(num_datanodes_);
+  std::iota(pool.begin(), pool.end(), 0);
+  nodes.push_back(take_balanced(pool));
+  const std::size_t first_rack = racks_[nodes[0]];
+
+  if (replication_ >= 2) {
+    // Replica 2: any node outside the first replica's rack.
+    std::vector<cluster::MachineId> off_rack;
+    for (cluster::MachineId n : pool)
+      if (racks_[n] != first_rack) off_rack.push_back(n);
+    if (!off_rack.empty()) {
+      nodes.push_back(take_balanced(off_rack));
+    } else {
+      nodes.push_back(take_balanced(pool));  // degenerate: one populated rack
+    }
+  }
+
+  if (replication_ >= 3) {
+    // Replica 3: same rack as replica 2 if possible, else anywhere distinct.
+    const std::size_t second_rack = racks_[nodes[1]];
+    std::vector<cluster::MachineId> same_rack;
+    std::vector<cluster::MachineId> rest;
+    for (cluster::MachineId n : pool) {
+      if (n == nodes[1]) continue;
+      (racks_[n] == second_rack ? same_rack : rest).push_back(n);
+    }
+    if (!same_rack.empty()) {
+      nodes.push_back(take_balanced(same_rack));
+    } else {
+      nodes.push_back(take_balanced(rest));
+    }
+  }
+
+  // Replicas beyond 3: anywhere distinct (Hadoop's policy is "random").
+  if (replication_ > 3) {
+    std::vector<cluster::MachineId> rest;
+    for (cluster::MachineId n : pool)
+      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
+        rest.push_back(n);
+    for (int r = 3; r < replication_; ++r) nodes.push_back(take_balanced(rest));
+  }
+  return nodes;
 }
 
 std::vector<BlockId> NameNode::create_file(Megabytes size,
@@ -27,19 +114,11 @@ std::vector<BlockId> NameNode::create_file(Megabytes size,
     const Megabytes this_block = std::min(remaining, block_size);
     remaining -= this_block;
 
-    // Sample `replication_` distinct datanodes (partial Fisher-Yates over a
-    // virtual identity permutation; cheap because replication is small).
-    std::vector<cluster::MachineId> nodes;
-    nodes.reserve(static_cast<std::size_t>(replication_));
-    std::vector<cluster::MachineId> pool(num_datanodes_);
-    for (std::size_t i = 0; i < num_datanodes_; ++i) pool[i] = i;
-    for (int r = 0; r < replication_; ++r) {
-      const auto pick = static_cast<std::size_t>(rng_.uniform_int(
-          static_cast<std::int64_t>(r),
-          static_cast<std::int64_t>(num_datanodes_) - 1));
-      std::swap(pool[static_cast<std::size_t>(r)], pool[pick]);
-      nodes.push_back(pool[static_cast<std::size_t>(r)]);
-      ++per_node_counts_[pool[static_cast<std::size_t>(r)]];
+    std::vector<cluster::MachineId> nodes =
+        num_racks_ > 1 ? place_rack_aware() : place_flat();
+    for (cluster::MachineId n : nodes) {
+      ++per_node_counts_[n];
+      ++per_rack_counts_[racks_[n]];
     }
 
     ids.push_back(blocks_.size());
@@ -58,9 +137,41 @@ bool NameNode::is_local(BlockId id, cluster::MachineId machine) const {
   return std::find(locs.begin(), locs.end(), machine) != locs.end();
 }
 
+Locality NameNode::locality(BlockId id, cluster::MachineId machine) const {
+  EANT_CHECK(machine < num_datanodes_, "unknown datanode");
+  const auto& locs = locations(id);
+  Locality best = Locality::kOffRack;
+  for (cluster::MachineId n : locs) {
+    if (n == machine) return Locality::kNodeLocal;
+    if (racks_[n] == racks_[machine]) best = Locality::kRackLocal;
+  }
+  return best;
+}
+
 Megabytes NameNode::block_size(BlockId id) const {
   EANT_CHECK(id < blocks_.size(), "unknown block id");
   return blocks_[id].size;
+}
+
+LocalityStats NameNode::locality_stats() const {
+  LocalityStats stats;
+  stats.blocks_per_node = per_node_counts_;
+  stats.replicas_per_rack = per_rack_counts_;
+  const auto [lo, hi] =
+      std::minmax_element(per_node_counts_.begin(), per_node_counts_.end());
+  stats.min_per_node = *lo;
+  stats.max_per_node = *hi;
+  const auto total =
+      std::accumulate(per_node_counts_.begin(), per_node_counts_.end(),
+                      std::size_t{0});
+  stats.mean_per_node =
+      static_cast<double>(total) / static_cast<double>(num_datanodes_);
+  return stats;
+}
+
+std::size_t NameNode::rack_of(cluster::MachineId machine) const {
+  EANT_CHECK(machine < num_datanodes_, "unknown datanode");
+  return racks_[machine];
 }
 
 }  // namespace eant::hdfs

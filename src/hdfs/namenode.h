@@ -1,8 +1,15 @@
 // Minimal HDFS model: files are split into 64 MB blocks, each replicated on
 // `replication` distinct datanodes.  Schedulers query block locations to make
 // locality-aware assignments (the paper's Fig. 6 and Eq. 7's locality branch);
-// map tasks whose split is not local pay a remote-read penalty in the
-// MapReduce engine.
+// map tasks whose split is not local pay a remote-read cost in the MapReduce
+// engine (a fabric flow when a topology is configured, a scalar otherwise).
+//
+// When the NameNode knows a rack assignment it applies Hadoop's default
+// BlockPlacementPolicy: first replica on a node in the writer's rack, second
+// replica off-rack, third in the second replica's rack — one rack failure
+// never loses a block, yet two thirds of replicas share a rack to keep write
+// traffic off the core.  Locality queries then answer at three levels
+// (node-local / rack-local / off-rack) instead of a boolean.
 
 #pragma once
 
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "cluster/machine.h"
+#include "common/locality.h"
 #include "common/rng.h"
 #include "common/units.h"
 
@@ -18,14 +26,34 @@ namespace eant::hdfs {
 /// Identifies an HDFS block.
 using BlockId = std::uint64_t;
 
+/// Hadoop's default dfs.replication.
+inline constexpr int kDefaultReplication = 3;
+
+/// Placement-balance summary (see locality_stats()).
+struct LocalityStats {
+  std::vector<std::size_t> blocks_per_node;    ///< replicas hosted per node
+  std::vector<std::size_t> replicas_per_rack;  ///< replicas hosted per rack
+  std::size_t min_per_node = 0;
+  std::size_t max_per_node = 0;
+  double mean_per_node = 0.0;
+
+  /// max - min replica count across nodes; the balance-drift metric.
+  std::size_t node_spread() const { return max_per_node - min_per_node; }
+};
+
 /// Block placement and location service (the NameNode role).
 class NameNode {
  public:
-  /// `num_datanodes` is the number of machines storing blocks; placement is
-  /// uniform-random over distinct nodes, like default HDFS with one rack.
-  /// The NameNode owns its own RNG stream, so file-creation order is the
-  /// only source of placement variation.
-  NameNode(Rng rng, std::size_t num_datanodes, int replication = 3);
+  /// `num_datanodes` is the number of machines storing blocks.  `racks`
+  /// optionally maps each datanode to its rack id (empty = one flat rack);
+  /// with more than one rack the Hadoop rack-aware policy above applies.
+  /// Candidate nodes are chosen by power-of-two-choices on current load, so
+  /// placement stays balanced instead of drifting like the old
+  /// uniform-random sampling did.  The NameNode owns its own RNG stream, so
+  /// file-creation order is the only source of placement variation.
+  NameNode(Rng rng, std::size_t num_datanodes,
+           int replication = kDefaultReplication,
+           std::vector<std::size_t> racks = {});
 
   /// Allocates blocks for a file of the given size (last block may be
   /// short); returns the block ids in file order.
@@ -38,6 +66,9 @@ class NameNode {
   /// True iff the machine holds a replica of the block.
   bool is_local(BlockId id, cluster::MachineId machine) const;
 
+  /// Three-level locality of the block relative to the machine.
+  Locality locality(BlockId id, cluster::MachineId machine) const;
+
   /// Size of the block in megabytes.
   Megabytes block_size(BlockId id) const;
 
@@ -46,9 +77,15 @@ class NameNode {
     return per_node_counts_;
   }
 
+  /// Replica spread per rack and per node, for balance assertions and the
+  /// topology benches.
+  LocalityStats locality_stats() const;
+
   std::size_t num_blocks() const { return blocks_.size(); }
   int replication() const { return replication_; }
   std::size_t num_datanodes() const { return num_datanodes_; }
+  std::size_t num_racks() const { return num_racks_; }
+  std::size_t rack_of(cluster::MachineId machine) const;
 
  private:
   struct BlockInfo {
@@ -56,11 +93,21 @@ class NameNode {
     std::vector<cluster::MachineId> locations;
   };
 
+  /// Least-loaded of two random candidates from `pool` (power of two
+  /// choices); removes and returns it.  pool must be non-empty.
+  cluster::MachineId take_balanced(std::vector<cluster::MachineId>& pool);
+
+  std::vector<cluster::MachineId> place_flat();
+  std::vector<cluster::MachineId> place_rack_aware();
+
   Rng rng_;
   std::size_t num_datanodes_;
   int replication_;
+  std::vector<std::size_t> racks_;  ///< rack id per datanode
+  std::size_t num_racks_ = 1;
   std::vector<BlockInfo> blocks_;
   std::vector<std::size_t> per_node_counts_;
+  std::vector<std::size_t> per_rack_counts_;
 };
 
 }  // namespace eant::hdfs

@@ -43,6 +43,18 @@ void JobState::init_maps(const std::vector<hdfs::BlockId>& blocks,
       local_maps_[m].push_back(i);
     }
   }
+
+  // Rack-level index, active only under a multi-rack NameNode; duplicate
+  // entries (two replicas in one rack) are harmless under lazy cleanup.
+  if (namenode.num_racks() > 1) {
+    machine_rack_.resize(num_machines_);
+    for (cluster::MachineId m = 0; m < num_machines_; ++m)
+      machine_rack_[m] = namenode.rack_of(m);
+    rack_maps_.resize(namenode.num_racks());
+    for (TaskIndex i = 0; i < blocks.size(); ++i)
+      for (cluster::MachineId m : namenode.locations(blocks[i]))
+        rack_maps_[namenode.rack_of(m)].push_back(i);
+  }
   map_state_.status.assign(maps_.size(), TaskStatus::kPending);
   map_state_.speculative.assign(maps_.size(), false);
   map_state_.start_time.assign(maps_.size(), 0.0);
@@ -90,6 +102,15 @@ bool JobState::has_local_pending_map(cluster::MachineId machine) const {
   return false;
 }
 
+bool JobState::has_rack_local_pending_map(cluster::MachineId machine) const {
+  EANT_CHECK(machine < num_machines_, "machine id out of range");
+  if (rack_maps_.empty()) return false;
+  for (TaskIndex i : rack_maps_[machine_rack_[machine]]) {
+    if (map_state_.status[i] == TaskStatus::kPending) return true;
+  }
+  return false;
+}
+
 int JobState::occupied_slots() const {
   return static_cast<int>(map_state_.running + reduce_state_.running);
 }
@@ -104,9 +125,9 @@ std::optional<TaskIndex> JobState::pop_pending(KindState& ks) {
 }
 
 std::optional<TaskIndex> JobState::claim_map(cluster::MachineId machine,
-                                             bool& local_out) {
+                                             Locality& level_out) {
   EANT_CHECK(machine < num_machines_, "machine id out of range");
-  // Local split first (lazy cleanup of stale queue entries).
+  // Node-local split first (lazy cleanup of stale queue entries).
   auto& locals = local_maps_[machine];
   while (!locals.empty()) {
     const TaskIndex i = locals.front();
@@ -114,18 +135,42 @@ std::optional<TaskIndex> JobState::claim_map(cluster::MachineId machine,
     if (map_state_.status[i] == TaskStatus::kPending) {
       map_state_.status[i] = TaskStatus::kRunning;
       ++map_state_.running;
-      local_out = true;
+      level_out = Locality::kNodeLocal;
       return i;
     }
   }
-  // Otherwise any pending split (remote read).
+  // Then a split with a replica in this machine's rack.  (Exhausting the
+  // node queue above proves no pending split is node-local here, so a hit
+  // in the rack queue is genuinely rack-local.)
+  if (!rack_maps_.empty()) {
+    auto& rack = rack_maps_[machine_rack_[machine]];
+    while (!rack.empty()) {
+      const TaskIndex i = rack.front();
+      rack.pop_front();
+      if (map_state_.status[i] == TaskStatus::kPending) {
+        map_state_.status[i] = TaskStatus::kRunning;
+        ++map_state_.running;
+        level_out = Locality::kRackLocal;
+        return i;
+      }
+    }
+  }
+  // Otherwise any pending split (remote read; off-rack when racks exist).
   if (auto i = pop_pending(map_state_)) {
     map_state_.status[*i] = TaskStatus::kRunning;
     ++map_state_.running;
-    local_out = false;
+    level_out = Locality::kOffRack;
     return i;
   }
   return std::nullopt;
+}
+
+std::optional<TaskIndex> JobState::claim_map(cluster::MachineId machine,
+                                             bool& local_out) {
+  Locality level = Locality::kOffRack;
+  const auto index = claim_map(machine, level);
+  local_out = level == Locality::kNodeLocal;
+  return index;
 }
 
 std::optional<TaskIndex> JobState::claim_reduce() {
@@ -179,8 +224,13 @@ void JobState::mark_done(const TaskReport& report) {
   if (report.spec.kind == TaskKind::kMap) {
     map_task_seconds_ += report.duration();
   } else {
-    shuffle_seconds_ += report.spec.shuffle_seconds;
-    reduce_task_seconds_ += report.duration() - report.spec.shuffle_seconds;
+    // Measured transfer time when the fabric produced one, the legacy
+    // scalar estimate otherwise.
+    const Seconds transfer = report.transfer_seconds >= 0.0
+                                 ? report.transfer_seconds
+                                 : report.spec.shuffle_seconds;
+    shuffle_seconds_ += transfer;
+    reduce_task_seconds_ += report.duration() - transfer;
   }
 }
 
@@ -251,6 +301,7 @@ void JobState::revert_done_map(TaskIndex index, Seconds duration,
   for (cluster::MachineId m : replicas) {
     EANT_ASSERT(m < num_machines_, "block replica on unknown machine");
     local_maps_[m].push_back(index);
+    if (!rack_maps_.empty()) rack_maps_[machine_rack_[m]].push_back(index);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/machine.h"
+#include "common/locality.h"
 #include "hdfs/namenode.h"
 #include "mapreduce/task.h"
 #include "workload/apps.h"
@@ -55,12 +56,21 @@ class JobState {
   /// True iff a pending map's input block has a replica on `machine`.
   bool has_local_pending_map(cluster::MachineId machine) const;
 
+  /// True iff a pending map's input block has a replica in `machine`'s rack
+  /// (always false when the NameNode had a single flat rack).
+  bool has_rack_local_pending_map(cluster::MachineId machine) const;
+
   /// Slots the job currently occupies (S_occ of Eq. 7).
   int occupied_slots() const;
 
-  /// Picks a pending map for the machine, preferring data-local splits; the
-  /// task transitions to Running.  Returns nothing when no map is pending.
-  /// `local_out` reports whether the returned split is machine-local.
+  /// Picks a pending map for the machine, preferring node-local splits,
+  /// then rack-local ones, then anything pending; the task transitions to
+  /// Running.  Returns nothing when no map is pending.  `level_out` reports
+  /// the locality of the returned split relative to the machine.
+  std::optional<TaskIndex> claim_map(cluster::MachineId machine,
+                                     Locality& level_out);
+
+  /// Boolean-locality convenience wrapper (local == node-local).
   std::optional<TaskIndex> claim_map(cluster::MachineId machine,
                                      bool& local_out);
 
@@ -182,6 +192,11 @@ class JobState {
   /// Per-machine queues of map indices whose split is local to the machine
   /// (lazily cleaned: entries may be stale once a task leaves Pending).
   std::vector<std::deque<TaskIndex>> local_maps_;
+
+  /// Per-rack queues of map indices with a replica in the rack; only built
+  /// when the NameNode reports more than one rack (same lazy cleanup).
+  std::vector<std::deque<TaskIndex>> rack_maps_;
+  std::vector<std::size_t> machine_rack_;  ///< empty when racks are inactive
 
   bool failed_ = false;
   Seconds finish_time_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.h"
 
@@ -65,6 +66,12 @@ void JobTracker::start_trackers() {
       return true;
     });
   }
+}
+
+void JobTracker::attach_fabric(net::Fabric& fabric) {
+  EANT_CHECK(fabric.topology().num_nodes() == cluster_.size(),
+             "fabric topology and cluster must agree on machine count");
+  fabric_ = &fabric;
 }
 
 TaskTracker& JobTracker::tracker(cluster::MachineId id) {
@@ -141,9 +148,10 @@ void JobTracker::try_speculate(TaskTracker& tracker, TaskKind kind) {
       // Only worthwhile if a fresh attempt here is expected to beat the
       // original's progress-to-date.
       const TaskSpec& spec = js.task(kind, i);
-      const bool local =
-          kind == TaskKind::kReduce || namenode_.is_local(spec.block, m);
-      const Seconds here = base_duration(spec, cluster_.machine(m), local);
+      const Locality locality = kind == TaskKind::kReduce
+                                    ? Locality::kNodeLocal
+                                    : namenode_.locality(spec.block, m);
+      const Seconds here = base_duration(spec, cluster_.machine(m), locality);
       if (here >= elapsed) continue;
       if (elapsed - mean > best_overshoot) {
         best_overshoot = elapsed - mean;
@@ -168,29 +176,40 @@ void JobTracker::try_assign(TaskTracker& tracker, TaskKind kind) {
     EANT_CHECK(js.has_pending(kind),
                "scheduler selected a job with no pending task of this kind");
 
-    bool local = true;
+    Locality locality = Locality::kNodeLocal;
     std::optional<TaskIndex> index;
     if (kind == TaskKind::kMap) {
-      index = js.claim_map(m, local);
+      index = js.claim_map(m, locality);
     } else {
       index = js.claim_reduce();
     }
     EANT_ASSERT(index.has_value(), "claim failed despite pending work");
 
     if (kind == TaskKind::kMap && config_.locality_override) {
-      local = config_.locality_override(js.task(kind, *index), m);
+      locality = config_.locality_override(js.task(kind, *index), m)
+                     ? Locality::kNodeLocal
+                     : Locality::kOffRack;
     }
 
-    launch(js, kind, *index, tracker, local);
+    launch(js, kind, *index, tracker, locality);
   }
 }
 
 void JobTracker::launch(JobState& js, TaskKind kind, TaskIndex index,
-                        TaskTracker& tracker, bool local) {
+                        TaskTracker& tracker, Locality locality) {
+  if (fabric_ != nullptr) {
+    launch_with_fabric(js, kind, index, tracker, locality);
+    return;
+  }
   const cluster::MachineId m = tracker.machine_id();
   const TaskSpec& spec = js.task(kind, index);
+  const bool local = locality == Locality::kNodeLocal;
+  if ((kind == TaskKind::kMap && !local) ||
+      (kind == TaskKind::kReduce && spec.shuffle_seconds > 0.0)) {
+    note_legacy_network();
+  }
   const Seconds duration =
-      compute_duration(js, spec, cluster_.machine(m), local);
+      compute_duration(js, spec, cluster_.machine(m), locality);
   Seconds fail_after = 0.0;
   if (attempt_fault_hook_) {
     if (const auto frac = attempt_fault_hook_(spec, m)) {
@@ -201,12 +220,300 @@ void JobTracker::launch(JobState& js, TaskKind kind, TaskIndex index,
   tracker.start_task(spec, duration, local, fail_after);
 }
 
+void JobTracker::launch_with_fabric(JobState& js, TaskKind kind,
+                                    TaskIndex index, TaskTracker& tracker,
+                                    Locality locality) {
+  const cluster::MachineId m = tracker.machine_id();
+  const TaskSpec& spec = js.task(kind, index);
+  const auto& machine = cluster_.machine(m);
+
+  // The launch-time slowdown multiplier (CPU contention x straggler x noise)
+  // stretches compute AND transfer alike on the legacy path, so here the
+  // per-flow caps are divided by it: under never-binding links the transfer
+  // phase then lasts exactly multiplier x (scalar transfer estimate), and
+  // total attempt time reproduces the legacy model.  The noise draws keep
+  // the legacy order (straggler, then duration) so both paths consume the
+  // same RNG stream.
+  double mult = 1.0;
+  if (config_.contention_slowdown) {
+    const double projected =
+        (machine.demand_cores() + spec.cpu_demand) / machine.type().cores;
+    if (projected > 1.0) mult = projected;
+  }
+  mult *= noise_.straggler_multiplier();
+  mult *= noise_.duration_multiplier();
+
+  Seconds compute_d =
+      machine.type().task_runtime(spec.cpu_ref_seconds, spec.io_mb) * mult;
+  Seconds fail_after = 0.0;
+  if (attempt_fault_hook_) {
+    // The transient fault runs down during the compute phase, matching the
+    // legacy "fraction of the attempt's runtime" semantics as closely as a
+    // two-phase attempt allows.
+    if (const auto frac = attempt_fault_hook_(spec, m)) {
+      fail_after = *frac * compute_d;
+    }
+  }
+
+  js.mark_started(kind, index, m, sim_.now());
+
+  struct FlowPlan {
+    cluster::MachineId src;
+    Megabytes mb;
+    double cap_mbps;
+    net::TransferClass cls;
+  };
+  std::vector<FlowPlan> plan;
+  // Scalar transfer estimate, charged locally when no flow can carry it
+  // (e.g. every replica or map output is on this very machine).
+  Seconds transfer_fallback = 0.0;
+
+  if (kind == TaskKind::kMap && locality != Locality::kNodeLocal) {
+    transfer_fallback = spec.input_mb / config_.remote_read_mbps;
+    if (const auto src = pick_replica_source(spec.block, m)) {
+      plan.push_back({*src, spec.input_mb, config_.remote_read_mbps / mult,
+                      net::TransferClass::kRemoteRead});
+      transfer_fallback = 0.0;
+    }
+  } else if (kind == TaskKind::kReduce && spec.shuffle_seconds > 0.0) {
+    // One fetch flow per surviving machine holding completed map output,
+    // sized by its share.  Caps are proportional to bytes, so on an idle
+    // network every fetch lasts exactly spec.shuffle_seconds x mult — the
+    // legacy scalar — while shared links stretch the big fetches most.
+    transfer_fallback = spec.shuffle_seconds;
+    const auto& per_machine = js.completed_per_machine(TaskKind::kMap);
+    std::size_t total = 0;
+    for (auto c : per_machine) total += c;
+    if (total > 0) {
+      const Seconds solo_time = spec.shuffle_seconds * mult;
+      for (cluster::MachineId src = 0; src < per_machine.size(); ++src) {
+        if (src == m || per_machine[src] == 0) continue;
+        if (!trackers_[src]->alive()) continue;  // outputs died with the node
+        const Megabytes mb =
+            spec.input_mb * (static_cast<double>(per_machine[src]) /
+                             static_cast<double>(total));
+        if (mb <= 0.0 || solo_time <= 0.0) continue;
+        plan.push_back(
+            {src, mb, mb / solo_time, net::TransferClass::kShuffle});
+      }
+      if (!plan.empty()) transfer_fallback = 0.0;
+    }
+  }
+
+  if (plan.empty()) {
+    // Nothing to move over the wire; any residual scalar estimate (an
+    // all-local shuffle's merge cost) folds into the compute phase.
+    compute_d += transfer_fallback * mult;
+    tracker.start_fetching_task(spec, locality, nullptr);
+    tracker.begin_compute(spec.job, kind, index, compute_d, fail_after);
+    return;
+  }
+
+  const TransferKey key{spec.job, kind, index, m};
+  EANT_ASSERT(!transfers_.contains(key), "duplicate in-flight transfer");
+  PendingTransfer& pt = transfers_[key];
+  pt.compute_duration = compute_d;
+  pt.fail_after = fail_after;
+  tracker.start_fetching_task(spec, locality,
+                              [this, key] { abort_transfers(key); });
+  for (const FlowPlan& fp : plan) {
+    start_owned_flow(key, fp.src, m, fp.mb, fp.cap_mbps, fp.cls);
+  }
+}
+
+void JobTracker::start_owned_flow(const TransferKey& key,
+                                  cluster::MachineId src,
+                                  cluster::MachineId dst, Megabytes mb,
+                                  double cap_mbps, net::TransferClass cls) {
+  const net::FlowId id = fabric_->start_flow(
+      src, dst, mb, cap_mbps, cls,
+      [this, key](net::FlowId fid) { on_flow_complete(fid, key); });
+  transfers_[key].flows.insert(id);
+  flow_owner_[id] = key;
+}
+
+void JobTracker::on_flow_complete(net::FlowId id, const TransferKey& key) {
+  flow_owner_.erase(id);
+  auto it = transfers_.find(key);
+  if (it == transfers_.end()) return;  // attempt already torn down
+  it->second.flows.erase(id);
+  if (!it->second.flows.empty()) return;
+  const PendingTransfer pt = it->second;
+  transfers_.erase(it);
+  begin_compute_for(key, pt);
+}
+
+void JobTracker::begin_compute_for(const TransferKey& key,
+                                   const PendingTransfer& pt) {
+  TaskTracker& t = *trackers_[key.machine];
+  EANT_ASSERT(t.alive() && t.is_running(key.job, key.kind, key.index),
+              "transfer finished for an attempt that is no longer running");
+  t.begin_compute(key.job, key.kind, key.index, pt.compute_duration,
+                  pt.fail_after);
+}
+
+void JobTracker::abort_transfers(const TransferKey& key) {
+  auto it = transfers_.find(key);
+  if (it == transfers_.end()) return;
+  // Detach before aborting: abort_flow reallocates the whole fabric and the
+  // owner map must already be consistent.
+  const std::set<net::FlowId> flows = std::move(it->second.flows);
+  transfers_.erase(it);
+  for (net::FlowId f : flows) {
+    flow_owner_.erase(f);
+    fabric_->abort_flow(f);
+  }
+}
+
+std::optional<cluster::MachineId> JobTracker::pick_replica_source(
+    hdfs::BlockId block, cluster::MachineId dst) const {
+  // Prefer a surviving replica in the reader's rack (the fetch then skips
+  // the oversubscribed uplink), like Hadoop's pickup order.
+  std::optional<cluster::MachineId> same_rack;
+  std::optional<cluster::MachineId> elsewhere;
+  for (cluster::MachineId n : namenode_.locations(block)) {
+    if (n == dst || !trackers_[n]->alive()) continue;
+    if (namenode_.rack_of(n) == namenode_.rack_of(dst)) {
+      if (!same_rack) same_rack = n;
+    } else if (!elsewhere) {
+      elsewhere = n;
+    }
+  }
+  return same_rack ? same_rack : elsewhere;
+}
+
+void JobTracker::handle_network_casualties(cluster::MachineId dead) {
+  if (fabric_ == nullptr) return;
+  // The dying tracker's own attempts already tore their fetches down, so
+  // what remains touching the node is (a) flows it was *serving* to others
+  // and (b) unowned replication-pipeline flows.  (a) restarts from another
+  // holder of the data; (b) just dies.
+  for (net::FlowId f : fabric_->flows_touching(dead)) {
+    if (!fabric_->active(f)) continue;
+    const auto own = flow_owner_.find(f);
+    if (own == flow_owner_.end()) {
+      fabric_->abort_flow(f);
+      continue;
+    }
+    const TransferKey key = own->second;
+    const cluster::MachineId dst = fabric_->flow_dst(f);
+    const Megabytes remaining = fabric_->flow_remaining_mb(f);
+    const double cap = fabric_->flow_cap_mbps(f);
+    const net::TransferClass cls = fabric_->flow_class(f);
+    flow_owner_.erase(own);
+    auto tit = transfers_.find(key);
+    EANT_ASSERT(tit != transfers_.end(), "owned flow without transfer state");
+    tit->second.flows.erase(f);
+    fabric_->abort_flow(f);
+
+    std::optional<cluster::MachineId> source;
+    if (cls == net::TransferClass::kRemoteRead) {
+      source =
+          pick_replica_source(job(key.job).task(key.kind, key.index).block, dst);
+    } else {
+      // Shuffle: refetch from the surviving machine holding the most of this
+      // job's map output (a stand-in for the re-executed maps' new homes).
+      const auto& per_machine =
+          job(key.job).completed_per_machine(TaskKind::kMap);
+      std::size_t best = 0;
+      for (cluster::MachineId n = 0; n < per_machine.size(); ++n) {
+        if (n == dst || n == dead || !trackers_[n]->alive()) continue;
+        if (per_machine[n] > best) {
+          best = per_machine[n];
+          source = n;
+        }
+      }
+    }
+
+    if (remaining > 0.0 && source.has_value()) {
+      ++retransferred_flows_;
+      start_owned_flow(key, *source, dst, remaining, cap, cls);
+    } else if (tit->second.flows.empty()) {
+      // No surviving source (or nothing left to move): the fetch set just
+      // drained, so the attempt proceeds to compute with what it has.
+      const PendingTransfer pt = tit->second;
+      transfers_.erase(tit);
+      begin_compute_for(key, pt);
+    }
+  }
+}
+
+void JobTracker::start_replication_flows(const JobState& js,
+                                         const TaskReport& report) {
+  const Megabytes out_mb =
+      report.spec.input_mb * js.profile().reduce_output_ratio;
+  if (out_mb <= 0.0 || cluster_.size() < 2) return;
+  const cluster::MachineId m = report.machine;
+
+  // Deterministic stand-in for the HDFS write pipeline (placement draws must
+  // not perturb the NameNode's RNG stream): second replica goes to the first
+  // surviving node outside the writer's rack, the third stays in the second
+  // replica's rack, mirroring the rack-aware policy.  Replication is
+  // asynchronous — the job does not wait for it — but its flows contend
+  // with shuffles and remote reads on the shared links.
+  std::optional<cluster::MachineId> second;
+  std::optional<cluster::MachineId> fallback;
+  for (std::size_t step = 1; step < cluster_.size(); ++step) {
+    const cluster::MachineId n = (m + step) % cluster_.size();
+    if (!trackers_[n]->alive()) continue;
+    if (!fallback) fallback = n;
+    if (namenode_.rack_of(n) != namenode_.rack_of(m)) {
+      second = n;
+      break;
+    }
+  }
+  if (!second) second = fallback;
+  if (!second) return;  // no other node survives
+
+  const int copies =
+      std::min(namenode_.replication() - 1,
+               static_cast<int>(cluster_.size()) - 1);
+  if (copies >= 1) {
+    fabric_->start_flow(m, *second, out_mb, config_.replication_write_mbps,
+                        net::TransferClass::kReplication, nullptr);
+  }
+  if (copies >= 2) {
+    // Third replica: pipelined onward from the second, within its rack.
+    std::optional<cluster::MachineId> third;
+    for (std::size_t step = 1; step < cluster_.size(); ++step) {
+      const cluster::MachineId n = (*second + step) % cluster_.size();
+      if (n == m || !trackers_[n]->alive()) continue;
+      if (!third) third = n;
+      if (namenode_.rack_of(n) == namenode_.rack_of(*second)) {
+        third = n;
+        break;
+      }
+    }
+    if (third) {
+      fabric_->start_flow(*second, *third, out_mb,
+                          config_.replication_write_mbps,
+                          net::TransferClass::kReplication, nullptr);
+    }
+  }
+}
+
+void JobTracker::note_legacy_network() {
+  if (legacy_network_noted_) return;
+  legacy_network_noted_ = true;
+  // One note per process, not per Run: benches execute dozens of legacy
+  // runs and the point is just to flag which model produced the numbers.
+  static bool printed = false;
+  if (!printed) {
+    printed = true;
+    std::fprintf(stderr,
+                 "[eant] note: no network topology configured; network costs "
+                 "use the legacy scalar bandwidths (shuffle %.1f MB/s, "
+                 "remote read %.1f MB/s)\n",
+                 config_.shuffle_mbps, config_.remote_read_mbps);
+  }
+}
+
 Seconds JobTracker::base_duration(const TaskSpec& spec,
                                   const cluster::Machine& machine,
-                                  bool local) const {
+                                  Locality locality) const {
   Seconds base =
       machine.type().task_runtime(spec.cpu_ref_seconds, spec.io_mb);
-  if (spec.kind == TaskKind::kMap && !local) {
+  if (spec.kind == TaskKind::kMap && locality != Locality::kNodeLocal) {
     base += spec.input_mb / config_.remote_read_mbps;
   }
   base += spec.shuffle_seconds;
@@ -222,8 +529,8 @@ Seconds JobTracker::base_duration(const TaskSpec& spec,
 Seconds JobTracker::compute_duration(const JobState& /*js*/,
                                      const TaskSpec& spec,
                                      const cluster::Machine& machine,
-                                     bool local) {
-  Seconds d = base_duration(spec, machine, local);
+                                     Locality locality) {
+  Seconds d = base_duration(spec, machine, locality);
   d *= noise_.straggler_multiplier();
   d *= noise_.duration_multiplier();
   return d;
@@ -287,12 +594,18 @@ bool JobTracker::start_speculative(JobId job, TaskKind kind, TaskIndex index,
   if (!tracker_available(tracker.machine_id())) return false;
   if (tracker.free_slots(kind) <= 0) return false;
 
+  // With the fabric on, an attempt is keyed by (job, kind, index, machine);
+  // a speculative twin on the original's own machine would collide (and is
+  // pointless anyway — it shares every bottleneck with the original).
+  if (fabric_ != nullptr && tracker.is_running(job, kind, index)) return false;
+
   const TaskSpec& spec = js.task(kind, index);
   const cluster::MachineId m = tracker.machine_id();
-  const bool local =
-      kind == TaskKind::kReduce || namenode_.is_local(spec.block, m);
+  const Locality locality = kind == TaskKind::kReduce
+                                ? Locality::kNodeLocal
+                                : namenode_.locality(spec.block, m);
   js.mark_speculative(kind, index);
-  launch(js, kind, index, tracker, local);
+  launch(js, kind, index, tracker, locality);
   return true;
 }
 
@@ -318,6 +631,11 @@ void JobTracker::handle_completion(TaskReport report) {
   if (report.spec.kind == TaskKind::kMap) {
     tracker_states_[report.machine]
         .map_outputs[{report.spec.job, report.spec.index}] = report;
+  }
+  // A finished reduce writes its output back to HDFS; with the fabric on,
+  // the replication pipeline's traffic contends with everything else.
+  if (fabric_ != nullptr && report.spec.kind == TaskKind::kReduce) {
+    start_replication_flows(js, report);
   }
   note_recovered(report.spec.job, report.spec.kind, report.spec.index);
   maybe_build_reduces(js);
@@ -359,6 +677,9 @@ void JobTracker::record_crash_casualties(cluster::MachineId machine,
     report_waste(r, WasteReason::kCrashKilled);
     ts.lost_attempts.push_back(std::move(r));
   }
+  // The dying attempts' own fetches were already torn down (via their
+  // abort_transfer callbacks); now deal with flows the dead node was serving.
+  handle_network_casualties(machine);
 }
 
 void JobTracker::handle_task_failure(TaskReport report) {

@@ -24,11 +24,13 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/locality.h"
 #include "hdfs/namenode.h"
 #include "mapreduce/job.h"
 #include "mapreduce/noise.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/task_tracker.h"
+#include "net/fabric.h"
 #include "workload/job_spec.h"
 
 namespace eant::mr {
@@ -40,12 +42,26 @@ struct JobTrackerConfig {
 
   /// Effective per-reduce shuffle bandwidth (many small fetches over the
   /// shared network, far below NIC line rate).
+  ///
+  /// LEGACY FALLBACK: when no network fabric is attached (RunConfig without
+  /// a topology), shuffle time is this fixed scalar regardless of how many
+  /// transfers share the wire.  With a fabric attached it instead becomes
+  /// the per-flow application-level rate cap, so link contention — not this
+  /// constant — determines the actual shuffle time.
   double shuffle_mbps = 20.0;
 
   /// Bandwidth of a map task's remote split read when scheduled non-locally
   /// (the Fig. 6 penalty).  Effective rate, well below NIC line speed:
   /// remote reads compete with shuffle traffic and the source disk.
+  ///
+  /// LEGACY FALLBACK: same dual role as shuffle_mbps — fixed scalar cost
+  /// without a fabric, per-flow rate cap with one.
   double remote_read_mbps = 10.0;
+
+  /// Per-flow rate cap of HDFS replication-pipeline writes of reduce
+  /// output.  Only used when a fabric is attached (the legacy scalar model
+  /// never charged for replication traffic).
+  double replication_write_mbps = 40.0;
 
   /// Fraction of a job's maps that must finish before its reduces become
   /// schedulable.  1.0 = reduces wait for all maps (shuffle is folded into
@@ -119,6 +135,21 @@ class JobTracker {
   /// Creates one TaskTracker per cluster machine (slots from the machine
   /// type).  Must be called exactly once, before any submission.
   void start_trackers();
+
+  /// Routes shuffle fetches, remote split reads and output replication
+  /// through the network fabric instead of the scalar-bandwidth formulas.
+  /// The fabric must outlive the JobTracker and agree on the machine count.
+  void attach_fabric(net::Fabric& fabric);
+
+  /// Non-null once attach_fabric() was called.
+  net::Fabric* fabric() { return fabric_; }
+
+  /// True iff a task launch actually used the scalar-bandwidth fallback
+  /// (i.e. modelled network traffic without a fabric attached).
+  bool used_legacy_network() const { return legacy_network_noted_; }
+
+  /// Flows restarted from a different source because theirs crashed.
+  std::size_t retransferred_flows() const { return retransferred_flows_; }
 
   TaskTracker& tracker(cluster::MachineId id);
 
@@ -268,17 +299,47 @@ class JobTracker {
     std::set<std::tuple<JobId, TaskKind, TaskIndex>> outstanding;
   };
 
+  /// One in-flight transfer phase: the flows feeding one task attempt.
+  struct TransferKey {
+    JobId job = 0;
+    TaskKind kind = TaskKind::kMap;
+    TaskIndex index = 0;
+    cluster::MachineId machine = 0;
+
+    auto tie() const { return std::make_tuple(job, kind, index, machine); }
+    bool operator<(const TransferKey& o) const { return tie() < o.tie(); }
+  };
+
+  struct PendingTransfer {
+    std::set<net::FlowId> flows;      ///< outstanding fetches
+    Seconds compute_duration = 0.0;   ///< starts when the last flow lands
+    Seconds fail_after = 0.0;
+  };
+
   JobState& job_mutable(JobId id);
   void try_assign(TaskTracker& tracker, TaskKind kind);
   void try_speculate(TaskTracker& tracker, TaskKind kind);
   Seconds base_duration(const TaskSpec& spec, const cluster::Machine& machine,
-                        bool local) const;
+                        Locality locality) const;
   Seconds compute_duration(const JobState& js, const TaskSpec& spec,
-                           const cluster::Machine& machine, bool local);
+                           const cluster::Machine& machine, Locality locality);
   void maybe_build_reduces(JobState& js);
   double shuffle_skew_penalty(const JobState& js) const;
   void launch(JobState& js, TaskKind kind, TaskIndex index,
-              TaskTracker& tracker, bool local);
+              TaskTracker& tracker, Locality locality);
+  void launch_with_fabric(JobState& js, TaskKind kind, TaskIndex index,
+                          TaskTracker& tracker, Locality locality);
+  void start_owned_flow(const TransferKey& key, cluster::MachineId src,
+                        cluster::MachineId dst, Megabytes mb, double cap_mbps,
+                        net::TransferClass cls);
+  void on_flow_complete(net::FlowId id, const TransferKey& key);
+  void begin_compute_for(const TransferKey& key, const PendingTransfer& pt);
+  void abort_transfers(const TransferKey& key);
+  void handle_network_casualties(cluster::MachineId dead);
+  void start_replication_flows(const JobState& js, const TaskReport& report);
+  std::optional<cluster::MachineId> pick_replica_source(
+      hdfs::BlockId block, cluster::MachineId dst) const;
+  void note_legacy_network();
   void check_tracker_expiry();
   void reclaim_lost_work(cluster::MachineId machine);
   void fail_job(JobState& js);
@@ -293,6 +354,12 @@ class JobTracker {
   Scheduler& scheduler_;
   NoiseModel& noise_;
   JobTrackerConfig config_;
+  net::Fabric* fabric_ = nullptr;
+
+  std::map<TransferKey, PendingTransfer> transfers_;
+  std::map<net::FlowId, TransferKey> flow_owner_;
+  bool legacy_network_noted_ = false;
+  std::size_t retransferred_flows_ = 0;
 
   std::vector<std::unique_ptr<TaskTracker>> trackers_;
   std::vector<std::unique_ptr<JobState>> jobs_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/machine.h"
+#include "common/locality.h"
 #include "common/units.h"
 #include "hdfs/namenode.h"
 
@@ -56,6 +57,13 @@ struct TaskReport {
   Seconds start = 0.0;
   Seconds finish = 0.0;
   bool data_local = false;        ///< map read its split from a local replica
+  /// Three-level refinement of data_local (rack-local reads cross only the
+  /// rack switch; off-rack reads also cross the core).
+  Locality locality = Locality::kOffRack;
+  /// Time the attempt spent in its network-transfer phase (shuffle fetch or
+  /// remote split read).  Negative = not measured (legacy scalar path);
+  /// phase accounting then falls back to spec.shuffle_seconds.
+  Seconds transfer_seconds = -1.0;
   std::vector<UtilSample> samples;
 
   Seconds duration() const { return finish - start; }

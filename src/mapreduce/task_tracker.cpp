@@ -47,20 +47,35 @@ std::size_t TaskTracker::completed(TaskKind kind) const {
   return kind == TaskKind::kMap ? completed_maps_ : completed_reduces_;
 }
 
-void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
-                             bool data_local, Seconds fail_after) {
+TaskTracker::Running& TaskTracker::occupy_slot(const TaskSpec& spec,
+                                               std::uint64_t attempt) {
   EANT_CHECK(alive_, "a crashed TaskTracker cannot start tasks");
   EANT_CHECK(free_slots(spec.kind) > 0, "no free slot of the requested kind");
-  EANT_CHECK(duration > 0.0, "task duration must be positive");
 
-  const std::uint64_t attempt = next_attempt_id_++;
   Running r;
   r.spec = spec;
   r.start = sim_.now();
-  r.data_local = data_local;
   r.current_demand = spec.cpu_demand * noise_.demand_multiplier();
   r.last_sample = r.start;
   machine_.adjust_demand(r.current_demand);
+  auto [it, inserted] = running_.emplace(attempt, std::move(r));
+  EANT_ASSERT(inserted, "attempt id reused");
+
+  if (spec.kind == TaskKind::kMap) {
+    ++running_maps_;
+  } else {
+    ++running_reduces_;
+  }
+  return it->second;
+}
+
+void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
+                             bool data_local, Seconds fail_after) {
+  EANT_CHECK(duration > 0.0, "task duration must be positive");
+  const std::uint64_t attempt = next_attempt_id_++;
+  Running& r = occupy_slot(spec, attempt);
+  r.data_local = data_local;
+  r.locality = data_local ? Locality::kNodeLocal : Locality::kOffRack;
   if (fail_after > 0.0 && fail_after < duration) {
     r.completion_event =
         sim_.schedule_after(fail_after, [this, attempt] { fail_task(attempt); });
@@ -68,13 +83,44 @@ void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
     r.completion_event =
         sim_.schedule_after(duration, [this, attempt] { finish_task(attempt); });
   }
-  running_.emplace(attempt, std::move(r));
+}
 
-  if (spec.kind == TaskKind::kMap) {
-    ++running_maps_;
+void TaskTracker::start_fetching_task(const TaskSpec& spec, Locality locality,
+                                      std::function<void()> abort_transfer) {
+  const std::uint64_t attempt = next_attempt_id_++;
+  Running& r = occupy_slot(spec, attempt);
+  r.data_local = locality == Locality::kNodeLocal;
+  r.locality = locality;
+  r.fetching = true;
+  r.abort_transfer = std::move(abort_transfer);
+}
+
+void TaskTracker::begin_compute(JobId job, TaskKind kind, TaskIndex index,
+                                Seconds duration, Seconds fail_after) {
+  EANT_CHECK(duration > 0.0, "task duration must be positive");
+  const std::uint64_t attempt = find_attempt(job, kind, index);
+  EANT_CHECK(attempt != 0, "begin_compute for an attempt not running here");
+  Running& r = running_.at(attempt);
+  EANT_CHECK(r.fetching, "attempt is not in its transfer phase");
+  r.fetching = false;
+  r.fetch_end = sim_.now();
+  r.abort_transfer = nullptr;
+  if (fail_after > 0.0 && fail_after < duration) {
+    r.completion_event =
+        sim_.schedule_after(fail_after, [this, attempt] { fail_task(attempt); });
   } else {
-    ++running_reduces_;
+    r.completion_event =
+        sim_.schedule_after(duration, [this, attempt] { finish_task(attempt); });
   }
+}
+
+void TaskTracker::abort_transfer_if_fetching(Running& r) {
+  if (!r.abort_transfer) return;
+  // Move first: the callback must run exactly once even if the teardown it
+  // triggers loops back into this tracker.
+  auto abort = std::move(r.abort_transfer);
+  r.abort_transfer = nullptr;
+  abort();
 }
 
 void TaskTracker::close_sample_window(Running& r) {
@@ -117,6 +163,12 @@ TaskReport TaskTracker::make_report(Running& r) {
   report.start = r.start;
   report.finish = sim_.now();
   report.data_local = r.data_local;
+  report.locality = r.locality;
+  if (r.fetch_end >= 0.0) {
+    report.transfer_seconds = r.fetch_end - r.start;
+  } else if (r.fetching) {
+    report.transfer_seconds = sim_.now() - r.start;  // killed mid-transfer
+  }
   report.samples = std::move(r.samples);
   return report;
 }
@@ -181,6 +233,7 @@ bool TaskTracker::cancel_task(JobId job, TaskKind kind, TaskIndex index) {
   if (attempt == 0) return false;
   auto it = running_.find(attempt);
   Running& r = it->second;
+  abort_transfer_if_fetching(r);
   sim_.cancel(r.completion_event);
   machine_.adjust_demand(-r.current_demand);
   release_slot(kind);
@@ -196,6 +249,7 @@ std::vector<TaskReport> TaskTracker::cancel_job(JobId job) {
       ++it;
       continue;
     }
+    abort_transfer_if_fetching(r);
     sim_.cancel(r.completion_event);
     close_sample_window(r);
     machine_.adjust_demand(-r.current_demand);
@@ -217,6 +271,7 @@ void TaskTracker::crash() {
   std::vector<TaskReport> killed;
   killed.reserve(running_.size());
   for (auto& [id, r] : running_) {
+    abort_transfer_if_fetching(r);
     sim_.cancel(r.completion_event);
     close_sample_window(r);
     machine_.adjust_demand(-r.current_demand);

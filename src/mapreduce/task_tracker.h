@@ -17,10 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/machine.h"
+#include "common/locality.h"
 #include "mapreduce/noise.h"
 #include "mapreduce/task.h"
 #include "sim/simulator.h"
@@ -66,6 +68,20 @@ class TaskTracker {
   void start_task(const TaskSpec& spec, Seconds duration, bool data_local,
                   Seconds fail_after = 0.0);
 
+  /// Occupies a slot for an attempt whose network-transfer phase (remote
+  /// split read or shuffle fetch) is in flight on the fabric; no completion
+  /// timer runs yet.  `abort_transfer` is invoked exactly once if the
+  /// attempt is killed (cancel/crash) while still fetching, so the owner can
+  /// tear down its flows.  Call begin_compute() once the last flow lands.
+  void start_fetching_task(const TaskSpec& spec, Locality locality,
+                           std::function<void()> abort_transfer);
+
+  /// Ends the transfer phase of a fetching attempt: records the transfer
+  /// time and schedules completion `duration` seconds from now (or a
+  /// transient failure after `fail_after`, as in start_task).
+  void begin_compute(JobId job, TaskKind kind, TaskIndex index,
+                     Seconds duration, Seconds fail_after = 0.0);
+
   /// Kills a running attempt (speculative-execution support).  Returns
   /// false if the attempt already finished.  No report is produced.
   bool cancel_task(JobId job, TaskKind kind, TaskIndex index);
@@ -98,6 +114,10 @@ class TaskTracker {
     TaskSpec spec;
     Seconds start = 0.0;
     bool data_local = false;
+    Locality locality = Locality::kOffRack;
+    bool fetching = false;     // transfer phase in flight, no timer yet
+    Seconds fetch_end = -1.0;  // transfer-phase end; <0 = not measured
+    std::function<void()> abort_transfer;  // set only while fetching
     double current_demand = 0.0;
     Seconds last_sample = 0.0;
     std::vector<UtilSample> samples;
@@ -109,6 +129,8 @@ class TaskTracker {
   void finish_task(std::uint64_t attempt_id);
   void fail_task(std::uint64_t attempt_id);
   void close_sample_window(Running& r);
+  void abort_transfer_if_fetching(Running& r);
+  Running& occupy_slot(const TaskSpec& spec, std::uint64_t attempt);
   TaskReport make_report(Running& r);
   void release_slot(TaskKind kind);
   std::uint64_t find_attempt(JobId job, TaskKind kind, TaskIndex index) const;

@@ -1,0 +1,239 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace eant::net {
+namespace {
+
+// Absolute slack (MB/s) below which a link counts as saturated and a flow as
+// capped during progressive filling.  Capacities are O(10..1000) MB/s, so
+// this is ~12 digits below the working range — far inside the 1e-6 analytic
+// tolerance the tests assert.
+constexpr double kRateTol = 1e-9;
+
+}  // namespace
+
+std::string transfer_class_name(TransferClass cls) {
+  switch (cls) {
+    case TransferClass::kShuffle:
+      return "shuffle";
+    case TransferClass::kRemoteRead:
+      return "remote-read";
+    case TransferClass::kReplication:
+      return "replication";
+  }
+  return "?";
+}
+
+Fabric::Fabric(sim::Simulator& sim, Topology topology)
+    : sim_(sim), topo_(std::move(topology)) {
+  link_load_.resize(topo_.num_links());
+  link_active_.resize(topo_.num_links());
+}
+
+Fabric::~Fabric() {
+  // Pending completion events capture `this`; never let them outlive us.
+  for (const auto& [id, flow] : flows_) sim_.cancel(flow.completion_event);
+}
+
+FlowId Fabric::start_flow(NodeId src, NodeId dst, Megabytes mb, double cap_mbps,
+                          TransferClass cls,
+                          std::function<void(FlowId)> on_complete) {
+  EANT_CHECK(src != dst, "loopback transfers do not enter the fabric");
+  EANT_CHECK(mb > 0.0, "flow size must be positive");
+  EANT_CHECK(cap_mbps > 0.0 && cap_mbps != kUnlimitedMbps,
+             "flow rate cap must be positive and finite");
+
+  advance_all();
+
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.total = mb;
+  flow.cap_mbps = cap_mbps;
+  flow.started = sim_.now();
+  flow.cls = cls;
+  flow.on_complete = std::move(on_complete);
+
+  // Only finite links can ever bind, so drop the unlimited ones up front.
+  std::vector<LinkId> full_path;
+  topo_.append_path(src, dst, full_path);
+  flow.solo_mbps = cap_mbps;
+  for (LinkId link : full_path) {
+    if (!topo_.is_finite(link)) continue;
+    flow.path.push_back(link);
+    flow.solo_mbps = std::min(flow.solo_mbps, topo_.capacity_mbps(link));
+  }
+
+  const FlowId id = next_id_++;
+  flows_.emplace(id, std::move(flow));
+  reallocate();
+  return id;
+}
+
+void Fabric::abort_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_all();  // credit the bytes that did arrive before the abort
+  sim_.cancel(it->second.completion_event);
+  ++aborted_;
+  flows_.erase(it);
+  reallocate();
+}
+
+NodeId Fabric::flow_src(FlowId id) const { return flows_.at(id).src; }
+NodeId Fabric::flow_dst(FlowId id) const { return flows_.at(id).dst; }
+TransferClass Fabric::flow_class(FlowId id) const { return flows_.at(id).cls; }
+double Fabric::flow_cap_mbps(FlowId id) const { return flows_.at(id).cap_mbps; }
+double Fabric::flow_rate_mbps(FlowId id) const {
+  return flows_.at(id).rate_mbps;
+}
+
+Megabytes Fabric::flow_remaining_mb(FlowId id) const {
+  const Flow& flow = flows_.at(id);
+  const Seconds dt = sim_.now() - last_advance_;
+  const Megabytes in_flight = dt > 0.0 ? flow.rate_mbps * dt : 0.0;
+  return std::max(0.0, flow.total - flow.sent - in_flight);
+}
+
+std::vector<FlowId> Fabric::flows_touching(NodeId node) const {
+  std::vector<FlowId> out;
+  for (const auto& [id, flow] : flows_)
+    if (flow.src == node || flow.dst == node) out.push_back(id);
+  return out;
+}
+
+FabricMetrics Fabric::metrics() const {
+  FabricMetrics m;
+  m.shuffle_mb = class_mb_[static_cast<int>(TransferClass::kShuffle)];
+  m.remote_read_mb = class_mb_[static_cast<int>(TransferClass::kRemoteRead)];
+  m.replication_mb = class_mb_[static_cast<int>(TransferClass::kReplication)];
+  m.flows_completed = completed_;
+  m.flows_aborted = aborted_;
+  m.mean_flow_slowdown =
+      completed_ == 0 ? 1.0 : slowdown_sum_ / static_cast<double>(completed_);
+  m.peak_link_utilization = peak_utilization_;
+  return m;
+}
+
+void Fabric::advance_all() {
+  const Seconds dt = sim_.now() - last_advance_;
+  last_advance_ = sim_.now();
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    const Megabytes delta =
+        std::min(flow.total - flow.sent, flow.rate_mbps * dt);
+    flow.sent += delta;
+    account_bytes(flow.cls, delta);
+  }
+}
+
+void Fabric::reallocate() {
+  if (flows_.empty()) return;
+
+  // Progressive filling: raise every unfrozen flow's rate in lockstep; when
+  // a flow hits its cap it freezes, and when a link saturates every flow
+  // crossing it freezes at the current (max-min fair) level.
+  std::fill(link_load_.begin(), link_load_.end(), 0.0);
+  std::fill(link_active_.begin(), link_active_.end(), std::size_t{0});
+
+  std::size_t unfrozen = 0;
+  for (auto& [id, flow] : flows_) {
+    flow.rate_mbps = 0.0;
+    ++unfrozen;
+    for (LinkId link : flow.path) ++link_active_[link];
+  }
+
+  std::vector<bool> frozen(flows_.size(), false);
+  while (unfrozen > 0) {
+    // Largest uniform rate increment the caps and link residuals allow.
+    double inc = kUnlimitedMbps;
+    std::size_t i = 0;
+    for (auto& [id, flow] : flows_) {
+      if (!frozen[i]) inc = std::min(inc, flow.cap_mbps - flow.rate_mbps);
+      ++i;
+    }
+    for (LinkId link = 0; link < link_load_.size(); ++link) {
+      if (link_active_[link] == 0 || !topo_.is_finite(link)) continue;
+      const double residual = topo_.capacity_mbps(link) - link_load_[link];
+      inc = std::min(inc,
+                     residual / static_cast<double>(link_active_[link]));
+    }
+    inc = std::max(inc, 0.0);  // float slack can drive the residual negative
+
+    // Apply the increment, then freeze whatever became binding.
+    i = 0;
+    for (auto& [id, flow] : flows_) {
+      if (!frozen[i]) {
+        flow.rate_mbps =
+            inc == kUnlimitedMbps ? flow.cap_mbps : flow.rate_mbps + inc;
+        for (LinkId link : flow.path) link_load_[link] += inc;
+      }
+      ++i;
+    }
+    i = 0;
+    for (auto& [id, flow] : flows_) {
+      if (!frozen[i]) {
+        bool stop = flow.rate_mbps >= flow.cap_mbps - kRateTol;
+        for (LinkId link : flow.path) {
+          if (link_load_[link] >= topo_.capacity_mbps(link) - kRateTol)
+            stop = true;
+        }
+        if (stop) {
+          frozen[i] = true;
+          --unfrozen;
+          for (LinkId link : flow.path) --link_active_[link];
+        }
+      }
+      ++i;
+    }
+  }
+
+  // Peak utilisation over finite links, observed at reallocation instants
+  // (rates are constant between instants, so this is the true peak).
+  for (LinkId link = 0; link < link_load_.size(); ++link) {
+    if (!topo_.is_finite(link) || link_load_[link] <= 0.0) continue;
+    peak_utilization_ = std::max(
+        peak_utilization_,
+        std::min(1.0, link_load_[link] / topo_.capacity_mbps(link)));
+  }
+
+  // Reschedule every completion at the new rates.
+  for (auto& [id, flow] : flows_) {
+    sim_.cancel(flow.completion_event);
+    const Megabytes remaining = std::max(0.0, flow.total - flow.sent);
+    const Seconds dt =
+        flow.rate_mbps == kUnlimitedMbps ? 0.0 : remaining / flow.rate_mbps;
+    const FlowId flow_id = id;
+    flow.completion_event =
+        sim_.schedule_after(dt, [this, flow_id] { finish_flow(flow_id); });
+  }
+}
+
+void Fabric::finish_flow(FlowId id) {
+  advance_all();
+  auto it = flows_.find(id);
+  EANT_CHECK(it != flows_.end(), "completion event for unknown flow");
+  Flow flow = std::move(it->second);
+  // Float residue: the completion event fired, so the last byte is in.
+  account_bytes(flow.cls, std::max(0.0, flow.total - flow.sent));
+
+  ++completed_;
+  const Seconds actual = sim_.now() - flow.started;
+  const Seconds solo = flow.solo_mbps == kUnlimitedMbps
+                           ? 0.0
+                           : flow.total / flow.solo_mbps;
+  slowdown_sum_ += solo > 0.0 ? std::max(1.0, actual / solo) : 1.0;
+
+  flows_.erase(it);
+  reallocate();
+  if (flow.on_complete) flow.on_complete(id);
+}
+
+void Fabric::account_bytes(TransferClass cls, Megabytes mb) {
+  class_mb_[static_cast<int>(cls)] += mb;
+}
+
+}  // namespace eant::net

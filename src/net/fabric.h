@@ -1,0 +1,143 @@
+// Contention-aware flow model over a Topology.
+//
+// Every in-flight transfer is a fluid flow with a fixed path, a per-flow rate
+// cap (the application-level bandwidth it could use on an idle network — for
+// shuffle/remote-read flows this is the legacy JobTrackerConfig scalar, which
+// makes the flat infinite-capacity topology reproduce the old model exactly)
+// and a progressive-filling max-min fair share of every link it crosses.
+//
+// The model is purely event-driven: rates only change when a flow starts,
+// finishes or aborts.  At each such instant the fabric advances all flows'
+// transferred bytes at their previous rates, re-runs the water-filling
+// allocation, and reschedules each flow's completion event in the Simulator.
+// There is no per-tick polling.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace eant::net {
+
+/// Why bytes are moving; used to attribute traffic and contention per class.
+enum class TransferClass {
+  kShuffle,      ///< reduce fetching map output partitions
+  kRemoteRead,   ///< non-local map reading its split from a replica holder
+  kReplication,  ///< HDFS pipeline writing job output replicas
+};
+
+std::string transfer_class_name(TransferClass cls);
+
+/// Identifies an in-flight flow; never reused within a Fabric.
+using FlowId = std::uint64_t;
+
+/// Aggregate counters, snapshot via Fabric::metrics().
+struct FabricMetrics {
+  Megabytes shuffle_mb = 0.0;      ///< bytes delivered, incl. aborted partials
+  Megabytes remote_read_mb = 0.0;
+  Megabytes replication_mb = 0.0;
+  std::size_t flows_completed = 0;
+  std::size_t flows_aborted = 0;
+  /// Mean over completed flows of actual duration / solo duration, where the
+  /// solo duration assumes the flow had every link to itself (>= 1).
+  double mean_flow_slowdown = 1.0;
+  /// Highest sum(rate)/capacity observed on any finite link at any
+  /// reallocation instant, in [0, 1].
+  double peak_link_utilization = 0.0;
+
+  Megabytes total_mb() const {
+    return shuffle_mb + remote_read_mb + replication_mb;
+  }
+};
+
+/// The live flow table + max-min fair allocator.
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, Topology topology);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+  ~Fabric();
+
+  /// Starts a flow of `mb` megabytes from src to dst, rate-capped at
+  /// `cap_mbps` MB/s.  `on_complete` fires (with the flow's id) once the last
+  /// byte arrives; it may start further flows.  src must differ from dst and
+  /// mb must be positive — loopback "transfers" are free and should not
+  /// enter the fabric.
+  FlowId start_flow(NodeId src, NodeId dst, Megabytes mb, double cap_mbps,
+                    TransferClass cls, std::function<void(FlowId)> on_complete);
+
+  /// Kills an in-flight flow without firing its callback; a no-op if the
+  /// flow already completed or was aborted.
+  void abort_flow(FlowId id);
+
+  bool active(FlowId id) const { return flows_.contains(id); }
+  std::size_t active_flows() const { return flows_.size(); }
+
+  // Introspection for the JobTracker's crash handling and for tests.
+  NodeId flow_src(FlowId id) const;
+  NodeId flow_dst(FlowId id) const;
+  TransferClass flow_class(FlowId id) const;
+  double flow_cap_mbps(FlowId id) const;
+  /// Current allocated rate (MB/s); advances are lazy, so this is the rate
+  /// since the last reallocation.
+  double flow_rate_mbps(FlowId id) const;
+  /// Bytes still to deliver as of `sim.now()`.
+  Megabytes flow_remaining_mb(FlowId id) const;
+  /// Ids of active flows with src or dst on `node`, ascending (deterministic).
+  std::vector<FlowId> flows_touching(NodeId node) const;
+
+  const Topology& topology() const { return topo_; }
+  FabricMetrics metrics() const;
+
+ private:
+  struct Flow {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::vector<LinkId> path;       // finite links only
+    Megabytes total = 0.0;
+    Megabytes sent = 0.0;
+    double cap_mbps = 0.0;
+    double rate_mbps = 0.0;         // current max-min share
+    double solo_mbps = 0.0;         // rate on an idle network
+    Seconds started = 0.0;
+    TransferClass cls;
+    sim::EventId completion_event = 0;
+    std::function<void(FlowId)> on_complete;
+  };
+
+  /// Credits every flow with rate * elapsed bytes since the last call.
+  void advance_all();
+  /// Water-filling over the current flow set + completion rescheduling.
+  void reallocate();
+  void finish_flow(FlowId id);
+  void account_bytes(TransferClass cls, Megabytes mb);
+
+  sim::Simulator& sim_;
+  Topology topo_;
+  // std::map: deterministic iteration order (flows allocate and complete in
+  // id order at equal timestamps) regardless of hash seeds.
+  std::map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  Seconds last_advance_ = 0.0;
+
+  // metrics accumulators
+  Megabytes class_mb_[3] = {0.0, 0.0, 0.0};
+  std::size_t completed_ = 0;
+  std::size_t aborted_ = 0;
+  double slowdown_sum_ = 0.0;
+  double peak_utilization_ = 0.0;
+
+  // scratch buffers reused across reallocations
+  std::vector<double> link_load_;
+  std::vector<std::size_t> link_active_;
+};
+
+}  // namespace eant::net

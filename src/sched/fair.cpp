@@ -43,16 +43,25 @@ std::optional<mr::JobId> FairScheduler::select_job(
 
   // Delay scheduling: walk the fair ordering; a job with node-local data
   // here runs (resetting its skip budget), a job without waits until it has
-  // been skipped locality_delay_ times.
+  // been skipped long enough.  With a multi-rack topology the wait is
+  // two-level (Zaharia's D1/D2): one delay budget buys a rack-local launch,
+  // twice that buys launching anywhere.  With one flat rack this reduces to
+  // the classic single threshold.
+  const bool racked = jt_->namenode().num_racks() > 1;
   for (mr::JobId id : order) {
-    if (jt_->job(id).has_local_pending_map(machine)) {
+    const auto& js = jt_->job(id);
+    if (js.has_local_pending_map(machine)) {
       skip_counts_[id] = 0;
       return id;
     }
+    const bool rack_here = racked && js.has_rack_local_pending_map(machine);
+    const int needed =
+        !racked ? locality_delay_
+                : (rack_here ? locality_delay_ : 2 * locality_delay_);
     int& skips = skip_counts_[id];
-    if (skips >= locality_delay_) {
+    if (skips >= needed) {
       skips = 0;
-      return id;  // waited long enough: run non-locally
+      return id;  // waited long enough: run at the best level available
     }
     ++skips;
     ++locality_waits_;

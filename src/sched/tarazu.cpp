@@ -50,15 +50,28 @@ std::optional<mr::JobId> TarazuScheduler::select_job(cluster::MachineId machine,
   // waves — when its remaining maps fit within the cluster's map slots — a
   // machine over its quota declines, so slow nodes cannot capture tail
   // tasks and stretch the job (the straggler effect Tarazu eliminates).
+  // On a multi-rack topology, locality breaks ties among eligible jobs: a
+  // job that can feed this machine a node-local (or failing that,
+  // rack-local) split keeps its traffic off the oversubscribed uplinks.
+  // With one flat rack this is inert and the first eligible job runs.
+  const bool racked = jt_->namenode().num_racks() > 1;
   const int tail_threshold = jt_->cluster().total_map_slots();
+  std::optional<mr::JobId> rack_choice;
+  std::optional<mr::JobId> any_choice;
   for (mr::JobId id : order) {
     const auto& js = jt_->job(id);
     const bool in_tail =
         js.pending(mr::TaskKind::kMap) + js.running(mr::TaskKind::kMap) <=
         static_cast<std::size_t>(tail_threshold);
-    if (!in_tail || !over_quota(js, machine)) return id;
+    if (in_tail && over_quota(js, machine)) continue;
+    if (!racked) return id;
+    if (js.has_local_pending_map(machine)) return id;
+    if (!rack_choice && js.has_rack_local_pending_map(machine)) {
+      rack_choice = id;
+    }
+    if (!any_choice) any_choice = id;
   }
-  return std::nullopt;
+  return rack_choice ? rack_choice : any_choice;
 }
 
 }  // namespace eant::sched

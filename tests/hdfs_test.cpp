@@ -64,14 +64,84 @@ TEST(NameNode, IsLocalMatchesLocations) {
   EXPECT_EQ(local, locs.size());
 }
 
-TEST(NameNode, PlacementIsRoughlyBalanced) {
+TEST(NameNode, PlacementIsTightlyBalanced) {
   NameNode nn(Rng(5), 8, 3);
   nn.create_file(64.0 * 4000);
-  const auto& counts = nn.blocks_per_node();
-  // 4000 blocks x 3 replicas over 8 nodes -> 1500 expected per node.
-  for (auto c : counts) {
-    EXPECT_GT(c, 1300u);
-    EXPECT_LT(c, 1700u);
+  // 4000 blocks x 3 replicas over 8 nodes -> 1500 expected per node.  With
+  // power-of-two-choices placement the node spread stays within a few
+  // percent of the mean (uniform-random sampling drifted ~10x wider).
+  const auto stats = nn.locality_stats();
+  EXPECT_DOUBLE_EQ(stats.mean_per_node, 1500.0);
+  EXPECT_LE(stats.node_spread(), 75u);  // 5% of the mean
+  for (auto c : stats.blocks_per_node) {
+    EXPECT_GT(c, 1425u);
+    EXPECT_LT(c, 1575u);
+  }
+}
+
+TEST(NameNode, LocalityStatsCountShortLastBlock) {
+  NameNode nn(Rng(5), 4, 2);
+  nn.create_file(100.0);  // one full block + one short (36 MB) block
+  const auto stats = nn.locality_stats();
+  std::size_t total = 0;
+  for (auto c : stats.blocks_per_node) total += c;
+  EXPECT_EQ(total, 4u);  // 2 blocks x 2 replicas, short block included
+  EXPECT_DOUBLE_EQ(stats.mean_per_node, 1.0);
+  EXPECT_EQ(stats.replicas_per_rack.size(), 1u);  // flat: everything rack 0
+  EXPECT_EQ(stats.replicas_per_rack[0], 4u);
+}
+
+TEST(NameNode, RackAwarePlacementSpansExactlyTwoRacks) {
+  // 8 nodes in 4 racks (round-robin: node n -> rack n % 4).  Hadoop's
+  // default policy: replica 1 anywhere, replica 2 off-rack, replica 3 in
+  // replica 2's rack — so each block's 3 replicas span exactly 2 racks.
+  const std::vector<std::size_t> racks = {0, 1, 2, 3, 0, 1, 2, 3};
+  NameNode nn(Rng(8), 8, 3, racks);
+  EXPECT_EQ(nn.num_racks(), 4u);
+  const auto blocks = nn.create_file(64.0 * 200);
+  for (BlockId b : blocks) {
+    const auto& locs = nn.locations(b);
+    ASSERT_EQ(locs.size(), 3u);
+    std::set<std::size_t> spanned;
+    for (auto m : locs) spanned.insert(nn.rack_of(m));
+    EXPECT_EQ(spanned.size(), 2u);
+    // Replicas 2 and 3 share a rack that differs from replica 1's.
+    EXPECT_NE(nn.rack_of(locs[0]), nn.rack_of(locs[1]));
+    EXPECT_EQ(nn.rack_of(locs[1]), nn.rack_of(locs[2]));
+  }
+}
+
+TEST(NameNode, RackAwarePlacementStaysBalanced) {
+  const std::vector<std::size_t> racks = {0, 1, 2, 3, 0, 1, 2, 3};
+  NameNode nn(Rng(9), 8, 3, racks);
+  nn.create_file(64.0 * 2000);
+  const auto stats = nn.locality_stats();
+  // 2000 x 3 replicas over 8 nodes -> 750 per node; rack constraints narrow
+  // the candidate pools, so allow a wider (but still tight) band than flat.
+  EXPECT_DOUBLE_EQ(stats.mean_per_node, 750.0);
+  EXPECT_LE(stats.node_spread(), 120u);
+  ASSERT_EQ(stats.replicas_per_rack.size(), 4u);
+  std::size_t rack_total = 0;
+  for (auto c : stats.replicas_per_rack) rack_total += c;
+  EXPECT_EQ(rack_total, 6000u);
+}
+
+TEST(NameNode, ThreeLevelLocalityMatchesRackAssignment) {
+  const std::vector<std::size_t> racks = {0, 1, 0, 1};
+  NameNode nn(Rng(10), 4, 2, racks);
+  const auto blocks = nn.create_file(64.0);
+  const BlockId b = blocks[0];
+  for (cluster::MachineId m = 0; m < 4; ++m) {
+    const Locality lv = nn.locality(b, m);
+    if (nn.is_local(b, m)) {
+      EXPECT_EQ(lv, Locality::kNodeLocal);
+      continue;
+    }
+    bool rack_replica = false;
+    for (auto r : nn.locations(b)) {
+      if (nn.rack_of(r) == nn.rack_of(m)) rack_replica = true;
+    }
+    EXPECT_EQ(lv, rack_replica ? Locality::kRackLocal : Locality::kOffRack);
   }
 }
 
