@@ -1,0 +1,41 @@
+// Determinism digest: an FNV-1a hash over an ordered stream of simulation
+// records.
+//
+// Two runs with the same RunConfig and seed must execute the same events at
+// the same times in the same order; hashing the (time, record type, entity)
+// stream collapses that whole history into one 64-bit value that tests and CI
+// can compare byte-for-byte.  FNV-1a is used because it is trivially
+// portable, has no state beyond the running hash, and makes digests stable
+// across platforms (no hash-seed randomisation, no endianness ambiguity: all
+// inputs are mixed as explicit 64-bit values, byte by byte).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace eant::audit {
+
+/// Incremental FNV-1a over 64-bit words (each mixed as 8 little-endian bytes).
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  std::uint64_t value() const { return hash_; }
+
+  void mix(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xffULL;
+      hash_ *= kPrime;
+    }
+  }
+
+  /// Mixes a double via its IEEE-754 bit pattern (exact, no rounding).
+  void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace eant::audit

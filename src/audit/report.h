@@ -1,0 +1,57 @@
+// Structured results of an audited run: per-check violation aggregates plus
+// the determinism digest.  Kept free of heavyweight dependencies so that
+// exp::RunMetrics can embed an AuditReport by value.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eant::audit {
+
+/// How bad a violated invariant is.  kError invalidates the run's results;
+/// kWarning flags a suspicious-but-survivable condition.
+enum class Severity { kWarning, kError };
+
+std::string severity_name(Severity severity);
+
+/// One invariant check's aggregated violations over a run.  Only the first
+/// occurrence keeps its full context (the rest are counted), because a broken
+/// conservation law typically fires on every subsequent event and the first
+/// occurrence is the one that localises the bug.
+struct Violation {
+  std::string check;       ///< check id, e.g. "slot-capacity"
+  Severity severity = Severity::kError;
+  std::size_t count = 0;
+  Seconds first_time = 0.0;       ///< sim time of the first occurrence
+  std::string first_context;      ///< human-readable detail of the first hit
+};
+
+/// Everything the auditor measured over one run.
+struct AuditReport {
+  /// One entry per check that fired at least once, in check-id order.
+  std::vector<Violation> violations;
+
+  /// FNV-1a over the ordered (time, record type, entity) stream; equal for
+  /// two runs of the same RunConfig + seed, different otherwise.
+  std::uint64_t digest = 0;
+
+  /// Number of records mixed into the digest (a digest over zero records is
+  /// vacuous — tests should assert this is positive).
+  std::uint64_t digest_records = 0;
+
+  /// True iff no error-severity violation fired.
+  bool clean() const;
+
+  /// Violations across all checks (both severities).
+  std::size_t total_violations() const;
+
+  /// Multi-line human-readable summary ("audit clean, digest …" or one line
+  /// per violated check).
+  std::string summary() const;
+};
+
+}  // namespace eant::audit

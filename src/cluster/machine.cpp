@@ -39,6 +39,7 @@ void Machine::adjust_demand(double delta_cores) {
     EANT_ASSERT(demand_cores_ > -1e-6, "task demand released twice");
     demand_cores_ = 0.0;
   }
+  if (observer_) observer_->on_machine_state(id_, sim_.now(), demand_cores_, up_);
 }
 
 Utilization Machine::utilization() const {
@@ -54,6 +55,7 @@ void Machine::set_up(bool up) {
                "machine cannot power down while hosting task demand");
   }
   up_ = up;
+  if (observer_) observer_->on_machine_state(id_, sim_.now(), demand_cores_, up_);
 }
 
 Seconds Machine::downtime() {

@@ -22,6 +22,17 @@ namespace eant::cluster {
 /// Index of a machine within its Cluster.
 using MachineId = std::size_t;
 
+/// Passive observer of a machine's power-relevant state (the audit layer's
+/// tap for redundant energy integration).  Notified after every change to
+/// the hosted CPU demand or the power state, with the simulation time of the
+/// change.  Must not mutate the machine.
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+  virtual void on_machine_state(MachineId id, Seconds now, double demand_cores,
+                                bool up) = 0;
+};
+
 /// Static hardware description of a machine model (catalog entry).
 struct MachineType {
   std::string name;       ///< model name, e.g. "Desktop", "T420", "Atom"
@@ -96,6 +107,10 @@ class Machine {
   /// time-sliced); schedulers can consult this for contention modelling.
   bool oversubscribed() const { return demand_cores_ > type_.cores; }
 
+  /// Attaches (or, with nullptr, detaches) a state observer.  At most one;
+  /// it must outlive the machine or be detached first.
+  void set_observer(MachineObserver* observer) { observer_ = observer; }
+
  private:
   void settle();  // accumulate energy/util integrals up to now
 
@@ -104,6 +119,7 @@ class Machine {
   MachineType type_;
   double demand_cores_ = 0.0;
   bool up_ = true;
+  MachineObserver* observer_ = nullptr;
   Seconds last_settle_ = 0.0;
   Joules energy_ = 0.0;
   double util_integral_ = 0.0;

@@ -47,7 +47,7 @@ class Rng {
   /// Normal draw with the given mean and standard deviation (sigma >= 0).
   double normal(double mean, double sigma) {
     EANT_CHECK(sigma >= 0.0, "sigma must be non-negative");
-    if (sigma == 0.0) return mean;
+    if (sigma <= 0.0) return mean;
     return std::normal_distribution<double>(mean, sigma)(engine_);
   }
 

@@ -34,7 +34,7 @@ double nrmse(const std::vector<double>& measured,
     total += measured[i];
   }
   const double mean = total / static_cast<double>(measured.size());
-  EANT_CHECK(mean != 0.0, "nrmse requires a non-zero measured mean");
+  EANT_CHECK(std::abs(mean) > 0.0, "nrmse requires a non-zero measured mean");
   return std::sqrt(sq / static_cast<double>(measured.size())) / std::abs(mean);
 }
 
@@ -64,7 +64,7 @@ LineFit least_squares(const std::vector<double>& x,
     syy += y[i] * y[i];
   }
   const double denom = n * sxx - sx * sx;
-  EANT_CHECK(denom != 0.0, "least_squares requires non-constant x");
+  EANT_CHECK(std::abs(denom) > 0.0, "least_squares requires non-constant x");
   LineFit fit;
   fit.slope = (n * sxy - sx * sy) / denom;
   fit.intercept = (sy - fit.slope * sx) / n;

@@ -54,7 +54,7 @@ std::optional<mr::JobId> sample_job(
     const double row = table.row_sum(j, kind);
     EANT_ASSERT(row > 0.0, "pheromone row sum must stay positive");
     const double normalized_tau = table.tau(j, kind, machine) / row;
-    const double boost = beta == 0.0 ? 1.0 : std::pow(eta(j), beta);
+    const double boost = beta <= 0.0 ? 1.0 : std::pow(eta(j), beta);
     weights.push_back(normalized_tau * boost);
   }
   return candidates[rng.weighted_index(weights)];

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <sstream>
 
+#include "audit/auditor.h"
 #include "common/error.h"
 
 namespace eant::core {
@@ -103,6 +105,33 @@ void EAntScheduler::control_tick() {
 
   interval_reports_.clear();
   interval_counts_.clear();
+
+  if (auditor_) {
+    auditor_->record(audit::Record::kControlTick, intervals_);
+    audit_pheromone_bounds();
+  }
+}
+
+void EAntScheduler::audit_pheromone_bounds() {
+  // MMAS floor + blow-up ceiling over every live trail value: a tau below
+  // tau_min means apply()/penalize() skipped the clamp somewhere; a huge or
+  // non-finite tau means a deposit computation diverged.  Tiny slack under
+  // the floor absorbs the clamp's own rounding.
+  const double lo = table_->tau_min() * (1.0 - 1e-12);
+  const double hi = auditor_->config().pheromone_ceiling;
+  for (mr::JobId job : jt_->active_jobs()) {
+    if (!table_->has_job(job)) continue;
+    for (mr::TaskKind kind : {mr::TaskKind::kMap, mr::TaskKind::kReduce}) {
+      const std::vector<double> trail = table_->trail(job, kind);
+      for (std::size_t m = 0; m < trail.size(); ++m) {
+        std::ostringstream context;
+        context << "tau(job=" << job << ", " << mr::kind_name(kind)
+                << ", machine=" << m << ')';
+        auditor_->check_in_range("pheromone-bounds", trail[m], lo, hi,
+                                 context.str());
+      }
+    }
+  }
 }
 
 double EAntScheduler::eta_for(mr::JobId job) const {

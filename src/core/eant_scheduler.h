@@ -110,8 +110,14 @@ class EAntScheduler final : public mr::Scheduler {
     return estimated_per_machine_;
   }
 
+  /// Attaches (or, with nullptr, detaches) the invariant auditor: after
+  /// every control tick it re-checks the pheromone bounds (tau >= tau_min,
+  /// finite, below the blow-up ceiling) across all live trails.
+  void set_auditor(audit::InvariantAuditor* auditor) { auditor_ = auditor; }
+
  private:
   void control_tick();
+  void audit_pheromone_bounds();
   double eta_for(mr::JobId job) const;
   bool better_machine_free(mr::JobId job, mr::TaskKind kind,
                            cluster::MachineId machine) const;
@@ -121,6 +127,7 @@ class EAntScheduler final : public mr::Scheduler {
   EAntConfig config_;
 
   mr::JobTracker* jt_ = nullptr;
+  audit::InvariantAuditor* auditor_ = nullptr;
   std::unique_ptr<PheromoneTable> table_;  // sized at attach time
   ConvergenceTracker convergence_;
 

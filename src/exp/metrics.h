@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/report.h"
 #include "cluster/cluster.h"
 #include "common/units.h"
 #include "core/energy_model.h"
@@ -67,6 +68,13 @@ struct RunMetrics {
   double wasted_task_seconds = 0.0;   ///< task-seconds of discarded work
   Joules wasted_energy = 0.0;         ///< Eq. 2 estimate over discarded work
   std::vector<Seconds> recovery_times;  ///< per node-loss episode
+
+  // --- invariant audit (only meaningful when audited) ------------------------
+  bool audited = false;  ///< the run had the InvariantAuditor attached
+  /// FNV-1a over the ordered observation stream; bit-identical across two
+  /// runs of the same RunConfig + seed, different otherwise.
+  std::uint64_t determinism_digest = 0;
+  audit::AuditReport audit;
 
   Seconds mean_recovery_time() const;
   double wasted_energy_kj() const {

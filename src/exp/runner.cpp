@@ -60,9 +60,14 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
     : config_(config) {
   EANT_CHECK(static_cast<bool>(build_cluster), "cluster builder required");
   sim_ = std::make_unique<sim::Simulator>();
+  if (config_.audit.enabled || audit::audit_env_enabled()) {
+    auditor_ = std::make_unique<audit::InvariantAuditor>(*sim_, config_.audit);
+    sim_->set_observer(auditor_.get());
+  }
   cluster_ = std::make_unique<cluster::Cluster>(*sim_);
   build_cluster(*cluster_);
   EANT_CHECK(cluster_->size() >= 1, "cluster builder added no machines");
+  if (auditor_) auditor_->attach_cluster(*cluster_);
 
   const Rng root(config_.seed);
   std::vector<std::size_t> racks;  // empty = one flat rack
@@ -80,6 +85,11 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
                                          *scheduler_, *noise_,
                                          config_.job_tracker);
   if (fabric_) jt_->attach_fabric(*fabric_);
+  if (auditor_) {
+    if (fabric_) auditor_->attach_fabric(*fabric_);
+    jt_->set_auditor(auditor_.get());
+    if (eant_ != nullptr) eant_->set_auditor(auditor_.get());
+  }
   jt_->start_trackers();
 
   if (config_.faults.enabled()) {
@@ -125,6 +135,11 @@ RunMetrics Run::metrics() {
   if (fabric_) {
     rm.fabric_active = true;
     rm.network = fabric_->metrics();
+  }
+  if (auditor_) {
+    rm.audited = true;
+    rm.audit = auditor_->finalize();
+    rm.determinism_digest = rm.audit.digest;
   }
   return rm;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.h"
 #include "core/eant_scheduler.h"
 #include "exp/builders.h"
 #include "exp/metrics.h"
@@ -43,6 +44,13 @@ struct RunConfig {
   /// net::TopologySpec::oversubscribed() (4 racks, finite access links and a
   /// 1.5x-oversubscribed rack uplink).  Unset = legacy scalar model.
   std::optional<net::TopologySpec> topology;
+
+  /// Invariant-audit layer (off by default; the EANT_AUDIT environment
+  /// variable forces it on for any run regardless of this field).  When
+  /// active, every event, task transition, flow and machine-state change is
+  /// cross-checked and folded into RunMetrics::determinism_digest, and the
+  /// aggregated AuditReport lands in RunMetrics::audit.
+  audit::AuditConfig audit;
 };
 
 /// One experiment execution.  Construct, submit jobs, execute, read metrics.
@@ -80,9 +88,13 @@ class Run {
   /// Non-null only when the RunConfig set a topology.
   net::Fabric* fabric() { return fabric_.get(); }
 
+  /// Non-null only when auditing is active for this run.
+  audit::InvariantAuditor* auditor() { return auditor_.get(); }
+
  private:
   RunConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<audit::InvariantAuditor> auditor_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<net::Fabric> fabric_;  ///< must outlive the JobTracker
   std::unique_ptr<hdfs::NameNode> namenode_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "audit/auditor.h"
 #include "common/error.h"
 
 namespace eant::mr {
@@ -90,6 +91,7 @@ JobId JobTracker::submit_now(workload::JobSpec spec) {
   active_.push_back(id);
   ++jobs_expected_;
   scheduler_.on_job_submitted(id);
+  if (auditor_) auditor_->record(audit::Record::kJobSubmit, id);
   return id;
 }
 
@@ -650,6 +652,7 @@ void JobTracker::handle_completion(TaskReport report) {
                   active_.end());
     drop_job_bookkeeping(js.id());
     scheduler_.on_job_finished(js.id());
+    if (auditor_) auditor_->record(audit::Record::kJobFinish, js.id());
     if (job_finished_listener_) job_finished_listener_(js);
   }
 }
@@ -765,6 +768,10 @@ void JobTracker::reclaim_lost_work(cluster::MachineId machine) {
     if (js.status(TaskKind::kMap, key.second) != TaskStatus::kDone) continue;
     js.revert_done_map(key.second, r.duration(),
                        namenode_.locations(r.spec.block), machine);
+    if (auditor_) {
+      auditor_->on_task_transition(key.first, true, key.second,
+                                   audit::TaskEvent::kRevertDone, machine);
+    }
     ++lost_map_outputs_;
     report_waste(r, WasteReason::kLostMapOutput);
     rec.outstanding.insert({key.first, TaskKind::kMap, key.second});
@@ -820,6 +827,7 @@ void JobTracker::fail_job(JobState& js) {
   }
   drop_job_bookkeeping(js.id());
   scheduler_.on_job_finished(js.id());
+  if (auditor_) auditor_->record(audit::Record::kJobFinish, js.id());
   if (job_finished_listener_) job_finished_listener_(js);
 }
 

@@ -33,6 +33,10 @@
 #include "net/fabric.h"
 #include "workload/job_spec.h"
 
+namespace eant::audit {
+class InvariantAuditor;
+}
+
 namespace eant::mr {
 
 /// Tunables of the MapReduce engine (defaults follow the paper's setup).
@@ -276,6 +280,12 @@ class JobTracker {
     waste_listener_ = std::move(fn);
   }
 
+  /// Attaches (or, with nullptr, detaches) the invariant auditor.  The
+  /// JobTracker and its TaskTrackers feed it every task-attempt lifecycle
+  /// event; it must outlive the JobTracker or be detached first.
+  void set_auditor(audit::InvariantAuditor* auditor) { auditor_ = auditor; }
+  audit::InvariantAuditor* auditor() { return auditor_; }
+
  private:
   /// Per-tracker master-side bookkeeping (heartbeat freshness, loss state,
   /// blacklist, and the work that dies if the node does).
@@ -355,6 +365,7 @@ class JobTracker {
   NoiseModel& noise_;
   JobTrackerConfig config_;
   net::Fabric* fabric_ = nullptr;
+  audit::InvariantAuditor* auditor_ = nullptr;
 
   std::map<TransferKey, PendingTransfer> transfers_;
   std::map<net::FlowId, TransferKey> flow_owner_;

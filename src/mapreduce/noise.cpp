@@ -35,7 +35,7 @@ namespace {
 
 // Lognormal with mean exactly 1: mu = -sigma^2 / 2.
 double mean_one_lognormal(Rng& rng, double sigma) {
-  if (sigma == 0.0) return 1.0;
+  if (sigma <= 0.0) return 1.0;  // sigmas are validated non-negative
   return rng.lognormal(-0.5 * sigma * sigma, sigma);
 }
 
@@ -47,14 +47,14 @@ double NoiseModel::demand_multiplier() {
 
 double NoiseModel::measured(double true_util) {
   EANT_CHECK(true_util >= 0.0, "utilisation must be non-negative");
-  if (config_.measurement_sigma == 0.0) return true_util;
+  if (config_.measurement_sigma <= 0.0) return true_util;
   const double noisy =
       true_util * (1.0 + rng_.normal(0.0, config_.measurement_sigma));
   return std::max(0.0, noisy);
 }
 
 double NoiseModel::straggler_multiplier() {
-  if (config_.straggler_prob == 0.0) return 1.0;
+  if (config_.straggler_prob <= 0.0) return 1.0;
   if (!rng_.bernoulli(config_.straggler_prob)) return 1.0;
   return rng_.uniform(config_.straggler_factor_min,
                       config_.straggler_factor_max);

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <utility>
 
+#include "audit/auditor.h"
 #include "common/error.h"
 #include "mapreduce/job_tracker.h"
 
 namespace eant::mr {
+namespace {
+
+// Feeds one attempt-lifecycle event to the audit layer (if attached).
+void audit_transition(JobTracker& jt, const TaskSpec& spec,
+                      cluster::MachineId machine, audit::TaskEvent event) {
+  if (audit::InvariantAuditor* auditor = jt.auditor()) {
+    auditor->on_task_transition(spec.job, spec.kind == TaskKind::kMap,
+                                spec.index, event, machine);
+  }
+}
+
+}  // namespace
 
 TaskTracker::TaskTracker(sim::Simulator& sim, cluster::Machine& machine,
                          JobTracker& job_tracker, NoiseModel& noise,
@@ -66,6 +79,7 @@ TaskTracker::Running& TaskTracker::occupy_slot(const TaskSpec& spec,
   } else {
     ++running_reduces_;
   }
+  audit_transition(job_tracker_, spec, machine_.id(), audit::TaskEvent::kLaunch);
   return it->second;
 }
 
@@ -197,6 +211,8 @@ void TaskTracker::finish_task(std::uint64_t attempt_id) {
   }
   running_.erase(it);
 
+  audit_transition(job_tracker_, report.spec, machine_.id(),
+                   audit::TaskEvent::kFinish);
   job_tracker_.handle_completion(std::move(report));
 }
 
@@ -211,6 +227,8 @@ void TaskTracker::fail_task(std::uint64_t attempt_id) {
   release_slot(r.spec.kind);
   running_.erase(it);
 
+  audit_transition(job_tracker_, report.spec, machine_.id(),
+                   audit::TaskEvent::kFail);
   job_tracker_.handle_task_failure(std::move(report));
 }
 
@@ -236,8 +254,10 @@ bool TaskTracker::cancel_task(JobId job, TaskKind kind, TaskIndex index) {
   abort_transfer_if_fetching(r);
   sim_.cancel(r.completion_event);
   machine_.adjust_demand(-r.current_demand);
+  const TaskSpec spec = r.spec;
   release_slot(kind);
   running_.erase(it);
+  audit_transition(job_tracker_, spec, machine_.id(), audit::TaskEvent::kKill);
   return true;
 }
 
@@ -255,6 +275,8 @@ std::vector<TaskReport> TaskTracker::cancel_job(JobId job) {
     machine_.adjust_demand(-r.current_demand);
     killed.push_back(make_report(r));
     release_slot(r.spec.kind);
+    audit_transition(job_tracker_, r.spec, machine_.id(),
+                     audit::TaskEvent::kKill);
     it = running_.erase(it);
   }
   return killed;
@@ -276,6 +298,8 @@ void TaskTracker::crash() {
     close_sample_window(r);
     machine_.adjust_demand(-r.current_demand);
     killed.push_back(make_report(r));
+    audit_transition(job_tracker_, r.spec, machine_.id(),
+                     audit::TaskEvent::kKill);
   }
   running_.clear();
   running_maps_ = 0;

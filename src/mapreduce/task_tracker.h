@@ -18,7 +18,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "cluster/machine.h"
@@ -148,7 +148,10 @@ class TaskTracker {
   std::size_t completed_maps_ = 0;
   std::size_t completed_reduces_ = 0;
   std::uint64_t next_attempt_id_ = 1;
-  std::unordered_map<std::uint64_t, Running> running_;
+  // std::map: heartbeat() draws per-task noise while iterating, so the
+  // iteration order (attempt-id order here) is part of the deterministic
+  // RNG-consumption sequence the audit digest certifies.
+  std::map<std::uint64_t, Running> running_;
   sim::EventId heartbeat_event_;
 };
 

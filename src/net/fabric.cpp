@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 
@@ -43,7 +44,7 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Megabytes mb, double cap_mbps,
                           std::function<void(FlowId)> on_complete) {
   EANT_CHECK(src != dst, "loopback transfers do not enter the fabric");
   EANT_CHECK(mb > 0.0, "flow size must be positive");
-  EANT_CHECK(cap_mbps > 0.0 && cap_mbps != kUnlimitedMbps,
+  EANT_CHECK(cap_mbps > 0.0 && std::isfinite(cap_mbps),
              "flow rate cap must be positive and finite");
 
   advance_all();
@@ -69,6 +70,7 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Megabytes mb, double cap_mbps,
 
   const FlowId id = next_id_++;
   flows_.emplace(id, std::move(flow));
+  if (observer_) observer_->on_flow_started(id, cls, mb);
   reallocate();
   return id;
 }
@@ -80,6 +82,7 @@ void Fabric::abort_flow(FlowId id) {
   sim_.cancel(it->second.completion_event);
   ++aborted_;
   flows_.erase(it);
+  if (observer_) observer_->on_flow_aborted(id);
   reallocate();
 }
 
@@ -168,7 +171,7 @@ void Fabric::reallocate() {
     for (auto& [id, flow] : flows_) {
       if (!frozen[i]) {
         flow.rate_mbps =
-            inc == kUnlimitedMbps ? flow.cap_mbps : flow.rate_mbps + inc;
+            std::isinf(inc) ? flow.cap_mbps : flow.rate_mbps + inc;
         for (LinkId link : flow.path) link_load_[link] += inc;
       }
       ++i;
@@ -205,7 +208,7 @@ void Fabric::reallocate() {
     sim_.cancel(flow.completion_event);
     const Megabytes remaining = std::max(0.0, flow.total - flow.sent);
     const Seconds dt =
-        flow.rate_mbps == kUnlimitedMbps ? 0.0 : remaining / flow.rate_mbps;
+        std::isinf(flow.rate_mbps) ? 0.0 : remaining / flow.rate_mbps;
     const FlowId flow_id = id;
     flow.completion_event =
         sim_.schedule_after(dt, [this, flow_id] { finish_flow(flow_id); });
@@ -217,14 +220,14 @@ void Fabric::finish_flow(FlowId id) {
   auto it = flows_.find(id);
   EANT_CHECK(it != flows_.end(), "completion event for unknown flow");
   Flow flow = std::move(it->second);
+  if (observer_) observer_->on_flow_finished(id, flow.total, flow.sent);
   // Float residue: the completion event fired, so the last byte is in.
   account_bytes(flow.cls, std::max(0.0, flow.total - flow.sent));
 
   ++completed_;
   const Seconds actual = sim_.now() - flow.started;
-  const Seconds solo = flow.solo_mbps == kUnlimitedMbps
-                           ? 0.0
-                           : flow.total / flow.solo_mbps;
+  const Seconds solo =
+      std::isinf(flow.solo_mbps) ? 0.0 : flow.total / flow.solo_mbps;
   slowdown_sum_ += solo > 0.0 ? std::max(1.0, actual / solo) : 1.0;
 
   flows_.erase(it);

@@ -38,6 +38,21 @@ std::string transfer_class_name(TransferClass cls);
 /// Identifies an in-flight flow; never reused within a Fabric.
 using FlowId = std::uint64_t;
 
+/// Passive observer of flow lifecycle (the audit layer's byte-conservation
+/// tap).  Callbacks fire synchronously inside start/finish/abort and must
+/// not mutate the fabric.
+class FabricObserver {
+ public:
+  virtual ~FabricObserver() = default;
+  virtual void on_flow_started(FlowId id, TransferClass cls,
+                               Megabytes total_mb) = 0;
+  /// `delivered_mb` is the bytes credited to the flow when its completion
+  /// event fired (before the fabric tops up the float residue).
+  virtual void on_flow_finished(FlowId id, Megabytes requested_mb,
+                                Megabytes delivered_mb) = 0;
+  virtual void on_flow_aborted(FlowId id) = 0;
+};
+
 /// Aggregate counters, snapshot via Fabric::metrics().
 struct FabricMetrics {
   Megabytes shuffle_mb = 0.0;      ///< bytes delivered, incl. aborted partials
@@ -97,6 +112,10 @@ class Fabric {
   const Topology& topology() const { return topo_; }
   FabricMetrics metrics() const;
 
+  /// Attaches (or, with nullptr, detaches) a flow-lifecycle observer.  At
+  /// most one; it must outlive the fabric or be detached first.
+  void set_observer(FabricObserver* observer) { observer_ = observer; }
+
  private:
   struct Flow {
     NodeId src = 0;
@@ -127,6 +146,7 @@ class Fabric {
   std::map<FlowId, Flow> flows_;
   FlowId next_id_ = 1;
   Seconds last_advance_ = 0.0;
+  FabricObserver* observer_ = nullptr;
 
   // metrics accumulators
   Megabytes class_mb_[3] = {0.0, 0.0, 0.0};

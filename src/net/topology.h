@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -87,7 +88,7 @@ class Topology {
 
   double capacity_mbps(LinkId link) const;
   bool is_finite(LinkId link) const {
-    return capacity_mbps(link) != kUnlimitedMbps;
+    return std::isfinite(capacity_mbps(link));
   }
   std::string link_name(LinkId link) const;
 

@@ -10,6 +10,7 @@ EventId Simulator::schedule_at(Seconds t, std::function<void()> fn) {
   const EventId id = next_id_++;
   queue_.push(Entry{t, next_seq_++, id, std::move(fn), 0.0, nullptr});
   queued_.insert(id);
+  if (observer_) observer_->on_event_scheduled(t, id);
   return id;
 }
 
@@ -23,6 +24,7 @@ EventId Simulator::schedule_periodic(Seconds interval,
   queue_.push(Entry{now_ + first_delay, next_seq_++, id, nullptr, interval,
                     std::move(fn)});
   queued_.insert(id);
+  if (observer_) observer_->on_event_scheduled(now_ + first_delay, id);
   return id;
 }
 
@@ -46,13 +48,17 @@ void Simulator::execute(Entry entry) {
   now_ = entry.time;
   ++executed_;
   executing_id_ = entry.id;
+  if (observer_) observer_->on_event_executed(now_, entry.id);
   if (entry.repeat_fn) {
     const bool keep = entry.repeat_fn();
     if (keep && !cancelled_.contains(entry.id)) {
       entry.time = now_ + entry.repeat_interval;
       entry.seq = next_seq_++;
-      queued_.insert(entry.id);
+      const Seconds next_time = entry.time;
+      const EventId id = entry.id;
+      queued_.insert(id);
       queue_.push(std::move(entry));
+      if (observer_) observer_->on_event_scheduled(next_time, id);
     } else {
       cancelled_.erase(entry.id);
     }

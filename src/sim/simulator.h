@@ -22,6 +22,20 @@ namespace eant::sim {
 /// Identifies a scheduled event so it can be cancelled before it fires.
 using EventId = std::uint64_t;
 
+/// Passive observer of the event loop (the audit layer's tap).  Callbacks
+/// fire synchronously inside schedule/execute and must not mutate the
+/// simulator.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// An event was enqueued for absolute time t.
+  virtual void on_event_scheduled(Seconds t, EventId id) = 0;
+
+  /// An event is about to run; `t` is the (already advanced) clock.
+  virtual void on_event_executed(Seconds t, EventId id) = 0;
+};
+
 /// Single-threaded event-driven simulator with a monotone clock.
 class Simulator {
  public:
@@ -72,6 +86,11 @@ class Simulator {
   /// Total number of events executed so far (for perf reporting and tests).
   std::uint64_t executed() const { return executed_; }
 
+  /// Attaches (or, with nullptr, detaches) an observer that is notified of
+  /// every schedule and execution.  At most one observer; it must outlive
+  /// the simulator or be detached first.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
  private:
   struct Entry {
     Seconds time;
@@ -97,6 +116,7 @@ class Simulator {
   EventId next_id_ = 1;
   EventId executing_id_ = 0;  // id of the event being executed (0 = none)
   std::uint64_t executed_ = 0;
+  SimObserver* observer_ = nullptr;
 };
 
 }  // namespace eant::sim

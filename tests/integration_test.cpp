@@ -113,9 +113,15 @@ TEST(Integration, UtilisationShiftsToServers) {
     server_util /= static_cast<double>(server_machines);
     return server_util / std::max(1e-9, m.type("Desktop").avg_utilization);
   };
-  const auto fair = run_msd(SchedulerKind::kFair, 104);
-  const auto eant = run_msd(SchedulerKind::kEAnt, 104);
-  EXPECT_GT(server_vs_desktop(eant), server_vs_desktop(fair));
+  // A single 15-job run leaves the ratio within noise of Fair's, so average
+  // the shift over a few seeds rather than pinning one marginal draw.
+  double fair_ratio = 0.0;
+  double eant_ratio = 0.0;
+  for (std::uint64_t seed : {104u, 114u, 124u}) {
+    fair_ratio += server_vs_desktop(run_msd(SchedulerKind::kFair, seed));
+    eant_ratio += server_vs_desktop(run_msd(SchedulerKind::kEAnt, seed));
+  }
+  EXPECT_GT(eant_ratio, fair_ratio);
 }
 
 TEST(Integration, LocalityIsSubstantialUnderFairAndEAnt) {

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Project-specific static checks for the e-ant simulator.
+
+The simulator is the test oracle for every experiment in the paper
+reproduction, so two properties are load-bearing and worth enforcing
+mechanically:
+
+  determinism   — a run is a pure function of its RunConfig + seed.  Wall
+                  clocks, unseeded RNGs and hash-ordered iteration feeding
+                  scheduling decisions all silently break that.
+  exactness     — raw floating-point ==/!= comparisons are latent bugs once
+                  a value has been through arithmetic; common/fp.h provides
+                  the explicit-tolerance helpers.
+
+Rules (each can be suppressed on a line with `// lint-ok: <rule>`):
+
+  wall-clock     system_clock / steady_clock / time(NULL) / clock() outside
+                 src/common/rng.* — sim time comes from sim::Simulator, and
+                 all randomness from the seeded common/rng.h Rng.
+  raw-random     rand(), srand(), std::random_device — unseeded entropy.
+  float-eq       == or != with a floating-point literal operand; use
+                 eant::approx_equal / near_zero (common/fp.h) or restructure
+                 into an ordered comparison.
+  ns-in-header   `using namespace` at file scope in a header.
+  unordered-iter range-for over an unordered_{map,set} member in files that
+                 make scheduling decisions (allowlisted containers only) —
+                 iteration order is hash-seed dependent and anything drawn
+                 from an RNG inside such a loop diverges across platforms.
+
+Exit status: 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+SUPPRESS = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
+
+# Files allowed to touch entropy / wall-clock primitives: the seeded RNG
+# wrapper itself.
+RNG_ALLOWLIST = {"src/common/rng.h", "src/common/rng.cpp"}
+
+WALL_CLOCK = re.compile(
+    r"\b(?:std::chrono::)?(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&)"
+    r"|(?<![\w:.])clock\s*\(\s*\)"
+)
+RAW_RANDOM = re.compile(
+    r"(?<![\w:.])s?rand\s*\(|std::random_device|(?<!\w)random_device\s+\w"
+)
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?"
+# ==/!= with a float literal on either side.  `!=` must not match `<=`/`>=`,
+# and `==` must not match a preceding `!=`/`<=`/`>=` or C++20 `<=>`.
+FLOAT_EQ = re.compile(
+    r"(?:%(lit)s)\s*[=!]=(?!=)|(?<![<>!=])[=!]=(?!=)\s*[-+]?(?:%(lit)s)"
+    % {"lit": FLOAT_LITERAL}
+)
+
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+
+# Hash-ordered containers whose iteration may feed scheduling or RNG draws.
+# Declaring one of these as a member is flagged in the listed subsystems;
+# deterministic alternatives are std::map / std::set / sorted vectors.
+UNORDERED_MEMBER = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+ORDER_SENSITIVE_DIRS = ("src/mapreduce", "src/sched", "src/core", "src/sim")
+# Members where hash ordering is provably harmless: lookups only, never
+# iterated where order can leak into decisions or RNG consumption.
+UNORDERED_ALLOWLIST: set[tuple[str, str]] = {
+    ("src/sim/simulator.h", "queued_"),     # membership test only
+    ("src/sim/simulator.h", "cancelled_"),  # membership test only
+}
+
+
+def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blanks out string/char literals and comments, preserving length.
+
+    Tracks /* */ across lines via `in_block`.  Good enough for regex rules;
+    raw strings spanning lines are rare here and acceptable noise.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end == -1:
+                out.append(" " * (n - i))
+                i = n
+            else:
+                out.append(" " * (end + 2 - i))
+                i = end + 2
+                in_block = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            out.append(" " * (n - i))
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block = True
+            out.append("  ")
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == quote:
+                    break
+                j += 1
+            j = min(j, n - 1)
+            out.append(quote + " " * (j - i - 1) + (line[j] if j < n else ""))
+            i = j + 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO).as_posix()
+    is_header = path.suffix == ".h"
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    findings = []
+    in_block = False
+    for lineno, raw in enumerate(raw_lines, start=1):
+        suppressed = {m.group(1) for m in SUPPRESS.finditer(raw)}
+        code, in_block = strip_comments_and_strings(raw, in_block)
+
+        def report(rule: str, message: str) -> None:
+            if rule not in suppressed:
+                findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+        if rel not in RNG_ALLOWLIST:
+            if WALL_CLOCK.search(code):
+                report("wall-clock",
+                       "wall-clock call; use sim::Simulator time instead")
+            if RAW_RANDOM.search(code):
+                report("raw-random",
+                       "unseeded entropy; use the seeded eant::Rng")
+
+        if FLOAT_EQ.search(code):
+            report("float-eq",
+                   "float ==/!=; use approx_equal/near_zero (common/fp.h) "
+                   "or an ordered comparison")
+
+        if is_header and USING_NAMESPACE.search(code):
+            report("ns-in-header", "`using namespace` in a header")
+
+        if rel.startswith(ORDER_SENSITIVE_DIRS):
+            m = UNORDERED_MEMBER.search(code)
+            if m:
+                member = re.search(r">\s*(\w+)\s*;", code)
+                name = member.group(1) if member else ""
+                if (rel, name) not in UNORDERED_ALLOWLIST:
+                    report("unordered-iter",
+                           "hash-ordered container in an order-sensitive "
+                           "subsystem; use std::map/std::set or add to the "
+                           "allowlist with a determinism argument")
+    return findings
+
+
+def main() -> int:
+    findings = []
+    for d in SCAN_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in {".h", ".cpp", ".cc"}:
+                findings.extend(lint_file(path))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print(f"lint clean ({sum(1 for d in SCAN_DIRS if (REPO / d).is_dir())} "
+          "directories scanned).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
