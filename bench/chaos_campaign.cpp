@@ -1,0 +1,102 @@
+// Chaos campaign — the degraded-mode acceptance gauntlet.  Runs the MSD
+// workload on the oversubscribed 4-rack fabric under every default fault mix
+// (machine crashes, link flaps, a rack partition, datanode losses deep
+// enough to force re-replication, fetch-failure noise, and everything at
+// once) across a seed matrix, with the InvariantAuditor as the oracle.
+//
+// A cell passes only if every job completes, the auditor reports zero
+// violations, and no block ends the run under-replicated without either a
+// queued repair or a recorded data-loss event; the first seed of each mix is
+// re-run and must reproduce its determinism digest bit-for-bit.  The binary
+// exits non-zero if any cell fails, so CI can use it as a smoke gate.
+//
+// Usage: chaos_campaign [num_seeds] [quick]
+//   num_seeds: seeds per mix (default 4 -> 6 mixes x 4 seeds = 24 cells;
+//              the ISSUE floor is 20)
+//   quick:     replace the full MSD workload with a small Terasort batch —
+//              the CI smoke configuration (every fault path still fires;
+//              the scripted fault times scale with the probed horizon)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "exp/chaos.h"
+
+using namespace eant;
+
+int main(int argc, char** argv) {
+  std::size_t num_seeds = 4;
+  if (argc > 1) num_seeds = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (num_seeds == 0) num_seeds = 1;
+  const bool quick = argc > 2 && std::strcmp(argv[2], "quick") == 0;
+
+  // Base configuration: the canonical workload on the oversubscribed fabric.
+  // The expiry window is scaled with the bench (see fig13_fault_recovery):
+  // Hadoop's 600 s default would outlast most of these scaled jobs and let
+  // speculation mask every loss before it is declared.
+  exp::RunConfig base = bench::run_config();
+  base.topology = net::TopologySpec::oversubscribed();
+  base.job_tracker.tracker_expiry_window = 30.0;
+
+  const std::vector<workload::JobSpec> jobs =
+      quick ? exp::job_batch(workload::AppKind::kTerasort, 3000.0, 8, 3)
+            : bench::msd_workload();
+
+  // Calibrate the fault horizon from a fault-free run, so scripted faults
+  // land mid-campaign regardless of workload scaling.
+  exp::Run probe(exp::paper_fleet(), exp::SchedulerKind::kEAnt, base);
+  probe.submit(jobs);
+  probe.execute();
+  const Seconds horizon = probe.metrics().makespan;
+  std::printf("fault-free E-Ant makespan: %.0f s (campaign horizon)\n\n",
+              horizon);
+
+  exp::ChaosConfig cc;
+  cc.seeds.clear();
+  for (std::uint64_t s = 1; s <= num_seeds; ++s) cc.seeds.push_back(s);
+  cc.horizon = horizon;
+  cc.verify_determinism = true;
+
+  const std::vector<exp::ChaosOutcome> outcomes =
+      exp::run_chaos_campaign(exp::paper_fleet(), exp::SchedulerKind::kEAnt,
+                              base, jobs, exp::default_chaos_mixes(), cc);
+
+  TextTable t("Chaos campaign: E-Ant on the oversubscribed fabric (" +
+              std::to_string(outcomes.size()) + " cells)");
+  t.set_header({"mix", "seed", "makespan (s)", "jobs failed", "fetch fail",
+                "maps re-run", "re-repl", "data loss", "link faults",
+                "violations", "det", "verdict"});
+  std::size_t failures = 0;
+  for (const auto& o : outcomes) {
+    const bool ok = o.survived && o.deterministic;
+    if (!ok) ++failures;
+    t.add_row({o.mix, std::to_string(o.seed),
+               TextTable::num(o.metrics.makespan, 0),
+               std::to_string(o.metrics.jobs_failed),
+               std::to_string(o.metrics.fetch_failures),
+               std::to_string(o.metrics.lost_map_outputs),
+               std::to_string(o.metrics.rereplicated_blocks),
+               std::to_string(o.metrics.data_loss_events),
+               std::to_string(o.metrics.link_faults),
+               std::to_string(o.audit_violations),
+               o.deterministic ? "yes" : "NO",
+               ok ? "survived" : "FAILED"});
+  }
+  t.print();
+  std::puts(
+      "\nsurvived = all jobs completed, zero auditor violations, every block "
+      "either fully replicated,\nqueued for repair, or recorded as lost; det "
+      "= first-seed re-run reproduced the determinism digest");
+
+  if (failures > 0) {
+    std::printf("\nCHAOS CAMPAIGN FAILED: %zu of %zu cells\n", failures,
+                outcomes.size());
+    return 1;
+  }
+  std::printf("\nCHAOS CAMPAIGN PASSED: %zu/%zu cells survived\n",
+              outcomes.size(), outcomes.size());
+  return 0;
+}

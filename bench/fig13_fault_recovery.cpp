@@ -11,11 +11,18 @@
 // Reported per scheduler: makespan stretch, recovery time (loss detection to
 // full re-execution of the orphaned work), wasted work/energy, and the
 // energy-efficiency comparison against the fault-free run.
+//
+// A second section repeats the probe against *network* degradation on the
+// oversubscribed topology: an access-link failure on the most-loaded server
+// (its shuffle fetches die and the fetch-failure path re-executes maps) and a
+// full partition of that server's rack (trackers expire, the fabric heals,
+// and the run must re-converge) — same wasted-energy columns.
 
 #include <cstdio>
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "net/topology.h"
 
 using namespace eant;
 
@@ -68,6 +75,62 @@ SchedulerOutcome run_pair(exp::SchedulerKind kind) {
   faulted.submit(bench::msd_workload());
   faulted.execute();
   out.faulted = faulted.metrics();
+  return out;
+}
+
+struct NetOutcome {
+  std::string name;
+  std::string scenario;
+  cluster::MachineId victim = 0;
+  exp::RunMetrics base;
+  exp::RunMetrics faulted;
+};
+
+// Runs the MSD workload on the oversubscribed topology fault-free, then once
+// more with a network fault aimed at the most-loaded server of the baseline.
+std::vector<NetOutcome> run_network_pair(exp::SchedulerKind kind) {
+  exp::RunConfig cfg = bench::run_config();
+  cfg.topology = net::TopologySpec::oversubscribed();
+  cfg.job_tracker.tracker_expiry_window = 30.0;
+
+  exp::Run base(exp::paper_fleet(), kind, cfg);
+  base.submit(bench::msd_workload());
+  base.execute();
+  const exp::RunMetrics base_m = base.metrics();
+
+  cluster::MachineId victim = 0;
+  std::size_t most = 0;
+  for (cluster::MachineId m = 0; m < base.cluster().size(); ++m) {
+    const auto& t = base.job_tracker().tracker(m);
+    const std::size_t c =
+        t.completed(mr::TaskKind::kMap) + t.completed(mr::TaskKind::kReduce);
+    if (c > most) {
+      most = c;
+      victim = m;
+    }
+  }
+
+  std::vector<NetOutcome> out;
+  const Seconds fault_time = 0.4 * base_m.makespan;
+  const struct {
+    const char* name;
+    Seconds duration_frac;
+  } scenarios[] = {{"link fault", 0.15}, {"rack partition", 0.10}};
+  for (const auto& s : scenarios) {
+    exp::RunConfig fcfg = cfg;
+    const Seconds duration = s.duration_frac * base_m.makespan;
+    if (std::string(s.name) == "link fault") {
+      fcfg.faults.fail_link_for(victim, fault_time, duration);
+    } else {
+      fcfg.faults.partition_rack(victim % cfg.topology->racks, fault_time,
+                                 duration);
+    }
+    exp::Run faulted(exp::paper_fleet(), kind, fcfg);
+    faulted.submit(bench::msd_workload());
+    faulted.execute();
+    out.push_back({exp::scheduler_kind_name(kind), s.name, victim, base_m,
+                   faulted.metrics()});
+  }
   return out;
 }
 
@@ -124,6 +187,40 @@ int main() {
   std::puts(
       "wasted = Eq. 2 energy of crash-killed attempts plus completed map "
       "outputs that had to be re-executed");
+
+  std::vector<NetOutcome> net_results;
+  for (exp::SchedulerKind kind :
+       {exp::SchedulerKind::kFair, exp::SchedulerKind::kEAnt}) {
+    for (auto& o : run_network_pair(kind)) net_results.push_back(o);
+  }
+
+  TextTable deg(
+      "Fig 13(c): network degradation on the oversubscribed topology "
+      "(access-link failure / rack partition at the most-loaded server)");
+  deg.set_header({"scheduler", "scenario", "makespan (s)", "w/ fault (s)",
+                  "stretch", "fetch fail", "maps re-run", "wasted (kJ)",
+                  "wasted share", "jobs failed"});
+  for (const auto& r : net_results) {
+    deg.add_row(
+        {r.name, r.scenario, TextTable::num(r.base.makespan, 0),
+         TextTable::num(r.faulted.makespan, 0),
+         TextTable::num(
+             100.0 * (r.faulted.makespan - r.base.makespan) / r.base.makespan,
+             1) +
+             "%",
+         std::to_string(r.faulted.fetch_failures),
+         std::to_string(r.faulted.fetch_reexecuted_maps +
+                        r.faulted.lost_map_outputs),
+         TextTable::num(r.faulted.wasted_energy_kj(), 1),
+         TextTable::num(100.0 * r.faulted.wasted_energy_fraction(), 2) + "%",
+         std::to_string(r.faulted.jobs_failed)});
+  }
+  deg.print();
+  std::puts(
+      "a dead access link strands in-flight shuffle fetches (the "
+      "fetch-failure path re-executes the unreachable maps); a partition "
+      "expires every tracker in the rack and the run re-converges on the "
+      "survivors until the fabric heals");
 
   // E-Ant's re-convergence: after expiry its trails floor the dead machine,
   // so no colony keeps declining live slots waiting for it; the rejoined

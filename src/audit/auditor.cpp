@@ -82,6 +82,7 @@ void InvariantAuditor::attach_cluster(cluster::Cluster& cluster) {
 
 void InvariantAuditor::attach_fabric(net::Fabric& fabric) {
   fabric.set_observer(this);
+  fabric_ = &fabric;
 }
 
 void InvariantAuditor::on_event_scheduled(Seconds t, sim::EventId id) {
@@ -161,12 +162,49 @@ void InvariantAuditor::on_flow_finished(net::FlowId id, Megabytes requested_mb,
        << " MB but delivered " << delivered_mb << " MB at completion";
     report_violation("flow-conservation", Severity::kError, os.str());
   }
+  finished_requested_mb_ += requested_mb;
   record(Record::kFlowFinish, id);
 }
 
-void InvariantAuditor::on_flow_aborted(net::FlowId id) {
-  open_flows_.erase(id);
-  record(Record::kFlowAbort, id);
+void InvariantAuditor::on_flow_aborted(net::FlowId id, Megabytes requested_mb,
+                                       Megabytes delivered_mb) {
+  auto it = open_flows_.find(id);
+  if (it == open_flows_.end()) {
+    std::ostringstream os;
+    os << "flow " << id << " aborted but was never observed starting";
+    report_violation("flow-conservation", Severity::kError, os.str());
+  } else {
+    if (!approx_equal(it->second, requested_mb)) {
+      std::ostringstream os;
+      os << "flow " << id << " aborted with total " << requested_mb
+         << " MB but started with " << it->second << " MB";
+      report_violation("flow-conservation", Severity::kError, os.str());
+    }
+    open_flows_.erase(it);
+  }
+  // An aborted flow can never have delivered more than was requested.
+  const double tol =
+      config_.flow_abs_tol + config_.flow_rel_tol * requested_mb;
+  if (delivered_mb > requested_mb + tol || delivered_mb < -tol) {
+    std::ostringstream os;
+    os << "flow " << id << " aborted after delivering " << delivered_mb
+       << " MB of a " << requested_mb << " MB request";
+    report_violation("flow-conservation", Severity::kError, os.str());
+  }
+  aborted_delivered_mb_ += std::clamp(delivered_mb, 0.0, requested_mb);
+  Fnv1a key;
+  key.mix(id);
+  key.mix(delivered_mb);
+  record(Record::kFlowAbort, key.value());
+}
+
+void InvariantAuditor::on_link_state(net::LinkId link, double factor) {
+  check_in_range("link-state", factor, 0.0, 1.0,
+                 "link capacity factor on state change");
+  Fnv1a key;
+  key.mix(static_cast<std::uint64_t>(link));
+  key.mix(factor);
+  record(Record::kLinkState, key.value());
 }
 
 void InvariantAuditor::on_task_transition(std::uint64_t job, bool is_map,
@@ -322,6 +360,30 @@ AuditReport InvariantAuditor::finalize() {
            << " J vs exact " << expected << " J (tolerance " << tol << " J)";
         report_violation("energy-conservation", Severity::kError, os.str());
       }
+    }
+  }
+
+  if (fabric_ != nullptr) {
+    // Fabric-wide byte conservation, robust to aborts and re-rating: the
+    // per-class byte counters must account for exactly the finished flows'
+    // requested bytes plus the aborted flows' delivered partials, give or
+    // take what is still in flight.
+    const net::FabricMetrics fm = fabric_->metrics();
+    Megabytes in_flight_allowance = 0.0;
+    for (const auto& [id, requested] : open_flows_)
+      in_flight_allowance += requested;
+    const Megabytes lo = finished_requested_mb_ + aborted_delivered_mb_;
+    const Megabytes hi = lo + in_flight_allowance;
+    const double tol = config_.flow_abs_tol +
+                       config_.flow_rel_tol * std::max(std::abs(hi), 1.0);
+    if (fm.total_mb() < lo - tol || fm.total_mb() > hi + tol) {
+      std::ostringstream os;
+      os << "fabric accounted " << fm.total_mb()
+         << " MB but flow lifecycle implies [" << lo << ", " << hi << "] MB ("
+         << fm.flows_completed << " completed, " << fm.flows_aborted
+         << " aborted, " << fm.flows_failed << " failed, " << open_flows_.size()
+         << " open)";
+      report_violation("flow-conservation", Severity::kError, os.str());
     }
   }
 

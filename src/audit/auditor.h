@@ -102,6 +102,10 @@ enum class Record : std::uint32_t {
   kMachinePower = 12,  ///< power state flip (entity = machine id * 2 + up)
   kDemand = 13,        ///< hosted CPU demand changed (entity = demand bits)
   kControlTick = 14,   ///< E-Ant control interval boundary
+  kLinkState = 15,     ///< link capacity factor changed (entity = link+factor)
+  kReplicaChange = 16, ///< HDFS replica re-replicated (entity = block+target)
+  kDataLoss = 17,      ///< all replicas of a block died (entity = block id)
+  kFetchFailure = 18,  ///< shuffle fetch failed (entity = job+source bits)
 };
 
 /// Task-attempt lifecycle events checked against the transition table.
@@ -127,7 +131,8 @@ class InvariantAuditor final : public sim::SimObserver,
   /// cluster is fully built and before any task runs.
   void attach_cluster(cluster::Cluster& cluster);
 
-  /// Registers as the fabric's flow observer.
+  /// Registers as the fabric's flow observer and remembers the fabric for
+  /// the end-of-run byte-conservation cross-check.
   void attach_fabric(net::Fabric& fabric);
 
   // --- sim::SimObserver -------------------------------------------------------
@@ -146,7 +151,9 @@ class InvariantAuditor final : public sim::SimObserver,
                        Megabytes total_mb) override;
   void on_flow_finished(net::FlowId id, Megabytes requested_mb,
                         Megabytes delivered_mb) override;
-  void on_flow_aborted(net::FlowId id) override;
+  void on_flow_aborted(net::FlowId id, Megabytes requested_mb,
+                       Megabytes delivered_mb) override;
+  void on_link_state(net::LinkId link, double factor) override;
 
   // --- task lifecycle (JobTracker / TaskTracker hooks) ------------------------
 
@@ -213,9 +220,17 @@ class InvariantAuditor final : public sim::SimObserver,
   sim::Simulator& sim_;
   AuditConfig config_;
   cluster::Cluster* cluster_ = nullptr;
+  const net::Fabric* fabric_ = nullptr;
 
   Fnv1a digest_;
   std::uint64_t digest_records_ = 0;
+
+  // Fabric byte-conservation ledger: what finished flows requested plus what
+  // aborted/failed flows actually delivered must match the fabric's own
+  // per-class byte accounting at finalize (open flows add an in-flight
+  // allowance).
+  Megabytes finished_requested_mb_ = 0.0;
+  Megabytes aborted_delivered_mb_ = 0.0;
 
   Seconds last_executed_ = 0.0;
   std::vector<MachineAudit> machines_;

@@ -76,6 +76,15 @@ void EAntScheduler::on_task_failed(const mr::TaskSpec& spec,
   table_->penalize(spec.job, spec.kind, machine, 1.0 - config_.rho);
 }
 
+void EAntScheduler::on_fetch_failed(mr::JobId job,
+                                    cluster::MachineId source) {
+  // The source's map output is unreachable: its path is degraded even
+  // though the machine itself heartbeats fine.  Penalize the map trail so
+  // new work routes around the bad link until it heals and deposits rebuild
+  // the attraction.
+  table_->penalize(job, mr::TaskKind::kMap, source, 1.0 - config_.rho);
+}
+
 void EAntScheduler::control_tick() {
   ++intervals_;
   if (!interval_reports_.empty()) {

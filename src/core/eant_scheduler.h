@@ -93,6 +93,7 @@ class EAntScheduler final : public mr::Scheduler {
   void on_tracker_rejoined(cluster::MachineId machine) override;
   void on_task_failed(const mr::TaskSpec& spec,
                       cluster::MachineId machine) override;
+  void on_fetch_failed(mr::JobId job, cluster::MachineId source) override;
   std::optional<mr::JobId> select_job(cluster::MachineId machine,
                                       mr::TaskKind kind) override;
   std::string name() const override { return "E-Ant"; }

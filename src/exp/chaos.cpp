@@ -1,0 +1,168 @@
+#include "exp/chaos.h"
+
+#include "common/error.h"
+
+namespace eant::exp {
+
+namespace {
+
+/// Deterministic victim choice: spread across the fleet by seed without
+/// consuming any RNG stream.
+std::size_t pick(std::uint64_t seed, std::size_t salt, std::size_t n) {
+  return static_cast<std::size_t>((seed * 2654435761u + salt * 40503u) % n);
+}
+
+/// Two distinct victims (n >= 2).
+std::pair<std::size_t, std::size_t> pick_two(std::uint64_t seed,
+                                             std::size_t salt, std::size_t n) {
+  const std::size_t a = pick(seed, salt, n);
+  const std::size_t b = (a + 1 + pick(seed, salt + 1, n - 1)) % n;
+  return {a, b};
+}
+
+}  // namespace
+
+std::vector<ChaosMix> default_chaos_mixes() {
+  std::vector<ChaosMix> mixes;
+
+  // Two machine crashes of very different depths: a brief outage and a long
+  // one.  Against a short expiry window both are declared losses (datanode
+  // death, re-replication, map-output reclamation); against Hadoop's 600 s
+  // default the brief one exercises the fast-restart path instead.
+  mixes.push_back({"machine-crashes",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t,
+                      Seconds h, std::uint64_t seed) {
+                     const auto [a, b] = pick_two(seed, 1, machines);
+                     cfg.faults.crash_for(a, 0.25 * h, 0.05 * h);
+                     cfg.faults.crash_for(b, 0.45 * h, 0.30 * h);
+                   }});
+
+  // Access-link faults: one scripted hard link failure plus background
+  // stochastic flaps that degrade links to 25% capacity.
+  mixes.push_back({"link-faults",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t,
+                      Seconds h, std::uint64_t seed) {
+                     const std::size_t victim = pick(seed, 3, machines);
+                     cfg.faults.fail_link_for(victim, 0.30 * h, 0.10 * h);
+                     cfg.faults.link_mtbf = 2.0 * h;
+                     cfg.faults.link_mttr = 0.04 * h;
+                     cfg.faults.link_fault_factor = 0.25;
+                   }});
+
+  // Rack partition: one rack's trunk goes hard down mid-run, cutting every
+  // cross-rack flow touching it; shuffle fetch recovery and read failover
+  // must carry the fleet until it heals.
+  mixes.push_back({"rack-partition",
+                   [](RunConfig& cfg, std::size_t, std::size_t racks,
+                      Seconds h, std::uint64_t seed) {
+                     EANT_CHECK(racks >= 2,
+                                "rack-partition mix needs a multi-rack fabric");
+                     cfg.faults.partition_rack(pick(seed, 5, racks), 0.35 * h,
+                                               0.12 * h);
+                   }});
+
+  // Datanode loss: two machines in (usually) different racks stay dark far
+  // past the expiry window, dropping their replicas.  At replication 3, two
+  // concurrent deaths never lose a block — the NameNode re-replicates and
+  // the invariant "every block recovers or is recorded lost" is exercised
+  // for real.
+  mixes.push_back({"datanode-loss",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t,
+                      Seconds h, std::uint64_t seed) {
+                     const auto [a, b] = pick_two(seed, 7, machines);
+                     cfg.faults.crash_for(a, 0.20 * h, 0.50 * h);
+                     cfg.faults.crash_for(b, 0.30 * h, 0.45 * h);
+                   }});
+
+  // Transient noise: every attempt and every shuffle fetch can die with a
+  // small probability, exercising backoff/retry and the blacklist decay.
+  mixes.push_back({"fetch-noise",
+                   [](RunConfig& cfg, std::size_t, std::size_t, Seconds,
+                      std::uint64_t) {
+                     cfg.faults.task_failure_prob = 0.01;
+                     cfg.faults.fetch_failure_prob = 0.03;
+                   }});
+
+  // Everything at once (moderated so at most two machines are ever dark
+  // together): a declared node loss, link flaps, a partition and transient
+  // fetch errors.
+  mixes.push_back({"everything",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t racks,
+                      Seconds h, std::uint64_t seed) {
+                     EANT_CHECK(racks >= 2,
+                                "everything mix needs a multi-rack fabric");
+                     const std::size_t victim = pick(seed, 11, machines);
+                     cfg.faults.crash_for(victim, 0.20 * h, 0.35 * h);
+                     cfg.faults.partition_rack(pick(seed, 13, racks), 0.55 * h,
+                                               0.08 * h);
+                     cfg.faults.link_mtbf = 3.0 * h;
+                     cfg.faults.link_mttr = 0.03 * h;
+                     cfg.faults.link_fault_factor = 0.2;
+                     cfg.faults.fetch_failure_prob = 0.01;
+                   }});
+
+  return mixes;
+}
+
+namespace {
+
+ChaosOutcome run_cell(const ClusterBuilder& build_cluster,
+                      SchedulerKind scheduler, const RunConfig& cfg,
+                      const std::vector<workload::JobSpec>& jobs,
+                      const std::string& mix_name, std::uint64_t seed) {
+  ChaosOutcome o;
+  o.mix = mix_name;
+  o.seed = seed;
+  Run run(build_cluster, scheduler, cfg);
+  run.submit(jobs);
+  run.execute();
+  o.metrics = run.metrics();
+  o.audit_violations = o.metrics.audit.total_violations();
+  o.survived = o.metrics.jobs_failed == 0 &&
+               o.metrics.jobs.size() == jobs.size() &&
+               o.metrics.audit.clean() && o.audit_violations == 0 &&
+               o.metrics.replication_violations == 0;
+  return o;
+}
+
+}  // namespace
+
+std::vector<ChaosOutcome> run_chaos_campaign(
+    const ClusterBuilder& build_cluster, SchedulerKind scheduler,
+    const RunConfig& base, const std::vector<workload::JobSpec>& jobs,
+    const std::vector<ChaosMix>& mixes, const ChaosConfig& cc) {
+  EANT_CHECK(!cc.seeds.empty(), "campaign needs at least one seed");
+  EANT_CHECK(cc.horizon > 0.0, "campaign horizon must be positive");
+
+  // Probe the fleet shape once so mixes can size their fault plans.
+  std::size_t machines = 0;
+  {
+    sim::Simulator probe_sim;
+    cluster::Cluster probe(probe_sim);
+    build_cluster(probe);
+    machines = probe.size();
+  }
+  const std::size_t racks = base.topology ? base.topology->racks : 1;
+
+  std::vector<ChaosOutcome> out;
+  for (const auto& mix : mixes) {
+    for (std::uint64_t seed : cc.seeds) {
+      RunConfig cfg = base;
+      cfg.seed = seed;
+      cfg.audit.enabled = true;  // the campaign's oracle is non-negotiable
+      mix.apply(cfg, machines, racks, cc.horizon, seed);
+      ChaosOutcome o =
+          run_cell(build_cluster, scheduler, cfg, jobs, mix.name, seed);
+      if (cc.verify_determinism && seed == cc.seeds.front()) {
+        const ChaosOutcome again =
+            run_cell(build_cluster, scheduler, cfg, jobs, mix.name, seed);
+        o.deterministic = again.metrics.determinism_digest ==
+                          o.metrics.determinism_digest;
+      }
+      out.push_back(std::move(o));
+    }
+  }
+  return out;
+}
+
+}  // namespace eant::exp

@@ -1,0 +1,69 @@
+// Chaos-campaign harness: run a (seed x fault-mix) matrix of full workloads
+// with the InvariantAuditor as the oracle.  Each fault mix is a named recipe
+// that scripts or parameterises machine crashes, access-link faults, rack
+// partitions, datanode losses and transient fetch errors; a campaign asserts
+// that every run survives — all jobs complete, zero invariant violations,
+// no unexplained under-replication — and that re-running a (seed, mix) cell
+// reproduces its determinism digest bit-for-bit.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/builders.h"
+#include "exp/metrics.h"
+#include "exp/runner.h"
+#include "sim/fault_injector.h"
+#include "workload/job_spec.h"
+
+namespace eant::exp {
+
+/// One named fault recipe.  `apply` edits the run's FaultPlan (and may tweak
+/// other RunConfig fields) knowing the fleet size, rack count and the
+/// horizon (an estimate of the fault-free makespan used to place scripted
+/// events mid-run); `seed` varies stochastic placement across campaign rows
+/// without touching the RunConfig seed.
+struct ChaosMix {
+  std::string name;
+  std::function<void(RunConfig& cfg, std::size_t machines, std::size_t racks,
+                     Seconds horizon, std::uint64_t seed)>
+      apply;
+};
+
+/// Outcome of one campaign cell (one seed under one mix).
+struct ChaosOutcome {
+  std::string mix;
+  std::uint64_t seed = 0;
+  RunMetrics metrics;
+  std::size_t audit_violations = 0;
+  bool survived = false;      ///< all jobs completed, zero violations
+  bool deterministic = true;  ///< re-run digest matched (when verified)
+};
+
+/// Campaign-wide knobs.
+struct ChaosConfig {
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  /// Rough fault-free makespan of the workload; scripted faults land inside
+  /// (0, horizon).
+  Seconds horizon = 3600.0;
+  /// Re-run the first seed of every mix and compare digests.
+  bool verify_determinism = true;
+};
+
+/// The default gauntlet: machine crashes, link flaps, a rack partition, a
+/// datanode loss deep enough to trigger re-replication, fetch-failure noise,
+/// and everything at once.
+std::vector<ChaosMix> default_chaos_mixes();
+
+/// Runs the full (seed x mix) matrix over the workload and returns one
+/// outcome per cell, in (mix-major, seed-minor) order.  Auditing is forced
+/// on for every run.
+std::vector<ChaosOutcome> run_chaos_campaign(
+    const ClusterBuilder& build_cluster, SchedulerKind scheduler,
+    const RunConfig& base, const std::vector<workload::JobSpec>& jobs,
+    const std::vector<ChaosMix>& mixes, const ChaosConfig& cc);
+
+}  // namespace eant::exp

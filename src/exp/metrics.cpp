@@ -97,6 +97,27 @@ RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
   rm.wasted_energy = wasted_energy_;
   rm.recovery_times = jt_.recovery_times();
 
+  rm.fetch_failures = jt_.fetch_failures();
+  rm.fetch_reexecuted_maps = jt_.fetch_reexecuted_maps();
+  rm.rereplicated_blocks = jt_.rereplicated_blocks();
+  rm.rereplication_mb = jt_.rereplication_mb();
+  rm.data_loss_events = jt_.data_loss_events();
+  const hdfs::NameNode& nn = jt_.namenode();
+  rm.under_replicated_blocks = nn.under_replicated_count();
+  if (jt_.rereplication_active() == 0) {
+    // With no stream in flight, every short block must be accounted for:
+    // recorded lost or sitting in the recovery queue.
+    for (hdfs::BlockId b = 0; b < nn.num_blocks(); ++b) {
+      if (nn.block_lost(b)) continue;
+      if (nn.live_replicas(b) >=
+          static_cast<std::size_t>(nn.replication())) {
+        continue;
+      }
+      if (nn.queued_for_rereplication(b)) continue;
+      ++rm.replication_violations;
+    }
+  }
+
   const Seconds elapsed = jt_.simulator().now();
   for (const auto& type_name : cluster_.type_names()) {
     TypeMetrics tm;

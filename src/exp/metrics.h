@@ -69,6 +69,19 @@ struct RunMetrics {
   Joules wasted_energy = 0.0;         ///< Eq. 2 estimate over discarded work
   std::vector<Seconds> recovery_times;  ///< per node-loss episode
 
+  // --- degraded-mode accounting ----------------------------------------------
+  std::size_t fetch_failures = 0;        ///< shuffle fetches that died mid-flight
+  std::size_t fetch_reexecuted_maps = 0; ///< maps re-run via fetch-failure path
+  std::size_t rereplicated_blocks = 0;   ///< HDFS blocks restored after node loss
+  Megabytes rereplication_mb = 0.0;      ///< bytes moved by block recovery
+  std::size_t data_loss_events = 0;      ///< blocks whose last replica died
+  std::size_t link_faults = 0;           ///< applied degrading net transitions
+  std::size_t under_replicated_blocks = 0;  ///< still queued at snapshot time
+  /// Blocks short of `replication` live replicas that are neither recorded
+  /// lost nor queued/in-flight for recovery — must be 0 (the "no block falls
+  /// through the cracks" invariant).
+  std::size_t replication_violations = 0;
+
   // --- invariant audit (only meaningful when audited) ------------------------
   bool audited = false;  ///< the run had the InvariantAuditor attached
   /// FNV-1a over the ordered observation stream; bit-identical across two

@@ -93,19 +93,37 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
   jt_->start_trackers();
 
   if (config_.faults.enabled()) {
+    EANT_CHECK(!config_.faults.has_net_faults() || fabric_ != nullptr,
+               "network fault injection requires a topology");
     // A dedicated RNG fork: enabling fault injection never perturbs the
     // namenode/noise/scheduler draws of an otherwise-identical run.
     injector_ = std::make_unique<sim::FaultInjector>(
-        *sim_, config_.faults, root.fork(3), cluster_->size());
+        *sim_, config_.faults, root.fork(3), cluster_->size(),
+        fabric_ ? fabric_->topology().num_racks() : 1);
     injector_->set_handlers(
         [this](std::size_t m) { jt_->tracker(m).crash(); },
         [this](std::size_t m) { jt_->tracker(m).restart(); });
+    if (config_.faults.has_net_faults()) {
+      injector_->set_net_handler([this](sim::NetFaultEvent::Target target,
+                                        std::size_t index, double factor) {
+        if (target == sim::NetFaultEvent::Target::kNodeLink) {
+          fabric_->set_node_link_factor(index, factor);
+        } else {
+          fabric_->set_trunk_factor(index, factor);
+        }
+      });
+    }
     injector_->start();
     if (config_.faults.task_failure_prob > 0.0) {
       jt_->set_attempt_fault_hook(
           [this](const mr::TaskSpec&, cluster::MachineId) {
             return injector_->draw_attempt_failure();
           });
+    }
+    if (config_.faults.fetch_failure_prob > 0.0) {
+      jt_->set_fetch_fault_hook([this](mr::JobId, cluster::MachineId) {
+        return injector_->draw_fetch_failure();
+      });
     }
   }
 
@@ -128,6 +146,15 @@ void Run::execute() {
     const bool progressed = sim_->step();
     EANT_ASSERT(progressed, "event queue drained with jobs outstanding");
   }
+  // Drain in-flight block recovery so the post-run HDFS state is stable:
+  // every block fully replicated, queued (endpoints still down), or recorded
+  // lost — never silently mid-copy.
+  while (jt_->rereplication_active() > 0) {
+    EANT_CHECK(sim_->now() <= config_.time_limit,
+               "block recovery exceeded the safety time limit");
+    const bool progressed = sim_->step();
+    EANT_ASSERT(progressed, "event queue drained with recovery in flight");
+  }
 }
 
 RunMetrics Run::metrics() {
@@ -136,6 +163,7 @@ RunMetrics Run::metrics() {
     rm.fabric_active = true;
     rm.network = fabric_->metrics();
   }
+  if (injector_) rm.link_faults = injector_->link_faults();
   if (auditor_) {
     rm.audited = true;
     rm.audit = auditor_->finalize();

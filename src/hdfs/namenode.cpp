@@ -8,10 +8,12 @@ namespace eant::hdfs {
 NameNode::NameNode(Rng rng, std::size_t num_datanodes, int replication,
                    std::vector<std::size_t> racks)
     : rng_(rng),
+      rerep_rng_(rng.fork(0x5e)),
       num_datanodes_(num_datanodes),
       replication_(replication),
       racks_(std::move(racks)),
-      per_node_counts_(num_datanodes, 0) {
+      per_node_counts_(num_datanodes, 0),
+      alive_(num_datanodes, true) {
   EANT_CHECK(num_datanodes >= 1, "need at least one datanode");
   EANT_CHECK(replication >= 1, "replication factor must be >= 1");
   // Like real HDFS, degrade gracefully when the cluster is smaller than the
@@ -26,11 +28,11 @@ NameNode::NameNode(Rng rng, std::size_t num_datanodes, int replication,
   per_rack_counts_.assign(num_racks_, 0);
 }
 
-cluster::MachineId NameNode::take_balanced(
-    std::vector<cluster::MachineId>& pool) {
+cluster::MachineId NameNode::take_balanced_with(
+    Rng& rng, std::vector<cluster::MachineId>& pool) {
   EANT_CHECK(!pool.empty(), "no placement candidates left");
   const auto draw = [&] {
-    return static_cast<std::size_t>(rng_.uniform_int(
+    return static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(pool.size()) - 1));
   };
   std::size_t best = draw();
@@ -45,12 +47,27 @@ cluster::MachineId NameNode::take_balanced(
   return node;
 }
 
+cluster::MachineId NameNode::take_balanced(
+    std::vector<cluster::MachineId>& pool) {
+  return take_balanced_with(rng_, pool);
+}
+
+std::vector<cluster::MachineId> NameNode::alive_pool() const {
+  std::vector<cluster::MachineId> pool;
+  pool.reserve(num_datanodes_);
+  for (cluster::MachineId n = 0; n < num_datanodes_; ++n)
+    if (alive_[n]) pool.push_back(n);
+  return pool;
+}
+
 std::vector<cluster::MachineId> NameNode::place_flat() {
-  std::vector<cluster::MachineId> pool(num_datanodes_);
-  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<cluster::MachineId> pool = alive_pool();
+  EANT_CHECK(!pool.empty(), "no live datanode to place a block on");
   std::vector<cluster::MachineId> nodes;
-  nodes.reserve(static_cast<std::size_t>(replication_));
-  for (int r = 0; r < replication_; ++r) nodes.push_back(take_balanced(pool));
+  const std::size_t want = std::min<std::size_t>(
+      static_cast<std::size_t>(replication_), pool.size());
+  nodes.reserve(want);
+  for (std::size_t r = 0; r < want; ++r) nodes.push_back(take_balanced(pool));
   return nodes;
 }
 
@@ -60,12 +77,12 @@ std::vector<cluster::MachineId> NameNode::place_rack_aware() {
 
   // Replica 1: anywhere (the "writer's node" — writers are uniformly spread
   // here, so a balanced pick over the whole fleet models it).
-  std::vector<cluster::MachineId> pool(num_datanodes_);
-  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<cluster::MachineId> pool = alive_pool();
+  EANT_CHECK(!pool.empty(), "no live datanode to place a block on");
   nodes.push_back(take_balanced(pool));
   const std::size_t first_rack = racks_[nodes[0]];
 
-  if (replication_ >= 2) {
+  if (replication_ >= 2 && !pool.empty()) {
     // Replica 2: any node outside the first replica's rack.
     std::vector<cluster::MachineId> off_rack;
     for (cluster::MachineId n : pool)
@@ -77,7 +94,7 @@ std::vector<cluster::MachineId> NameNode::place_rack_aware() {
     }
   }
 
-  if (replication_ >= 3) {
+  if (replication_ >= 3 && nodes.size() >= 2) {
     // Replica 3: same rack as replica 2 if possible, else anywhere distinct.
     const std::size_t second_rack = racks_[nodes[1]];
     std::vector<cluster::MachineId> same_rack;
@@ -88,7 +105,7 @@ std::vector<cluster::MachineId> NameNode::place_rack_aware() {
     }
     if (!same_rack.empty()) {
       nodes.push_back(take_balanced(same_rack));
-    } else {
+    } else if (!rest.empty()) {
       nodes.push_back(take_balanced(rest));
     }
   }
@@ -99,7 +116,8 @@ std::vector<cluster::MachineId> NameNode::place_rack_aware() {
     for (cluster::MachineId n : pool)
       if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
         rest.push_back(n);
-    for (int r = 3; r < replication_; ++r) nodes.push_back(take_balanced(rest));
+    for (int r = 3; r < replication_ && !rest.empty(); ++r)
+      nodes.push_back(take_balanced(rest));
   }
   return nodes;
 }
@@ -121,10 +139,165 @@ std::vector<BlockId> NameNode::create_file(Megabytes size,
       ++per_rack_counts_[racks_[n]];
     }
 
-    ids.push_back(blocks_.size());
+    const BlockId id = blocks_.size();
+    ids.push_back(id);
+    const bool short_placed =
+        nodes.size() < static_cast<std::size_t>(replication_);
     blocks_.push_back(BlockInfo{this_block, std::move(nodes)});
+    // Created short (dead datanodes shrank the candidate pool): queue for
+    // re-replication once capacity returns.
+    if (short_placed) under_replicated_.insert(id);
   }
   return ids;
+}
+
+// --- degraded mode -----------------------------------------------------------
+
+void NameNode::mark_datanode_dead(cluster::MachineId machine) {
+  EANT_CHECK(machine < num_datanodes_, "unknown datanode");
+  if (!alive_[machine]) return;
+  alive_[machine] = false;
+  mutated_ = true;
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    drop_replica(id, machine);
+  }
+}
+
+void NameNode::drop_replica(BlockId id, cluster::MachineId node) {
+  BlockInfo& b = blocks_[id];
+  auto it = std::find(b.locations.begin(), b.locations.end(), node);
+  if (it == b.locations.end()) return;
+  b.locations.erase(it);
+  --per_node_counts_[node];
+  --per_rack_counts_[racks_[node]];
+  if (b.locations.empty()) {
+    // Last replica gone: permanent data loss, recorded, never re-queued.
+    under_replicated_.erase(id);
+    lost_blocks_.push_back(id);
+  } else if (b.locations.size() < static_cast<std::size_t>(replication_)) {
+    under_replicated_.insert(id);
+  }
+}
+
+void NameNode::mark_datanode_alive(cluster::MachineId machine) {
+  EANT_CHECK(machine < num_datanodes_, "unknown datanode");
+  alive_[machine] = true;
+}
+
+bool NameNode::datanode_alive(cluster::MachineId machine) const {
+  EANT_CHECK(machine < num_datanodes_, "unknown datanode");
+  return alive_[machine];
+}
+
+bool NameNode::block_lost(BlockId id) const {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  return blocks_[id].locations.empty();
+}
+
+std::optional<cluster::MachineId> NameNode::pick_rereplication_target(
+    BlockId id) {
+  const BlockInfo& b = blocks_[id];
+  std::vector<cluster::MachineId> candidates;
+  for (cluster::MachineId n = 0; n < num_datanodes_; ++n) {
+    if (!alive_[n]) continue;
+    if (std::find(b.locations.begin(), b.locations.end(), n) !=
+        b.locations.end())
+      continue;
+    candidates.push_back(n);
+  }
+  if (candidates.empty()) return std::nullopt;
+  // Rack-aware re-placement: if the survivors collapsed into a single rack,
+  // prefer an off-rack target so one rack failure can no longer lose the
+  // block (restores the invariant of the original placement policy).
+  if (num_racks_ > 1 && !b.locations.empty()) {
+    const std::size_t rack0 = racks_[b.locations.front()];
+    bool single_rack = true;
+    for (cluster::MachineId n : b.locations) {
+      if (racks_[n] != rack0) {
+        single_rack = false;
+        break;
+      }
+    }
+    if (single_rack) {
+      std::vector<cluster::MachineId> off_rack;
+      for (cluster::MachineId n : candidates)
+        if (racks_[n] != rack0) off_rack.push_back(n);
+      if (!off_rack.empty()) candidates = std::move(off_rack);
+    }
+  }
+  return take_balanced_with(rerep_rng_, candidates);
+}
+
+std::optional<NameNode::ReplicationWork> NameNode::next_rereplication() {
+  // Priority: fewest live replicas first (a one-replica block is one failure
+  // away from data loss), block id as the deterministic tie-break (std::set
+  // iteration order is ascending, stable_sort keeps it).
+  std::vector<BlockId> queue(under_replicated_.begin(),
+                             under_replicated_.end());
+  std::stable_sort(queue.begin(), queue.end(), [&](BlockId a, BlockId b) {
+    return blocks_[a].locations.size() < blocks_[b].locations.size();
+  });
+  for (BlockId id : queue) {
+    if (blocks_[id].locations.empty()) continue;  // raced into loss
+    const auto target = pick_rereplication_target(id);
+    if (!target) continue;  // unsatisfiable right now; stays queued
+    // Source: the surviving holder nearest the target (rack-local preferred,
+    // placement order as tie-break).
+    const BlockInfo& b = blocks_[id];
+    cluster::MachineId source = b.locations.front();
+    for (cluster::MachineId n : b.locations) {
+      const bool n_rack_local = racks_[n] == racks_[*target];
+      const bool s_rack_local = racks_[source] == racks_[*target];
+      if (n_rack_local && !s_rack_local) source = n;
+    }
+    under_replicated_.erase(id);
+    return ReplicationWork{id, source, *target};
+  }
+  return std::nullopt;
+}
+
+void NameNode::add_replica(BlockId id, cluster::MachineId node) {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  EANT_CHECK(node < num_datanodes_, "unknown datanode");
+  BlockInfo& b = blocks_[id];
+  EANT_CHECK(std::find(b.locations.begin(), b.locations.end(), node) ==
+                 b.locations.end(),
+             "node already holds a replica of the block");
+  if (!alive_[node]) {
+    // Target was declared dead while the copy ran; the bytes are gone.
+    requeue_rereplication(id);
+    return;
+  }
+  b.locations.push_back(node);
+  ++per_node_counts_[node];
+  ++per_rack_counts_[racks_[node]];
+  mutated_ = true;
+  if (b.locations.size() < static_cast<std::size_t>(replication_)) {
+    under_replicated_.insert(id);  // still short: another round
+  } else {
+    under_replicated_.erase(id);
+  }
+}
+
+void NameNode::requeue_rereplication(BlockId id) {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  const BlockInfo& b = blocks_[id];
+  if (b.locations.empty()) return;  // lost meanwhile; never re-queued
+  if (b.locations.size() < static_cast<std::size_t>(replication_))
+    under_replicated_.insert(id);
+}
+
+bool NameNode::rereplication_possible(BlockId id) const {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  const BlockInfo& b = blocks_[id];
+  if (b.locations.empty()) return false;
+  for (cluster::MachineId n = 0; n < num_datanodes_; ++n) {
+    if (!alive_[n]) continue;
+    if (std::find(b.locations.begin(), b.locations.end(), n) ==
+        b.locations.end())
+      return true;
+  }
+  return false;
 }
 
 const std::vector<cluster::MachineId>& NameNode::locations(BlockId id) const {

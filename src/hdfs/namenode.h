@@ -11,9 +11,20 @@
 // traffic off the core.  Locality queries then answer at three levels
 // (node-local / rack-local / off-rack) instead of a boolean.
 
+// Degraded mode: mark_datanode_dead() drops a dead node's replicas, records
+// blocks whose last replica vanished as lost (data loss is never silent) and
+// queues the rest for prioritized re-replication — fewest-live-replicas
+// first, rack-aware re-placement, one work item per block at a time.  The
+// JobTracker drains next_rereplication() into real fabric flows and confirms
+// with add_replica() / requeue_rereplication().  Placement of *new* files
+// skips dead datanodes.  Re-replication targets come from a dedicated forked
+// RNG stream, so degraded-mode traffic never perturbs file-creation draws.
+
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "cluster/machine.h"
@@ -87,6 +98,71 @@ class NameNode {
   std::size_t num_racks() const { return num_racks_; }
   std::size_t rack_of(cluster::MachineId machine) const;
 
+  // --- degraded mode ---------------------------------------------------------
+
+  /// One block-recovery work item: copy `block` from `source` (a surviving
+  /// holder) to `target` (a live non-holder).
+  struct ReplicationWork {
+    BlockId block = 0;
+    cluster::MachineId source = 0;
+    cluster::MachineId target = 0;
+  };
+
+  /// Drops every replica the dead node held.  Blocks left with no replica
+  /// are recorded in lost_blocks(); the rest join the under-replication
+  /// queue.  Idempotent while the node stays dead.
+  void mark_datanode_dead(cluster::MachineId machine);
+
+  /// Returns a rejoined node to placement eligibility.  Its disk is treated
+  /// as wiped (Hadoop re-registers blocks, but our crash model already
+  /// reverted them), so it returns as an empty re-replication target.
+  void mark_datanode_alive(cluster::MachineId machine);
+
+  bool datanode_alive(cluster::MachineId machine) const;
+
+  /// Live replicas of the block (0 for a lost block).
+  std::size_t live_replicas(BlockId id) const { return locations(id).size(); }
+
+  /// True iff every replica of the block died before it could be recovered.
+  bool block_lost(BlockId id) const;
+
+  /// Blocks whose last replica died, in detection order — the permanent
+  /// data-loss record.
+  const std::vector<BlockId>& lost_blocks() const { return lost_blocks_; }
+
+  /// Blocks currently queued for re-replication.
+  std::size_t under_replicated_count() const {
+    return under_replicated_.size();
+  }
+
+  /// True iff the block sits in the re-replication queue right now.
+  bool queued_for_rereplication(BlockId id) const {
+    return under_replicated_.count(id) > 0;
+  }
+
+  /// Highest-priority satisfiable work item (fewest live replicas first,
+  /// block id as tie-break); rack-aware target choice restores the >= 2-rack
+  /// spread when the surviving replicas collapsed into one rack.  The block
+  /// leaves the queue — confirm with add_replica() on success or give it
+  /// back with requeue_rereplication() on failure.  Empty when the queue is
+  /// empty or no queued block has a live non-holder target right now.
+  std::optional<ReplicationWork> next_rereplication();
+
+  /// Registers a freshly copied replica on `node` and, if the block is still
+  /// short, re-queues it for another round.
+  void add_replica(BlockId id, cluster::MachineId node);
+
+  /// Returns a block to the under-replication queue after a failed copy.
+  void requeue_rereplication(BlockId id);
+
+  /// True iff a live non-holder exists for the block (re-replication could
+  /// make progress).
+  bool rereplication_possible(BlockId id) const;
+
+  /// True once any replica was ever dropped — the cheap gate for degraded
+  /// code paths (stale-locality recomputation etc.).
+  bool mutated() const { return mutated_; }
+
  private:
   struct BlockInfo {
     Megabytes size;
@@ -94,13 +170,26 @@ class NameNode {
   };
 
   /// Least-loaded of two random candidates from `pool` (power of two
-  /// choices); removes and returns it.  pool must be non-empty.
+  /// choices) using `rng`; removes and returns it.  pool must be non-empty.
+  cluster::MachineId take_balanced_with(Rng& rng,
+                                        std::vector<cluster::MachineId>& pool);
+  /// take_balanced_with on the file-creation stream.
   cluster::MachineId take_balanced(std::vector<cluster::MachineId>& pool);
+
+  /// Every live datanode, ascending (the placement candidate pool).
+  std::vector<cluster::MachineId> alive_pool() const;
 
   std::vector<cluster::MachineId> place_flat();
   std::vector<cluster::MachineId> place_rack_aware();
 
+  /// Rack-aware target for re-replicating `id`, or nothing if no live
+  /// non-holder exists.
+  std::optional<cluster::MachineId> pick_rereplication_target(BlockId id);
+
+  void drop_replica(BlockId id, cluster::MachineId node);
+
   Rng rng_;
+  Rng rerep_rng_;  ///< dedicated stream for re-replication target draws
   std::size_t num_datanodes_;
   int replication_;
   std::vector<std::size_t> racks_;  ///< rack id per datanode
@@ -108,6 +197,11 @@ class NameNode {
   std::vector<BlockInfo> blocks_;
   std::vector<std::size_t> per_node_counts_;
   std::vector<std::size_t> per_rack_counts_;
+  std::vector<bool> alive_;
+  // std::set: next_rereplication scans in block-id order (deterministic).
+  std::set<BlockId> under_replicated_;
+  std::vector<BlockId> lost_blocks_;
+  bool mutated_ = false;
 };
 
 }  // namespace eant::hdfs

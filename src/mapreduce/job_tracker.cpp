@@ -31,6 +31,18 @@ JobTracker::JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
   EANT_CHECK(config_.blacklist_threshold >= 0 &&
                  config_.blacklist_duration >= 0.0,
              "blacklist parameters must be non-negative");
+  EANT_CHECK(config_.blacklist_decay_window >= 0.0,
+             "blacklist decay window must be non-negative");
+  EANT_CHECK(config_.fetch_failure_threshold >= 0,
+             "fetch failure threshold must be non-negative");
+  EANT_CHECK(config_.fetch_retry_backoff > 0.0 &&
+                 config_.fetch_retry_backoff_max >= config_.fetch_retry_backoff,
+             "fetch retry backoff must be positive and capped above the base");
+  EANT_CHECK(config_.reduce_fetch_abort_limit >= 0,
+             "reduce fetch abort limit must be non-negative");
+  EANT_CHECK(config_.max_replication_streams >= 1 &&
+                 config_.rereplication_mbps > 0.0,
+             "re-replication parameters must be positive");
   scheduler_.attach(*this);
 }
 
@@ -58,12 +70,15 @@ void JobTracker::start_trackers() {
     capability_share_[id] = type.cores * type.cpu_factor / total_capability;
   }
   tracker_states_.resize(cluster_.size());
-  if (config_.tracker_expiry_window > 0.0) {
+  if (config_.tracker_expiry_window > 0.0 ||
+      config_.blacklist_decay_window > 0.0) {
     // The real JobTracker sweeps for expired trackers on a timer of its own;
     // one sweep per heartbeat interval bounds detection latency at
-    // expiry_window + heartbeat_interval.
+    // expiry_window + heartbeat_interval.  The same sweep drives the
+    // blacklist fault-counter decay.
     expiry_event_ = sim_.schedule_periodic(config_.heartbeat_interval, [this] {
       check_tracker_expiry();
+      decay_blacklist_counters();
       return true;
     });
   }
@@ -113,14 +128,24 @@ void JobTracker::handle_heartbeat(TaskTracker& tracker) {
   ts.last_heartbeat = sim_.now();
   if (ts.lost) {
     // A declared-lost tracker heartbeating again has rejoined (its lost work
-    // was already re-queued at expiry time).
+    // was already re-queued at expiry time).  Its datanode re-registers as an
+    // empty re-replication target — the declared loss already dropped its
+    // replicas.
     ts.lost = false;
     scheduler_.on_tracker_rejoined(m);
+    if (!namenode_.datanode_alive(m)) {
+      namenode_.mark_datanode_alive(m);
+      pump_rereplication();
+    }
   } else if (ts.crash_pending) {
     // Fast restart: the node crashed and came back before the expiry window
     // elapsed, so the JobTracker never declared it lost — but the attempts
-    // (and any local map outputs) died with the crash all the same.
-    reclaim_lost_work(m);
+    // (and any local map outputs) died with the crash all the same.  Its
+    // HDFS replicas survived on disk, so the datanode stays registered.
+    reclaim_lost_work(m, /*datanode_lost=*/false);
+    // The restarted node may be the source a stalled re-replication waited
+    // for.
+    pump_rereplication();
   }
   if (ts.blacklisted) return;  // no new work while blacklisted
   try_assign(tracker, TaskKind::kMap);
@@ -199,6 +224,26 @@ void JobTracker::try_assign(TaskTracker& tracker, TaskKind kind) {
 
 void JobTracker::launch(JobState& js, TaskKind kind, TaskIndex index,
                         TaskTracker& tracker, Locality locality) {
+  const cluster::MachineId mid = tracker.machine_id();
+  if (kind == TaskKind::kMap &&
+      namenode_.block_lost(js.task(kind, index).block)) {
+    // Every replica of the split died before recovery: the read times out and
+    // the attempt FAILS (burning an attempt, like a real DFS read of a lost
+    // block), so the job eventually fails instead of silently succeeding.
+    // No noise draws — lost-block handling must not perturb healthy streams.
+    const TaskSpec& spec = js.task(kind, index);
+    const Seconds duration = config_.heartbeat_interval;
+    js.mark_started(kind, index, mid, sim_.now());
+    tracker.start_task(spec, duration, false, 0.5 * duration);
+    return;
+  }
+  if (kind == TaskKind::kMap && namenode_.mutated() &&
+      !config_.locality_override) {
+    // Replica sets changed since the job's locality index was built
+    // (datanode loss / re-replication): re-answer from the live NameNode so
+    // the remote-read decision reflects where the data actually is.
+    locality = namenode_.locality(js.task(kind, index).block, mid);
+  }
   if (fabric_ != nullptr) {
     launch_with_fabric(js, kind, index, tracker, locality);
     return;
@@ -316,6 +361,7 @@ void JobTracker::launch_with_fabric(JobState& js, TaskKind kind,
   PendingTransfer& pt = transfers_[key];
   pt.compute_duration = compute_d;
   pt.fail_after = fail_after;
+  pt.generation = ++transfer_generation_;
   tracker.start_fetching_task(spec, locality,
                               [this, key] { abort_transfers(key); });
   for (const FlowPlan& fp : plan) {
@@ -329,9 +375,22 @@ void JobTracker::start_owned_flow(const TransferKey& key,
                                   double cap_mbps, net::TransferClass cls) {
   const net::FlowId id = fabric_->start_flow(
       src, dst, mb, cap_mbps, cls,
-      [this, key](net::FlowId fid) { on_flow_complete(fid, key); });
+      [this, key](net::FlowId fid) { on_flow_complete(fid, key); },
+      [this](net::FlowId fid, Megabytes remaining) {
+        on_flow_failed(fid, remaining);
+      });
   transfers_[key].flows.insert(id);
-  flow_owner_[id] = key;
+  flow_owner_[id] = OwnedFlow{key, src, cls, cap_mbps};
+  if (cls == net::TransferClass::kShuffle && fetch_fault_hook_) {
+    if (const auto frac = fetch_fault_hook_(key.job, src)) {
+      // Transient fetch error (flaky serving tracker, dropped connection):
+      // the flow dies after that fraction of its solo transfer time.
+      const Seconds at = *frac * (mb / cap_mbps);
+      sim_.schedule_after(at, [this, id] {
+        if (fabric_->active(id)) fabric_->fail_flow(id);
+      });
+    }
+  }
 }
 
 void JobTracker::on_flow_complete(net::FlowId id, const TransferKey& key) {
@@ -340,13 +399,203 @@ void JobTracker::on_flow_complete(net::FlowId id, const TransferKey& key) {
   if (it == transfers_.end()) return;  // attempt already torn down
   it->second.flows.erase(id);
   if (!it->second.flows.empty()) return;
+  if (it->second.pending_retries > 0) return;  // fetches still backing off
   const PendingTransfer pt = it->second;
   transfers_.erase(it);
   begin_compute_for(key, pt);
 }
 
+void JobTracker::on_flow_failed(net::FlowId id, Megabytes remaining_mb) {
+  // A re-replication stream died (link fault or endpoint loss): the block
+  // goes back on the NameNode's queue and the pump retries after a beat.
+  if (const auto rit = rerep_flows_.find(id); rit != rerep_flows_.end()) {
+    const hdfs::BlockId block = rit->second;
+    rerep_flows_.erase(rit);
+    if (rerep_active_ > 0) --rerep_active_;
+    namenode_.requeue_rereplication(block);
+    sim_.schedule_after(config_.fetch_retry_backoff,
+                        [this] { pump_rereplication(); });
+    return;
+  }
+  const auto own = flow_owner_.find(id);
+  if (own == flow_owner_.end()) return;  // unowned replication-pipeline flow
+  const OwnedFlow of = own->second;
+  flow_owner_.erase(own);
+  auto tit = transfers_.find(of.key);
+  if (tit == transfers_.end()) return;  // attempt already torn down
+  tit->second.flows.erase(id);
+
+  if (of.cls == net::TransferClass::kRemoteRead) {
+    // Remote split read: fail over to the nearest still-reachable replica
+    // and move only the bytes that did not land.
+    const TaskSpec& spec = job(of.key.job).task(of.key.kind, of.key.index);
+    const auto src = pick_replica_source(spec.block, of.key.machine);
+    if (remaining_mb > 0.0 && src.has_value()) {
+      ++retransferred_flows_;
+      start_owned_flow(of.key, *src, of.key.machine, remaining_mb,
+                       of.cap_mbps, of.cls);
+      return;
+    }
+    if (!src.has_value()) {
+      // No reachable replica right now: kill the attempt (KILLED, not
+      // FAILED — the machine did nothing wrong) so the map re-queues and
+      // lands somewhere the data can reach.
+      kill_fetching_attempt(of.key);
+      return;
+    }
+    if (tit->second.flows.empty() && tit->second.pending_retries == 0) {
+      const PendingTransfer pt = tit->second;
+      transfers_.erase(tit);
+      begin_compute_for(of.key, pt);
+    }
+    return;
+  }
+  handle_fetch_failure(of, remaining_mb);
+}
+
+void JobTracker::handle_fetch_failure(const OwnedFlow& of,
+                                      Megabytes remaining_mb) {
+  ++fetch_failures_;
+  scheduler_.on_fetch_failed(of.key.job, of.src);
+  if (auditor_) {
+    auditor_->record(audit::Record::kFetchFailure,
+                     (static_cast<std::uint64_t>(of.key.job) << 32) ^
+                         static_cast<std::uint64_t>(of.src));
+  }
+  FetchState& fs = fetch_state_[{of.key.job, of.src}];
+  ++fs.failures;
+  // Strikes against the reduce task itself: they survive attempt kills (a
+  // relaunched reduce re-shuffles from scratch, so the prior failures still
+  // represent zero progress) and clear only when a shuffle completes.  A
+  // reduce that can never finish a shuffle must eventually FAIL — otherwise
+  // a high fetch-failure regime kills and relaunches reducers for free
+  // forever, and the run livelocks.
+  int& strikes = reduce_fetch_strikes_[{of.key.job, of.key.index}];
+  ++strikes;
+  if (config_.reduce_fetch_abort_limit > 0 &&
+      strikes >= config_.reduce_fetch_abort_limit) {
+    reduce_fetch_strikes_.erase({of.key.job, of.key.index});
+    fail_fetching_attempt(of.key);
+    return;
+  }
+  if (config_.fetch_failure_threshold > 0 &&
+      fs.failures >= config_.fetch_failure_threshold) {
+    // Hadoop's "too many fetch failures": the source's map outputs are
+    // declared lost for this job and the maps re-execute elsewhere.
+    declare_map_outputs_lost(of.key.job, of.src);
+    if (transfers_.contains(of.key)) kill_fetching_attempt(of.key);
+    return;
+  }
+  // Exponential backoff, then refetch the undelivered bytes from the same
+  // source (the fault may be transient, or the link may heal).
+  const int exponent = std::max(fs.failures - 1, 0);
+  const Seconds backoff =
+      std::min(config_.fetch_retry_backoff * std::pow(2.0, exponent),
+               config_.fetch_retry_backoff_max);
+  auto tit = transfers_.find(of.key);
+  EANT_ASSERT(tit != transfers_.end(), "fetch failure without transfer state");
+  ++tit->second.pending_retries;
+  const TransferKey key = of.key;
+  const cluster::MachineId src = of.src;
+  const double cap = of.cap_mbps;
+  const std::uint64_t gen = tit->second.generation;
+  sim_.schedule_after(backoff, [this, key, src, remaining_mb, cap, gen] {
+    retry_fetch(key, src, remaining_mb, cap, gen);
+  });
+}
+
+void JobTracker::retry_fetch(const TransferKey& key, cluster::MachineId src,
+                             Megabytes remaining_mb, double cap_mbps,
+                             std::uint64_t generation) {
+  auto it = transfers_.find(key);
+  if (it == transfers_.end()) return;  // attempt torn down while backing off
+  if (it->second.generation != generation) return;  // successor attempt
+  --it->second.pending_retries;
+  if (trackers_[src]->alive() && remaining_mb > 0.0) {
+    start_owned_flow(key, src, key.machine, remaining_mb, cap_mbps,
+                     net::TransferClass::kShuffle);
+    return;
+  }
+  // The source died while we backed off — its outputs were reclaimed through
+  // the node-loss path, so this fetch just drains.
+  if (it->second.flows.empty() && it->second.pending_retries == 0) {
+    const PendingTransfer pt = it->second;
+    transfers_.erase(it);
+    begin_compute_for(key, pt);
+  }
+}
+
+void JobTracker::declare_map_outputs_lost(JobId job, cluster::MachineId source) {
+  fetch_state_.erase({job, source});
+  JobState& js = job_mutable(job);
+  if (js.failed() || js.complete()) return;
+  TrackerState& ts = tracker_states_[source];
+  // Every completed map output this job keeps on the source is obsolete:
+  // revert the maps so they re-execute on reachable machines.
+  std::vector<std::pair<JobId, TaskIndex>> victims;
+  for (auto& [key, r] : ts.map_outputs) {
+    if (key.first != job) continue;
+    if (js.status(TaskKind::kMap, key.second) != TaskStatus::kDone) continue;
+    js.revert_done_map(key.second, r.duration(),
+                       namenode_.locations(r.spec.block), source);
+    if (auditor_) {
+      auditor_->on_task_transition(job, true, key.second,
+                                   audit::TaskEvent::kRevertDone, source);
+    }
+    ++fetch_reexecuted_maps_;
+    report_waste(r, WasteReason::kFetchFailed);
+    victims.push_back(key);
+  }
+  for (const auto& k : victims) ts.map_outputs.erase(k);
+
+  // Reduces still fetching from the declared-lost source are pulling stale
+  // data; kill those attempts (KILLED) so they re-shuffle once the maps land
+  // again.
+  std::set<TransferKey> stale;
+  for (const auto& [fid, owned] : flow_owner_) {
+    if (owned.key.job == job && owned.key.kind == TaskKind::kReduce &&
+        owned.src == source) {
+      stale.insert(owned.key);
+    }
+  }
+  for (const TransferKey& key : stale) kill_fetching_attempt(key);
+}
+
+void JobTracker::kill_fetching_attempt(const TransferKey& key) {
+  JobState& js = job_mutable(key.job);
+  // cancel_task tears the attempt down without a completion report; its
+  // abort callback drains any remaining fetch flows.
+  trackers_[key.machine]->cancel_task(key.job, key.kind, key.index);
+  abort_transfers(key);
+  ++killed_attempts_;
+  if (js.failed() || js.complete()) return;
+  if (js.status(key.kind, key.index) != TaskStatus::kRunning) return;
+  js.clear_speculative(key.kind, key.index);
+  if (!running_elsewhere(key.job, key.kind, key.index)) {
+    js.unclaim(key.kind, key.index, key.machine);
+  }
+}
+
+void JobTracker::fail_fetching_attempt(const TransferKey& key) {
+  // The reducer gives up: tear down what is left of the shuffle, then let
+  // the attempt FAIL through the normal completion path so it burns budget
+  // (four hopeless shuffles end the job loudly instead of livelocking).
+  abort_transfers(key);
+  ++fetch_aborted_attempts_;
+  TaskTracker& t = *trackers_[key.machine];
+  EANT_ASSERT(t.alive() && t.is_running(key.job, key.kind, key.index),
+              "fetch-aborting an attempt that is no longer running");
+  const Seconds duration = config_.heartbeat_interval;
+  t.begin_compute(key.job, key.kind, key.index, duration, 0.5 * duration);
+}
+
 void JobTracker::begin_compute_for(const TransferKey& key,
                                    const PendingTransfer& pt) {
+  if (key.kind == TaskKind::kReduce) {
+    // The shuffle landed: the task made real progress, so its fetch-failure
+    // strikes no longer indicate a hopeless reduce.
+    reduce_fetch_strikes_.erase({key.job, key.index});
+  }
   TaskTracker& t = *trackers_[key.machine];
   EANT_ASSERT(t.alive() && t.is_running(key.job, key.kind, key.index),
               "transfer finished for an attempt that is no longer running");
@@ -375,6 +624,8 @@ std::optional<cluster::MachineId> JobTracker::pick_replica_source(
   std::optional<cluster::MachineId> elsewhere;
   for (cluster::MachineId n : namenode_.locations(block)) {
     if (n == dst || !trackers_[n]->alive()) continue;
+    // A replica behind a downed link or a partitioned rack is no source.
+    if (fabric_ != nullptr && !fabric_->reachable(n, dst)) continue;
     if (namenode_.rack_of(n) == namenode_.rack_of(dst)) {
       if (!same_rack) same_rack = n;
     } else if (!elsewhere) {
@@ -390,14 +641,26 @@ void JobTracker::handle_network_casualties(cluster::MachineId dead) {
   // what remains touching the node is (a) flows it was *serving* to others
   // and (b) unowned replication-pipeline flows.  (a) restarts from another
   // holder of the data; (b) just dies.
+  bool rerep_requeued = false;
   for (net::FlowId f : fabric_->flows_touching(dead)) {
     if (!fabric_->active(f)) continue;
+    // An in-flight re-replication stream touching the dead node restarts
+    // from/to surviving endpoints via the NameNode's queue.
+    if (const auto rit = rerep_flows_.find(f); rit != rerep_flows_.end()) {
+      const hdfs::BlockId block = rit->second;
+      rerep_flows_.erase(rit);
+      if (rerep_active_ > 0) --rerep_active_;
+      fabric_->abort_flow(f);
+      namenode_.requeue_rereplication(block);
+      rerep_requeued = true;
+      continue;
+    }
     const auto own = flow_owner_.find(f);
     if (own == flow_owner_.end()) {
       fabric_->abort_flow(f);
       continue;
     }
-    const TransferKey key = own->second;
+    const TransferKey key = own->second.key;
     const cluster::MachineId dst = fabric_->flow_dst(f);
     const Megabytes remaining = fabric_->flow_remaining_mb(f);
     const double cap = fabric_->flow_cap_mbps(f);
@@ -430,12 +693,97 @@ void JobTracker::handle_network_casualties(cluster::MachineId dead) {
     if (remaining > 0.0 && source.has_value()) {
       ++retransferred_flows_;
       start_owned_flow(key, *source, dst, remaining, cap, cls);
-    } else if (tit->second.flows.empty()) {
+    } else if (tit->second.flows.empty() &&
+               tit->second.pending_retries == 0) {
       // No surviving source (or nothing left to move): the fetch set just
       // drained, so the attempt proceeds to compute with what it has.
       const PendingTransfer pt = tit->second;
       transfers_.erase(tit);
       begin_compute_for(key, pt);
+    }
+  }
+  if (rerep_requeued) pump_rereplication();
+}
+
+void JobTracker::handle_datanode_loss(cluster::MachineId machine) {
+  const std::size_t lost_before = namenode_.lost_blocks().size();
+  namenode_.mark_datanode_dead(machine);
+  const auto& lost = namenode_.lost_blocks();
+  for (std::size_t i = lost_before; i < lost.size(); ++i) {
+    ++data_loss_events_;
+    if (auditor_) auditor_->record(audit::Record::kDataLoss, lost[i]);
+  }
+  pump_rereplication();
+}
+
+void JobTracker::pump_rereplication() {
+  while (rerep_active_ < config_.max_replication_streams) {
+    const auto work = namenode_.next_rereplication();
+    if (!work) return;
+    // Both endpoints must be serving right now; otherwise the block waits
+    // for the next trigger (a rejoin, a finished stream, a node loss sweep).
+    if (!trackers_[work->source]->alive() ||
+        !trackers_[work->target]->alive()) {
+      namenode_.requeue_rereplication(work->block);
+      return;
+    }
+    const hdfs::BlockId block = work->block;
+    const cluster::MachineId target = work->target;
+    const Megabytes mb = namenode_.block_size(block);
+    if (auditor_) {
+      auditor_->record(audit::Record::kReplicaChange,
+                       (static_cast<std::uint64_t>(block) << 32) ^
+                           static_cast<std::uint64_t>(target));
+    }
+    ++rerep_active_;
+    if (fabric_ != nullptr) {
+      const net::FlowId fid = fabric_->start_flow(
+          work->source, target, mb, config_.rereplication_mbps,
+          net::TransferClass::kReplication,
+          [this, block, target, mb](net::FlowId f) {
+            finish_rereplication(f, block, target, mb);
+          },
+          [this](net::FlowId f, Megabytes remaining) {
+            on_flow_failed(f, remaining);
+          });
+      rerep_flows_[fid] = block;
+    } else {
+      // Legacy scalar model: the copy just takes size / rate seconds.
+      sim_.schedule_after(mb / config_.rereplication_mbps,
+                          [this, block, target, mb] {
+                            finish_rereplication(0, block, target, mb);
+                          });
+    }
+  }
+}
+
+void JobTracker::finish_rereplication(net::FlowId id, hdfs::BlockId block,
+                                      cluster::MachineId target,
+                                      Megabytes mb) {
+  rerep_flows_.erase(id);
+  if (rerep_active_ > 0) --rerep_active_;
+  // The target may have been declared dead while the copy was in flight;
+  // add_replica then re-queues the block instead of registering the copy.
+  namenode_.add_replica(block, target);
+  if (namenode_.is_local(block, target)) {
+    ++rereplicated_blocks_;
+    rereplication_mb_ += mb;
+  }
+  pump_rereplication();
+}
+
+void JobTracker::decay_blacklist_counters() {
+  if (config_.blacklist_decay_window <= 0.0) return;
+  const Seconds now = sim_.now();
+  if (now - last_fault_decay_ < config_.blacklist_decay_window) return;
+  last_fault_decay_ = now;
+  for (cluster::MachineId m = 0; m < tracker_states_.size(); ++m) {
+    TrackerState& ts = tracker_states_[m];
+    if (ts.failures > 0) ts.failures /= 2;
+    if (ts.blacklisted && ts.failures < config_.blacklist_threshold) {
+      // The decayed record no longer justifies the blacklist: forgive early.
+      ts.blacklisted = false;
+      if (trackers_[m]->alive() && !ts.lost) scheduler_.on_tracker_rejoined(m);
     }
   }
 }
@@ -700,6 +1048,7 @@ void JobTracker::handle_task_failure(TaskReport report) {
     scheduler_.on_tracker_lost(m);
     sim_.schedule_after(config_.blacklist_duration, [this, m] {
       TrackerState& s = tracker_states_[m];
+      if (!s.blacklisted) return;  // counter decay already forgave it
       s.blacklisted = false;
       s.failures = 0;
       if (trackers_[m]->alive() && !s.lost) scheduler_.on_tracker_rejoined(m);
@@ -734,14 +1083,21 @@ void JobTracker::check_tracker_expiry() {
     if (ts.lost) continue;
     if (now - ts.last_heartbeat <= config_.tracker_expiry_window) continue;
     ts.lost = true;
-    reclaim_lost_work(m);
+    // Expiry declares the whole node gone — datanode included: its replicas
+    // drop and under-replicated blocks queue for recovery.  (A fast restart
+    // never reaches here and keeps its disk.)
+    reclaim_lost_work(m, /*datanode_lost=*/true);
     scheduler_.on_tracker_lost(m);
   }
 }
 
-void JobTracker::reclaim_lost_work(cluster::MachineId machine) {
+void JobTracker::reclaim_lost_work(cluster::MachineId machine,
+                                   bool datanode_lost) {
   TrackerState& ts = tracker_states_[machine];
   ts.crash_pending = false;
+  // Drop the dead datanode's replicas BEFORE reverting its maps, so the
+  // re-seeded locality indices already exclude it.
+  if (datanode_lost) handle_datanode_loss(machine);
   RecoveryRecord rec;
   rec.start = sim_.now();
 
@@ -794,6 +1150,10 @@ void JobTracker::note_recovered(JobId job, TaskKind kind, TaskIndex index) {
 }
 
 void JobTracker::drop_job_bookkeeping(JobId job) {
+  std::erase_if(fetch_state_,
+                [job](const auto& kv) { return kv.first.first == job; });
+  std::erase_if(reduce_fetch_strikes_,
+                [job](const auto& kv) { return kv.first.first == job; });
   for (auto& ts : tracker_states_) {
     std::erase_if(ts.map_outputs,
                   [job](const auto& kv) { return kv.first.first == job; });

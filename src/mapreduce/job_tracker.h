@@ -113,6 +113,46 @@ struct JobTrackerConfig {
   /// How long a blacklisted tracker sits out before its failure count is
   /// forgiven.
   Seconds blacklist_duration = 3600.0;
+
+  /// Every this many seconds each tracker's attempt-failure counter halves
+  /// (Hadoop-style fault forgiveness); a blacklisted tracker whose decayed
+  /// count drops below the threshold re-earns work without waiting out the
+  /// full blacklist_duration.  0 disables decay (pre-decay behaviour:
+  /// blacklisting is permanent until the duration lapses).
+  Seconds blacklist_decay_window = 600.0;
+
+  // --- degraded-mode fault tolerance ------------------------------------------
+
+  /// After this many failed fetches of one source's map outputs (per job)
+  /// the JobTracker declares those outputs lost and re-executes the maps —
+  /// Hadoop's fetch-failure mechanism (TaskCompletionEvent OBSOLETE).
+  /// 0 disables (failed fetches then retry forever).
+  int fetch_failure_threshold = 3;
+
+  /// Base delay before a failed fetch is retried; doubles per consecutive
+  /// failure from the same source (exponential backoff), capped at
+  /// fetch_retry_backoff_max.
+  Seconds fetch_retry_backoff = 10.0;
+  Seconds fetch_retry_backoff_max = 160.0;
+
+  /// A reduce task that accumulates this many failed fetches without ever
+  /// completing a shuffle FAILS its attempt (burning budget) instead of
+  /// being killed and relaunched for free — Hadoop's shuffle-retry suicide.
+  /// Without it a pathological fetch-failure regime livelocks: attempts are
+  /// KILLED (free) and re-shuffled forever while map outputs thrash between
+  /// declared-lost and re-executed.  The strike counter survives kills and
+  /// relaunches of the same reduce and resets only when a shuffle lands or
+  /// an attempt is charged, so four hopeless shuffles end the job loudly.
+  /// 0 disables the limit.
+  int reduce_fetch_abort_limit = 12;
+
+  /// Concurrent block re-replication streams the NameNode may keep in
+  /// flight (Hadoop's dfs.max-repl-streams analogue).
+  int max_replication_streams = 4;
+
+  /// Per-flow rate cap of block re-replication traffic (same scale as the
+  /// other application-level caps).
+  double rereplication_mbps = 40.0;
 };
 
 /// Why a piece of completed-or-partial work was thrown away — tags the
@@ -122,6 +162,7 @@ enum class WasteReason {
   kAttemptFailed,  ///< transient task failure
   kLostMapOutput,  ///< completed map re-run because its output died with a node
   kJobFailed,      ///< attempts killed when their job ran out of retries
+  kFetchFailed,    ///< completed map re-run because its output was unreachable
 };
 
 /// Master node: job admission, heartbeat-driven assignment, lifecycle.
@@ -240,6 +281,34 @@ class JobTracker {
   /// Completed maps re-executed because their output died with a node.
   std::size_t lost_map_outputs() const { return lost_map_outputs_; }
 
+  // --- degraded-mode queries --------------------------------------------------
+
+  /// Shuffle fetches that failed mid-flight (link fault, partition, or
+  /// injected transient fetch error).
+  std::size_t fetch_failures() const { return fetch_failures_; }
+
+  /// Completed maps re-executed via the fetch-failure mechanism (their
+  /// output was unreachable fetch_failure_threshold times).
+  std::size_t fetch_reexecuted_maps() const { return fetch_reexecuted_maps_; }
+
+  /// Reduce attempts that FAILED after exhausting their per-attempt fetch
+  /// budget (reduce_fetch_abort_limit) — the escape hatch that turns a
+  /// hopeless shuffle into a loud job failure instead of a livelock.
+  std::size_t fetch_aborted_attempts() const { return fetch_aborted_attempts_; }
+
+  /// Blocks restored to full replication after a datanode loss.
+  std::size_t rereplicated_blocks() const { return rereplicated_blocks_; }
+
+  /// Bytes moved by re-replication traffic.
+  Megabytes rereplication_mb() const { return rereplication_mb_; }
+
+  /// Blocks whose last replica died (each one recorded, never silent).
+  std::size_t data_loss_events() const { return data_loss_events_; }
+
+  /// Re-replication streams currently in flight (experiments drain this to
+  /// zero before reading HDFS invariants).
+  int rereplication_active() const { return rerep_active_; }
+
   /// Task-seconds of work thrown away (killed, failed and re-run attempts).
   double wasted_task_seconds() const { return wasted_task_seconds_; }
 
@@ -278,6 +347,14 @@ class JobTracker {
   /// Invoked for every piece of wasted work, tagged with why it was wasted.
   void set_waste_listener(std::function<void(const TaskReport&, WasteReason)> fn) {
     waste_listener_ = std::move(fn);
+  }
+
+  /// Consulted once per shuffle-fetch flow launch; returning a value in
+  /// (0, 1) makes the fetch fail after that fraction of its solo transfer
+  /// time (the FaultInjector plugs its fetch-failure draw in here).
+  void set_fetch_fault_hook(
+      std::function<std::optional<double>(JobId, cluster::MachineId)> fn) {
+    fetch_fault_hook_ = std::move(fn);
   }
 
   /// Attaches (or, with nullptr, detaches) the invariant auditor.  The
@@ -324,6 +401,28 @@ class JobTracker {
     std::set<net::FlowId> flows;      ///< outstanding fetches
     Seconds compute_duration = 0.0;   ///< starts when the last flow lands
     Seconds fail_after = 0.0;
+    /// Failed fetches awaiting their backoff retry; compute starts only when
+    /// both the flow set AND this counter are empty.
+    int pending_retries = 0;
+    /// Distinguishes this attempt's transfer from a successor under the same
+    /// key (kill -> relaunch on the same machine): backoff retries carry the
+    /// generation they were scheduled against and no-op on a successor.
+    std::uint64_t generation = 0;
+  };
+
+  /// Everything needed to react to a flow's fate: which attempt it feeds,
+  /// where it came from, and how to restart it elsewhere.
+  struct OwnedFlow {
+    TransferKey key;
+    cluster::MachineId src = 0;
+    net::TransferClass cls = net::TransferClass::kShuffle;
+    double cap_mbps = 0.0;
+  };
+
+  /// Fetch-failure bookkeeping per (job, map-output source): Hadoop's
+  /// per-source failed-fetch counter behind the threshold mechanism.
+  struct FetchState {
+    int failures = 0;
   };
 
   JobState& job_mutable(JobId id);
@@ -343,15 +442,28 @@ class JobTracker {
                         cluster::MachineId dst, Megabytes mb, double cap_mbps,
                         net::TransferClass cls);
   void on_flow_complete(net::FlowId id, const TransferKey& key);
+  void on_flow_failed(net::FlowId id, Megabytes remaining_mb);
   void begin_compute_for(const TransferKey& key, const PendingTransfer& pt);
   void abort_transfers(const TransferKey& key);
   void handle_network_casualties(cluster::MachineId dead);
   void start_replication_flows(const JobState& js, const TaskReport& report);
   std::optional<cluster::MachineId> pick_replica_source(
       hdfs::BlockId block, cluster::MachineId dst) const;
+  void handle_fetch_failure(const OwnedFlow& of, Megabytes remaining_mb);
+  void retry_fetch(const TransferKey& key, cluster::MachineId src,
+                   Megabytes remaining_mb, double cap_mbps,
+                   std::uint64_t generation);
+  void declare_map_outputs_lost(JobId job, cluster::MachineId source);
+  void kill_fetching_attempt(const TransferKey& key);
+  void fail_fetching_attempt(const TransferKey& key);
+  void handle_datanode_loss(cluster::MachineId machine);
+  void pump_rereplication();
+  void finish_rereplication(net::FlowId id, hdfs::BlockId block,
+                            cluster::MachineId target, Megabytes mb);
+  void decay_blacklist_counters();
   void note_legacy_network();
   void check_tracker_expiry();
-  void reclaim_lost_work(cluster::MachineId machine);
+  void reclaim_lost_work(cluster::MachineId machine, bool datanode_lost);
   void fail_job(JobState& js);
   void report_waste(const TaskReport& report, WasteReason reason);
   void note_recovered(JobId job, TaskKind kind, TaskIndex index);
@@ -368,9 +480,28 @@ class JobTracker {
   audit::InvariantAuditor* auditor_ = nullptr;
 
   std::map<TransferKey, PendingTransfer> transfers_;
-  std::map<net::FlowId, TransferKey> flow_owner_;
+  std::map<net::FlowId, OwnedFlow> flow_owner_;
+  std::uint64_t transfer_generation_ = 0;
   bool legacy_network_noted_ = false;
   std::size_t retransferred_flows_ = 0;
+
+  // --- degraded-mode state ----------------------------------------------------
+
+  std::map<std::pair<JobId, cluster::MachineId>, FetchState> fetch_state_;
+  /// Fetch-failure strikes per reduce task (not per attempt: kills reset an
+  /// attempt, the strikes persist until a shuffle completes or the task
+  /// FAILS and is charged).
+  std::map<std::pair<JobId, TaskIndex>, int> reduce_fetch_strikes_;
+  /// In-flight re-replication flows: flow id -> the block being copied.
+  std::map<net::FlowId, hdfs::BlockId> rerep_flows_;
+  int rerep_active_ = 0;
+  std::size_t fetch_failures_ = 0;
+  std::size_t fetch_reexecuted_maps_ = 0;
+  std::size_t fetch_aborted_attempts_ = 0;
+  std::size_t rereplicated_blocks_ = 0;
+  Megabytes rereplication_mb_ = 0.0;
+  std::size_t data_loss_events_ = 0;
+  Seconds last_fault_decay_ = 0.0;
 
   std::vector<std::unique_ptr<TaskTracker>> trackers_;
   std::vector<std::unique_ptr<JobState>> jobs_;
@@ -394,6 +525,8 @@ class JobTracker {
   std::function<std::optional<double>(const TaskSpec&, cluster::MachineId)>
       attempt_fault_hook_;
   std::function<void(const TaskReport&, WasteReason)> waste_listener_;
+  std::function<std::optional<double>(JobId, cluster::MachineId)>
+      fetch_fault_hook_;
 };
 
 }  // namespace eant::mr

@@ -53,6 +53,15 @@ class Scheduler {
     (void)machine;
   }
 
+  /// A reduce-side shuffle fetch of `source`'s map output failed (link
+  /// fault, rack partition or transient error) — the machine is alive but
+  /// its data is unreachable.  Schedulers with per-machine state can steer
+  /// new work away from the degraded path.
+  virtual void on_fetch_failed(JobId job, cluster::MachineId source) {
+    (void)job;
+    (void)source;
+  }
+
   /// Chooses the job that should occupy one free `kind` slot on `machine`,
   /// or nothing to leave the slot idle this heartbeat.  Only jobs with a
   /// pending task of `kind` are valid choices.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/fp.h"
 
 namespace eant::net {
 namespace {
@@ -32,6 +33,7 @@ Fabric::Fabric(sim::Simulator& sim, Topology topology)
     : sim_(sim), topo_(std::move(topology)) {
   link_load_.resize(topo_.num_links());
   link_active_.resize(topo_.num_links());
+  link_factor_.assign(topo_.num_links(), 1.0);
 }
 
 Fabric::~Fabric() {
@@ -41,7 +43,8 @@ Fabric::~Fabric() {
 
 FlowId Fabric::start_flow(NodeId src, NodeId dst, Megabytes mb, double cap_mbps,
                           TransferClass cls,
-                          std::function<void(FlowId)> on_complete) {
+                          std::function<void(FlowId)> on_complete,
+                          FailureHandler on_failed) {
   EANT_CHECK(src != dst, "loopback transfers do not enter the fabric");
   EANT_CHECK(mb > 0.0, "flow size must be positive");
   EANT_CHECK(cap_mbps > 0.0 && std::isfinite(cap_mbps),
@@ -57,15 +60,16 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Megabytes mb, double cap_mbps,
   flow.started = sim_.now();
   flow.cls = cls;
   flow.on_complete = std::move(on_complete);
+  flow.on_failed = std::move(on_failed);
 
-  // Only finite links can ever bind, so drop the unlimited ones up front.
-  std::vector<LinkId> full_path;
-  topo_.append_path(src, dst, full_path);
+  // Keep the full path: a link that is unlimited today can be degraded or
+  // killed by a fault tomorrow, so in-flight flows must remember every link
+  // they cross.  Links that cannot bind are skipped inside reallocate().
+  topo_.append_path(src, dst, flow.path);
   flow.solo_mbps = cap_mbps;
-  for (LinkId link : full_path) {
-    if (!topo_.is_finite(link)) continue;
-    flow.path.push_back(link);
-    flow.solo_mbps = std::min(flow.solo_mbps, topo_.capacity_mbps(link));
+  for (LinkId link : flow.path) {
+    const double eff = effective_capacity_mbps(link);
+    if (std::isfinite(eff)) flow.solo_mbps = std::min(flow.solo_mbps, eff);
   }
 
   const FlowId id = next_id_++;
@@ -81,9 +85,91 @@ void Fabric::abort_flow(FlowId id) {
   advance_all();  // credit the bytes that did arrive before the abort
   sim_.cancel(it->second.completion_event);
   ++aborted_;
+  const Megabytes requested = it->second.total;
+  const Megabytes delivered = it->second.sent;
   flows_.erase(it);
-  if (observer_) observer_->on_flow_aborted(id);
+  if (observer_) observer_->on_flow_aborted(id, requested, delivered);
   reallocate();
+}
+
+void Fabric::fail_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_all();  // credit the bytes that did arrive before the fault hit
+  sim_.cancel(it->second.completion_event);
+  ++failed_;
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  if (observer_) observer_->on_flow_aborted(id, flow.total, flow.sent);
+  reallocate();
+  if (flow.on_failed)
+    flow.on_failed(id, std::max(0.0, flow.total - flow.sent));
+}
+
+// --- degraded link state -----------------------------------------------------
+
+bool Fabric::link_down(LinkId link) const { return link_factor_[link] <= 0.0; }
+
+bool Fabric::binds(LinkId link) const {
+  // A dead link binds (at zero); an unlimited healthy/degraded one never does.
+  return std::isfinite(effective_capacity_mbps(link));
+}
+
+double Fabric::effective_capacity_mbps(LinkId link) const {
+  const double factor = link_factor_[link];
+  if (factor <= 0.0) return 0.0;
+  return topo_.capacity_mbps(link) * factor;
+}
+
+void Fabric::set_link_factor(LinkId link, double factor) {
+  EANT_CHECK(link < link_factor_.size(), "unknown link");
+  EANT_CHECK(factor >= 0.0 && factor <= 1.0,
+             "link capacity factor must lie in [0, 1]");
+  if (approx_equal(factor, link_factor_[link])) return;
+  advance_all();  // bytes moved at the old rates up to this instant
+  link_factor_[link] = factor;
+  if (observer_) observer_->on_link_state(link, factor);
+  reallocate();  // re-rates survivors; stranded flows get fail events at now
+}
+
+void Fabric::set_node_link_factor(NodeId node, double factor) {
+  set_link_factor(topo_.node_tx(node), factor);
+  set_link_factor(topo_.node_rx(node), factor);
+}
+
+void Fabric::set_trunk_factor(std::size_t rack, double factor) {
+  set_link_factor(topo_.rack_up(rack), factor);
+  set_link_factor(topo_.rack_down(rack), factor);
+}
+
+double Fabric::link_factor(LinkId link) const {
+  EANT_CHECK(link < link_factor_.size(), "unknown link");
+  return link_factor_[link];
+}
+
+double Fabric::node_link_factor(NodeId node) const {
+  return std::min(link_factor(topo_.node_tx(node)),
+                  link_factor(topo_.node_rx(node)));
+}
+
+double Fabric::trunk_factor(std::size_t rack) const {
+  return std::min(link_factor(topo_.rack_up(rack)),
+                  link_factor(topo_.rack_down(rack)));
+}
+
+bool Fabric::degraded() const {
+  for (const double factor : link_factor_)
+    if (factor < 1.0) return true;
+  return false;
+}
+
+bool Fabric::reachable(NodeId src, NodeId dst) const {
+  if (src == dst) return true;
+  std::vector<LinkId> path;
+  topo_.append_path(src, dst, path);
+  for (LinkId link : path)
+    if (link_down(link)) return false;
+  return true;
 }
 
 NodeId Fabric::flow_src(FlowId id) const { return flows_.at(id).src; }
@@ -115,6 +201,7 @@ FabricMetrics Fabric::metrics() const {
   m.replication_mb = class_mb_[static_cast<int>(TransferClass::kReplication)];
   m.flows_completed = completed_;
   m.flows_aborted = aborted_;
+  m.flows_failed = failed_;
   m.mean_flow_slowdown =
       completed_ == 0 ? 1.0 : slowdown_sum_ / static_cast<double>(completed_);
   m.peak_link_utilization = peak_utilization_;
@@ -159,8 +246,8 @@ void Fabric::reallocate() {
       ++i;
     }
     for (LinkId link = 0; link < link_load_.size(); ++link) {
-      if (link_active_[link] == 0 || !topo_.is_finite(link)) continue;
-      const double residual = topo_.capacity_mbps(link) - link_load_[link];
+      if (link_active_[link] == 0 || !binds(link)) continue;
+      const double residual = effective_capacity_mbps(link) - link_load_[link];
       inc = std::min(inc,
                      residual / static_cast<double>(link_active_[link]));
     }
@@ -181,7 +268,8 @@ void Fabric::reallocate() {
       if (!frozen[i]) {
         bool stop = flow.rate_mbps >= flow.cap_mbps - kRateTol;
         for (LinkId link : flow.path) {
-          if (link_load_[link] >= topo_.capacity_mbps(link) - kRateTol)
+          if (binds(link) &&
+              link_load_[link] >= effective_capacity_mbps(link) - kRateTol)
             stop = true;
         }
         if (stop) {
@@ -194,22 +282,29 @@ void Fabric::reallocate() {
     }
   }
 
-  // Peak utilisation over finite links, observed at reallocation instants
+  // Peak utilisation over binding links, observed at reallocation instants
   // (rates are constant between instants, so this is the true peak).
   for (LinkId link = 0; link < link_load_.size(); ++link) {
-    if (!topo_.is_finite(link) || link_load_[link] <= 0.0) continue;
+    if (!binds(link) || link_down(link) || link_load_[link] <= 0.0) continue;
     peak_utilization_ = std::max(
         peak_utilization_,
-        std::min(1.0, link_load_[link] / topo_.capacity_mbps(link)));
+        std::min(1.0, link_load_[link] / effective_capacity_mbps(link)));
   }
 
-  // Reschedule every completion at the new rates.
+  // Reschedule every completion at the new rates.  A flow stranded on a
+  // down link holds rate 0 and will never deliver another byte; it gets a
+  // fail event at `now` instead of a completion in the infinite future.
   for (auto& [id, flow] : flows_) {
     sim_.cancel(flow.completion_event);
     const Megabytes remaining = std::max(0.0, flow.total - flow.sent);
+    const FlowId flow_id = id;
+    if (remaining > 0.0 && flow.rate_mbps <= kRateTol) {
+      flow.completion_event =
+          sim_.schedule_after(0.0, [this, flow_id] { fail_flow(flow_id); });
+      continue;
+    }
     const Seconds dt =
         std::isinf(flow.rate_mbps) ? 0.0 : remaining / flow.rate_mbps;
-    const FlowId flow_id = id;
     flow.completion_event =
         sim_.schedule_after(dt, [this, flow_id] { finish_flow(flow_id); });
   }

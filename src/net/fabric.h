@@ -50,7 +50,16 @@ class FabricObserver {
   /// event fired (before the fabric tops up the float residue).
   virtual void on_flow_finished(FlowId id, Megabytes requested_mb,
                                 Megabytes delivered_mb) = 0;
-  virtual void on_flow_aborted(FlowId id) = 0;
+  /// Fires for both voluntary aborts and fault-driven kills; `delivered_mb`
+  /// is the bytes that arrived before teardown (they stay in the per-class
+  /// byte accounting — partial transfers are real traffic).
+  virtual void on_flow_aborted(FlowId id, Megabytes requested_mb,
+                               Megabytes delivered_mb) = 0;
+  /// A link's capacity factor changed (fault, degradation or repair).
+  virtual void on_link_state(LinkId link, double factor) {
+    (void)link;
+    (void)factor;
+  }
 };
 
 /// Aggregate counters, snapshot via Fabric::metrics().
@@ -60,6 +69,9 @@ struct FabricMetrics {
   Megabytes replication_mb = 0.0;
   std::size_t flows_completed = 0;
   std::size_t flows_aborted = 0;
+  /// Flows killed by a network fault (dead link on the path or an injected
+  /// fetch failure); disjoint from flows_aborted.
+  std::size_t flows_failed = 0;
   /// Mean over completed flows of actual duration / solo duration, where the
   /// solo duration assumes the flow had every link to itself (>= 1).
   double mean_flow_slowdown = 1.0;
@@ -81,17 +93,60 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
   ~Fabric();
 
+  /// Handler for fault-driven flow death; receives the flow id and the bytes
+  /// that never arrived.  Unlike on_complete it fires from fail_flow (either
+  /// an explicit fault injection or a dead link stranding the flow), so the
+  /// owner can retry, fail over or give up.
+  using FailureHandler = std::function<void(FlowId, Megabytes remaining_mb)>;
+
   /// Starts a flow of `mb` megabytes from src to dst, rate-capped at
   /// `cap_mbps` MB/s.  `on_complete` fires (with the flow's id) once the last
   /// byte arrives; it may start further flows.  src must differ from dst and
   /// mb must be positive — loopback "transfers" are free and should not
-  /// enter the fabric.
+  /// enter the fabric.  `on_failed`, if set, fires instead of `on_complete`
+  /// when the flow is killed by a network fault.
   FlowId start_flow(NodeId src, NodeId dst, Megabytes mb, double cap_mbps,
-                    TransferClass cls, std::function<void(FlowId)> on_complete);
+                    TransferClass cls, std::function<void(FlowId)> on_complete,
+                    FailureHandler on_failed = nullptr);
 
   /// Kills an in-flight flow without firing its callback; a no-op if the
   /// flow already completed or was aborted.
   void abort_flow(FlowId id);
+
+  /// Kills an in-flight flow *as a network fault*: the observer sees an
+  /// abort, flows_failed increments, and the flow's failure handler (if any)
+  /// fires with the undelivered bytes.  A no-op for unknown ids.  Called
+  /// internally when a dead link strands a flow, and externally by the
+  /// fetch-failure injection path.
+  void fail_flow(FlowId id);
+
+  // --- degraded link state ---------------------------------------------------
+  // Each directed link carries a capacity factor: 1 = healthy, (0, 1) =
+  // degraded (partial capacity), 0 = down.  Changing a factor re-rates every
+  // flow event-deterministically; flows whose path crosses a down link are
+  // failed (they can make no progress).  Note an unlimited link stays
+  // unlimited under any positive factor — only 0 can take it down.
+
+  /// Sets one directed link's capacity factor (in [0, 1]).
+  void set_link_factor(LinkId link, double factor);
+  /// Sets the factor of a node's access links (tx and rx together).
+  void set_node_link_factor(NodeId node, double factor);
+  /// Sets the factor of a rack's trunk links (up and down together);
+  /// factor 0 partitions the rack from the rest of the fabric.
+  void set_trunk_factor(std::size_t rack, double factor);
+
+  double link_factor(LinkId link) const;
+  /// min(tx factor, rx factor) for the node's access links.
+  double node_link_factor(NodeId node) const;
+  /// min(up factor, down factor) for the rack's trunk.
+  double trunk_factor(std::size_t rack) const;
+  /// Capacity after applying the factor; 0 when the link is down.
+  double effective_capacity_mbps(LinkId link) const;
+  /// True iff any link is currently degraded or down.
+  bool degraded() const;
+  /// True iff every link on the src->dst path is up (factor > 0).  Loopback
+  /// is always reachable.  The scheduler's degraded-state query.
+  bool reachable(NodeId src, NodeId dst) const;
 
   bool active(FlowId id) const { return flows_.contains(id); }
   std::size_t active_flows() const { return flows_.size(); }
@@ -120,7 +175,8 @@ class Fabric {
   struct Flow {
     NodeId src = 0;
     NodeId dst = 0;
-    std::vector<LinkId> path;       // finite links only
+    std::vector<LinkId> path;       // every link crossed (faults can make
+                                    // any of them binding later)
     Megabytes total = 0.0;
     Megabytes sent = 0.0;
     double cap_mbps = 0.0;
@@ -128,8 +184,9 @@ class Fabric {
     double solo_mbps = 0.0;         // rate on an idle network
     Seconds started = 0.0;
     TransferClass cls;
-    sim::EventId completion_event = 0;
+    sim::EventId completion_event = 0;  // completion or stranded-fail event
     std::function<void(FlowId)> on_complete;
+    FailureHandler on_failed;
   };
 
   /// Credits every flow with rate * elapsed bytes since the last call.
@@ -138,6 +195,9 @@ class Fabric {
   void reallocate();
   void finish_flow(FlowId id);
   void account_bytes(TransferClass cls, Megabytes mb);
+  /// True iff this link can constrain flow rates right now.
+  bool binds(LinkId link) const;
+  bool link_down(LinkId link) const;
 
   sim::Simulator& sim_;
   Topology topo_;
@@ -148,10 +208,14 @@ class Fabric {
   Seconds last_advance_ = 0.0;
   FabricObserver* observer_ = nullptr;
 
+  // per-link capacity factors; 1 everywhere on a healthy fabric
+  std::vector<double> link_factor_;
+
   // metrics accumulators
   Megabytes class_mb_[3] = {0.0, 0.0, 0.0};
   std::size_t completed_ = 0;
   std::size_t aborted_ = 0;
+  std::size_t failed_ = 0;
   double slowdown_sum_ = 0.0;
   double peak_utilization_ = 0.0;
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/fp.h"
 
 namespace eant::sim {
 
@@ -25,25 +26,89 @@ FaultPlan& FaultPlan::crash_for(std::size_t machine, Seconds t,
   return *this;
 }
 
+FaultPlan& FaultPlan::fail_link_for(std::size_t machine, Seconds t,
+                                    Seconds duration) {
+  return degrade_link_for(machine, t, duration, 0.0);
+}
+
+FaultPlan& FaultPlan::degrade_link_for(std::size_t machine, Seconds t,
+                                       Seconds duration, double factor) {
+  EANT_CHECK(duration > 0.0, "fault duration must be positive");
+  EANT_CHECK(factor >= 0.0 && factor < 1.0,
+             "a fault's capacity factor must lie in [0, 1)");
+  net_events.push_back(
+      NetFaultEvent{t, NetFaultEvent::Target::kNodeLink, machine, factor});
+  net_events.push_back(NetFaultEvent{t + duration,
+                                     NetFaultEvent::Target::kNodeLink, machine,
+                                     1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_rack(std::size_t rack, Seconds t,
+                                     Seconds duration) {
+  return degrade_trunk_for(rack, t, duration, 0.0);
+}
+
+FaultPlan& FaultPlan::degrade_trunk_for(std::size_t rack, Seconds t,
+                                        Seconds duration, double factor) {
+  EANT_CHECK(duration > 0.0, "fault duration must be positive");
+  EANT_CHECK(factor >= 0.0 && factor < 1.0,
+             "a fault's capacity factor must lie in [0, 1)");
+  net_events.push_back(
+      NetFaultEvent{t, NetFaultEvent::Target::kRackTrunk, rack, factor});
+  net_events.push_back(NetFaultEvent{t + duration,
+                                     NetFaultEvent::Target::kRackTrunk, rack,
+                                     1.0});
+  return *this;
+}
+
 FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
-                             std::size_t num_machines)
+                             std::size_t num_machines, std::size_t num_racks)
     : sim_(sim),
       plan_(std::move(plan)),
       task_rng_(rng.fork(0)),
-      up_(num_machines, true) {
+      fetch_rng_(rng.fork(2 * num_machines + 1)),
+      up_(num_machines, true),
+      crash_event_(num_machines, 0),
+      node_link_factor_(num_machines, 1.0),
+      trunk_factor_(num_racks, 1.0) {
   EANT_CHECK(num_machines >= 1, "fault injector needs machines");
+  EANT_CHECK(num_racks >= 1, "fault injector needs at least one rack");
   EANT_CHECK(plan_.mtbf >= 0.0 && plan_.mttr >= 0.0,
              "MTBF/MTTR must be non-negative");
+  EANT_CHECK(plan_.link_mtbf >= 0.0 && plan_.link_mttr >= 0.0,
+             "link MTBF/MTTR must be non-negative");
   EANT_CHECK(
       plan_.task_failure_prob >= 0.0 && plan_.task_failure_prob < 1.0,
       "task failure probability must be in [0, 1)");
+  EANT_CHECK(
+      plan_.fetch_failure_prob >= 0.0 && plan_.fetch_failure_prob < 1.0,
+      "fetch failure probability must be in [0, 1)");
+  EANT_CHECK(
+      plan_.link_fault_factor >= 0.0 && plan_.link_fault_factor < 1.0,
+      "link fault factor must be in [0, 1)");
   for (const auto& e : plan_.events) {
     EANT_CHECK(e.machine < num_machines, "fault plan names unknown machine");
     EANT_CHECK(e.time >= 0.0, "fault plan event in the past");
   }
+  for (const auto& e : plan_.net_events) {
+    if (e.target == NetFaultEvent::Target::kNodeLink) {
+      EANT_CHECK(e.index < num_machines,
+                 "net fault plan names unknown machine");
+    } else {
+      EANT_CHECK(e.index < num_racks, "net fault plan names unknown rack");
+    }
+    EANT_CHECK(e.time >= 0.0, "net fault plan event in the past");
+    EANT_CHECK(e.factor >= 0.0 && e.factor <= 1.0,
+               "net fault factor must lie in [0, 1]");
+  }
   machine_rng_.reserve(num_machines);
   for (std::size_t m = 0; m < num_machines; ++m) {
     machine_rng_.push_back(rng.fork(m + 1));
+  }
+  link_rng_.reserve(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    link_rng_.push_back(rng.fork(num_machines + 1 + m));
   }
 }
 
@@ -55,10 +120,17 @@ void FaultInjector::set_handlers(MachineHandler on_crash,
   on_recover_ = std::move(on_recover);
 }
 
+void FaultInjector::set_net_handler(NetHandler handler) {
+  EANT_CHECK(static_cast<bool>(handler), "net handler must be callable");
+  on_net_ = std::move(handler);
+}
+
 void FaultInjector::start() {
   EANT_CHECK(!started_, "fault injector already started");
   EANT_CHECK(static_cast<bool>(on_crash_),
              "set_handlers() must precede start()");
+  EANT_CHECK(!plan_.has_net_faults() || static_cast<bool>(on_net_),
+             "set_net_handler() must precede start() with network faults");
   started_ = true;
   for (const auto& e : plan_.events) {
     if (e.kind == FaultEvent::Kind::kCrash) {
@@ -67,9 +139,19 @@ void FaultInjector::start() {
       sim_.schedule_at(e.time, [this, m = e.machine] { recover(m); });
     }
   }
+  for (const auto& e : plan_.net_events) {
+    sim_.schedule_at(e.time, [this, e] {
+      apply_net(e.target, e.index, e.factor);
+    });
+  }
   if (plan_.mtbf > 0.0) {
     for (std::size_t m = 0; m < up_.size(); ++m) {
       schedule_stochastic_crash(m);
+    }
+  }
+  if (plan_.link_mtbf > 0.0) {
+    for (std::size_t m = 0; m < up_.size(); ++m) {
+      schedule_link_flap(m);
     }
   }
 }
@@ -77,6 +159,17 @@ void FaultInjector::start() {
 bool FaultInjector::is_up(std::size_t machine) const {
   EANT_CHECK(machine < up_.size(), "machine index out of range");
   return up_[machine];
+}
+
+double FaultInjector::node_link_factor(std::size_t machine) const {
+  EANT_CHECK(machine < node_link_factor_.size(),
+             "machine index out of range");
+  return node_link_factor_[machine];
+}
+
+double FaultInjector::trunk_factor(std::size_t rack) const {
+  EANT_CHECK(rack < trunk_factor_.size(), "rack index out of range");
+  return trunk_factor_[rack];
 }
 
 std::optional<double> FaultInjector::draw_attempt_failure() {
@@ -88,14 +181,31 @@ std::optional<double> FaultInjector::draw_attempt_failure() {
   return task_rng_.uniform(0.05, 0.95);
 }
 
+std::optional<double> FaultInjector::draw_fetch_failure() {
+  if (plan_.fetch_failure_prob <= 0.0) return std::nullopt;
+  if (!fetch_rng_.bernoulli(plan_.fetch_failure_prob)) return std::nullopt;
+  return fetch_rng_.uniform(0.05, 0.95);
+}
+
 std::size_t FaultInjector::crashes() const {
   return static_cast<std::size_t>(
       std::count_if(log_.begin(), log_.end(),
                     [](const Transition& t) { return !t.up; }));
 }
 
+std::size_t FaultInjector::link_faults() const {
+  return static_cast<std::size_t>(
+      std::count_if(net_log_.begin(), net_log_.end(),
+                    [](const NetTransition& t) { return t.factor < 1.0; }));
+}
+
 void FaultInjector::crash(std::size_t machine) {
   if (!up_[machine]) return;  // scripted/stochastic overlap: already down
+  // A scripted crash preempts any pending stochastic one: the failure
+  // process re-arms with a fresh draw at the next recovery, so stale draws
+  // can never fire against a machine that already failed and restarted.
+  sim_.cancel(crash_event_[machine]);
+  crash_event_[machine] = 0;
   up_[machine] = false;
   log_.push_back(Transition{sim_.now(), machine, false});
   on_crash_(machine);
@@ -106,29 +216,60 @@ void FaultInjector::recover(std::size_t machine) {
   up_[machine] = true;
   log_.push_back(Transition{sim_.now(), machine, true});
   on_recover_(machine);
+  // Restart-anchored resampling: the machine just (re)entered service, so
+  // its next stochastic failure is exponential from *now* — regardless of
+  // whether the recovery was scripted or stochastic.
+  if (plan_.mtbf > 0.0) schedule_stochastic_crash(machine);
 }
 
 void FaultInjector::schedule_stochastic_crash(std::size_t machine) {
   const Seconds dt = machine_rng_[machine].exponential(1.0 / plan_.mtbf);
-  sim_.schedule_after(dt, [this, machine] {
-    if (up_[machine]) {
-      crash(machine);
-      if (plan_.mttr > 0.0) schedule_stochastic_recovery(machine);
-      // mttr == 0: the machine stays down; its failure process ends.
-    } else {
-      // The machine was already down (scripted crash); keep the failure
-      // process alive so stochastic faults resume after it recovers.
-      schedule_stochastic_crash(machine);
-    }
+  crash_event_[machine] = sim_.schedule_after(dt, [this, machine] {
+    crash_event_[machine] = 0;
+    if (!up_[machine]) return;  // lost a race with a scripted crash
+    crash(machine);
+    if (plan_.mttr > 0.0) schedule_stochastic_recovery(machine);
+    // mttr == 0: the machine stays down; its failure process ends.
   });
 }
 
 void FaultInjector::schedule_stochastic_recovery(std::size_t machine) {
   const Seconds dt = machine_rng_[machine].exponential(1.0 / plan_.mttr);
+  sim_.schedule_after(dt, [this, machine] { recover(machine); });
+}
+
+void FaultInjector::schedule_link_flap(std::size_t machine) {
+  const Seconds dt = link_rng_[machine].exponential(1.0 / plan_.link_mtbf);
   sim_.schedule_after(dt, [this, machine] {
-    recover(machine);
-    schedule_stochastic_crash(machine);
+    if (node_link_factor_[machine] < 1.0) {
+      // Already faulted (scripted overlap): skip this flap and resample from
+      // now, mirroring the restart-anchored machine semantics.
+      schedule_link_flap(machine);
+      return;
+    }
+    apply_net(NetFaultEvent::Target::kNodeLink, machine,
+              plan_.link_fault_factor);
+    if (plan_.link_mttr > 0.0) {
+      const Seconds repair =
+          link_rng_[machine].exponential(1.0 / plan_.link_mttr);
+      sim_.schedule_after(repair, [this, machine] {
+        apply_net(NetFaultEvent::Target::kNodeLink, machine, 1.0);
+        schedule_link_flap(machine);
+      });
+    }
+    // link_mttr == 0: the link stays degraded; its flap process ends.
   });
+}
+
+void FaultInjector::apply_net(NetFaultEvent::Target target, std::size_t index,
+                              double factor) {
+  double& state = target == NetFaultEvent::Target::kNodeLink
+                      ? node_link_factor_[index]
+                      : trunk_factor_[index];
+  if (approx_equal(state, factor)) return;  // redundant transition
+  state = factor;
+  net_log_.push_back(NetTransition{sim_.now(), target, index, factor});
+  on_net_(target, index, factor);
 }
 
 }  // namespace eant::sim

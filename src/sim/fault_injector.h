@@ -2,17 +2,27 @@
 //
 // A FaultPlan describes *what* goes wrong: scripted machine crash/recover
 // events, stochastic machine failures (exponential MTBF) with exponential
-// repair times (MTTR), and a transient per-attempt task-failure probability.
-// The FaultInjector turns the plan into simulator events and invokes
-// machine-level handlers (wired to TaskTracker::crash/restart by the exp
-// harness) when a machine goes down or comes back.
+// repair times (MTTR), a transient per-attempt task-failure probability,
+// scripted and stochastic *network* faults (access-link and rack-trunk
+// degradation/failure — a trunk factor of 0 partitions the rack), and a
+// transient shuffle-fetch failure probability.  The FaultInjector turns the
+// plan into simulator events and invokes handlers (wired to
+// TaskTracker::crash/restart and Fabric::set_*_factor by the exp harness)
+// when a machine or link changes state.
 //
-// The injector lives in the sim layer on purpose: it knows machines only as
-// indices and reports faults through callbacks, so the MapReduce engine owns
-// all recovery semantics.  Every random draw comes from dedicated forked RNG
-// streams (one per machine for MTBF/MTTR, one for task failures), so a run
-// is exactly reproducible per seed and adding fault injection never perturbs
-// the draws of other components.
+// The injector lives in the sim layer on purpose: it knows machines, racks
+// and links only as indices and reports faults through callbacks, so the
+// MapReduce engine owns all recovery semantics.  Every random draw comes
+// from dedicated forked RNG streams (one per machine for MTBF/MTTR, one per
+// machine for link flaps, one for task failures, one for fetch failures), so
+// a run is exactly reproducible per seed and adding fault injection never
+// perturbs the draws of other components.
+//
+// Stochastic failure processes are *restart-anchored*: a machine's next
+// crash is always sampled from the instant it (re)entered service, never
+// from a schedule drawn before an intervening scripted fault — so
+// back-to-back failures can never fire "in the past" relative to the
+// recovery that preceded them.
 
 #pragma once
 
@@ -35,6 +45,18 @@ struct FaultEvent {
   Kind kind = Kind::kCrash;
 };
 
+/// One scripted network fault transition: sets the capacity factor of a
+/// machine's access link (tx + rx together) or a rack's trunk (up + down).
+/// Factor 1 restores full capacity, (0, 1) degrades, 0 takes the link down —
+/// a down trunk partitions its rack from the rest of the fabric.
+struct NetFaultEvent {
+  enum class Target { kNodeLink, kRackTrunk };
+  Seconds time = 0.0;
+  Target target = Target::kNodeLink;
+  std::size_t index = 0;  ///< machine id (kNodeLink) or rack id (kRackTrunk)
+  double factor = 0.0;
+};
+
 /// Declarative description of the faults to inject into a run.
 struct FaultPlan {
   /// Scripted transitions (applied in time order; redundant transitions —
@@ -53,9 +75,36 @@ struct FaultPlan {
   /// (Hadoop's transient task failures: bad disk sector, JVM crash, ...).
   double task_failure_prob = 0.0;
 
+  /// Scripted network fault transitions (link/trunk degradation, failure,
+  /// partition, repair).
+  std::vector<NetFaultEvent> net_events;
+
+  /// Mean time between stochastic access-link faults per machine
+  /// (exponential); 0 disables link flapping.
+  Seconds link_mtbf = 0.0;
+
+  /// Mean time to repair a stochastically faulted link (exponential);
+  /// 0 with link_mtbf > 0 means faulted links stay degraded forever.
+  Seconds link_mttr = 0.0;
+
+  /// Capacity factor a stochastically faulted link drops to while the fault
+  /// is active (0 = hard down, (0, 1) = degraded).
+  double link_fault_factor = 0.0;
+
+  /// Probability that any single shuffle fetch dies mid-transfer for a
+  /// transient reason (connection reset, fetcher thread death, ...) even on
+  /// a healthy network.
+  double fetch_failure_prob = 0.0;
+
+  /// True when the plan injects network faults (needs a Fabric to act on).
+  bool has_net_faults() const {
+    return !net_events.empty() || link_mtbf > 0.0;
+  }
+
   /// True when the plan injects anything at all.
   bool enabled() const {
-    return !events.empty() || mtbf > 0.0 || task_failure_prob > 0.0;
+    return !events.empty() || mtbf > 0.0 || task_failure_prob > 0.0 ||
+           has_net_faults() || fetch_failure_prob > 0.0;
   }
 
   /// Scripting helpers.
@@ -63,12 +112,27 @@ struct FaultPlan {
   FaultPlan& recover_at(std::size_t machine, Seconds t);
   /// Crash at t and recover `downtime` seconds later.
   FaultPlan& crash_for(std::size_t machine, Seconds t, Seconds downtime);
+  /// Take a machine's access link down at t, restore it `duration` later.
+  FaultPlan& fail_link_for(std::size_t machine, Seconds t, Seconds duration);
+  /// Degrade a machine's access link to `factor` capacity for `duration`.
+  FaultPlan& degrade_link_for(std::size_t machine, Seconds t, Seconds duration,
+                              double factor);
+  /// Take a rack's trunk down at t (partitioning the rack), restore it
+  /// `duration` later.
+  FaultPlan& partition_rack(std::size_t rack, Seconds t, Seconds duration);
+  /// Degrade a rack's trunk to `factor` capacity for `duration`.
+  FaultPlan& degrade_trunk_for(std::size_t rack, Seconds t, Seconds duration,
+                               double factor);
 };
 
 /// Executes a FaultPlan against a Simulator.
 class FaultInjector {
  public:
   using MachineHandler = std::function<void(std::size_t machine)>;
+  /// Receives applied network fault transitions (wired by the exp harness to
+  /// Fabric::set_node_link_factor / set_trunk_factor).
+  using NetHandler = std::function<void(NetFaultEvent::Target target,
+                                        std::size_t index, double factor)>;
 
   /// One applied machine transition (for logs, tests and determinism
   /// checks).
@@ -78,14 +142,26 @@ class FaultInjector {
     bool up = false;  ///< state after the transition
   };
 
+  /// One applied network transition.
+  struct NetTransition {
+    Seconds time = 0.0;
+    NetFaultEvent::Target target = NetFaultEvent::Target::kNodeLink;
+    std::size_t index = 0;
+    double factor = 1.0;  ///< factor after the transition
+  };
+
   FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
-                std::size_t num_machines);
+                std::size_t num_machines, std::size_t num_racks = 1);
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Installs the crash/recover callbacks.  Must precede start().
   void set_handlers(MachineHandler on_crash, MachineHandler on_recover);
+
+  /// Installs the network fault callback.  Must precede start() when the
+  /// plan has network faults.
+  void set_net_handler(NetHandler handler);
 
   /// Schedules every scripted event and seeds the stochastic failure
   /// processes.  Call exactly once.
@@ -94,16 +170,34 @@ class FaultInjector {
   /// The injector's view of a machine's state.
   bool is_up(std::size_t machine) const;
 
+  /// The injector's view of a machine's access-link capacity factor.
+  double node_link_factor(std::size_t machine) const;
+
+  /// The injector's view of a rack's trunk capacity factor.
+  double trunk_factor(std::size_t rack) const;
+
   /// Transient task-failure draw, consulted once per launched attempt.
   /// Empty: the attempt runs to completion.  Otherwise: the fraction of the
   /// attempt's nominal duration after which it fails.
   std::optional<double> draw_attempt_failure();
 
+  /// Transient fetch-failure draw, consulted once per started shuffle fetch.
+  /// Empty: the fetch is not sabotaged.  Otherwise: the fraction of the
+  /// fetch's solo duration after which it dies.
+  std::optional<double> draw_fetch_failure();
+
   /// Every machine transition actually applied, in simulation order.
   const std::vector<Transition>& log() const { return log_; }
 
+  /// Every network transition actually applied, in simulation order.
+  const std::vector<NetTransition>& net_log() const { return net_log_; }
+
   /// Number of crash transitions applied so far.
   std::size_t crashes() const;
+
+  /// Number of applied network transitions that degraded a link or trunk
+  /// (factor < 1).
+  std::size_t link_faults() const;
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -112,15 +206,27 @@ class FaultInjector {
   void recover(std::size_t machine);
   void schedule_stochastic_crash(std::size_t machine);
   void schedule_stochastic_recovery(std::size_t machine);
+  void schedule_link_flap(std::size_t machine);
+  void apply_net(NetFaultEvent::Target target, std::size_t index,
+                 double factor);
 
   Simulator& sim_;
   FaultPlan plan_;
   std::vector<Rng> machine_rng_;  // one stream per machine (MTBF/MTTR draws)
   Rng task_rng_;                  // transient task-failure stream
+  std::vector<Rng> link_rng_;     // one stream per machine (link flap draws)
+  Rng fetch_rng_;                 // transient fetch-failure stream
   std::vector<bool> up_;
+  // Pending stochastic crash per machine: cancelled when a scripted crash
+  // intervenes, re-armed (with a fresh draw) at every recovery.
+  std::vector<EventId> crash_event_;
+  std::vector<double> node_link_factor_;
+  std::vector<double> trunk_factor_;
   MachineHandler on_crash_;
   MachineHandler on_recover_;
+  NetHandler on_net_;
   std::vector<Transition> log_;
+  std::vector<NetTransition> net_log_;
   bool started_ = false;
 };
 

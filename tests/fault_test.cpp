@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "cluster/catalog.h"
@@ -432,6 +434,105 @@ TEST(FaultRecovery, StochasticMachineFailuresRunToCompletion) {
   EXPECT_EQ(jt.jobs_completed() + jt.jobs_failed(), 3u);
   ASSERT_NE(run.fault_injector(), nullptr);
   EXPECT_GT(run.fault_injector()->crashes(), 0u);
+}
+
+// --- blacklist decay ---------------------------------------------------------
+
+// Drives machine 1 into the blacklist with a burst of failures that then
+// stops, and reports (blacklist time, forgiveness time, makespan).
+std::tuple<Seconds, Seconds, Seconds> blacklist_window(Seconds decay_window) {
+  exp::RunConfig cfg;
+  cfg.seed = 5;
+  cfg.job_tracker.blacklist_threshold = 2;
+  cfg.job_tracker.blacklist_duration = 100000.0;  // effectively forever
+  cfg.job_tracker.blacklist_decay_window = decay_window;
+  cfg.job_tracker.max_attempts = 50;
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kFifo, cfg);
+
+  const MachineId flaky = 1;
+  bool burst_over = false;
+  run.job_tracker().set_attempt_fault_hook(
+      [&](const mr::TaskSpec&, MachineId m) -> std::optional<double> {
+        if (m != flaky || burst_over) return std::nullopt;
+        return 0.5;
+      });
+  auto jobs = exp::job_batch(workload::AppKind::kWordcount, 64.0 * 24, 2, 4);
+  jobs[2].submit_time = 200.0;
+  jobs[3].submit_time = 400.0;
+  run.submit(jobs);
+
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  Seconds blacklisted_at = -1.0, forgiven_at = -1.0;
+  while (!jt.all_done()) {
+    EXPECT_TRUE(sim.step());
+    if (blacklisted_at < 0.0 && jt.tracker_blacklisted(flaky)) {
+      blacklisted_at = sim.now();
+      burst_over = true;  // the machine behaves from here on
+    }
+    if (blacklisted_at >= 0.0 && forgiven_at < 0.0 &&
+        !jt.tracker_blacklisted(flaky)) {
+      forgiven_at = sim.now();
+    }
+  }
+  return {blacklisted_at, forgiven_at, sim.now()};
+}
+
+TEST(BlacklistDecay, DecayWindowForgivesLongBeforeBlacklistDuration) {
+  const auto [listed, forgiven, makespan] = blacklist_window(60.0);
+  ASSERT_GE(listed, 0.0) << "flaky tracker was never blacklisted";
+  ASSERT_GE(forgiven, 0.0) << "decay never lifted the blacklist";
+  // Two failures halve to 1 < threshold within a window or two — forgiveness
+  // must come from decay (a handful of windows), not the 100000 s duration.
+  EXPECT_LT(forgiven - listed, 5 * 60.0);
+  EXPECT_LT(forgiven, makespan);
+}
+
+TEST(BlacklistDecay, RegressionZeroWindowKeepsPreDecayPermanence) {
+  // decay_window = 0 restores the pre-decay contract: with a blacklist
+  // duration longer than the run, the sidelined tracker is never forgiven.
+  const auto [listed, forgiven, makespan] = blacklist_window(0.0);
+  ASSERT_GE(listed, 0.0) << "flaky tracker was never blacklisted";
+  EXPECT_LT(listed, makespan);
+  EXPECT_LT(forgiven, 0.0) << "blacklist lifted despite decay being disabled";
+}
+
+// --- restart-anchored stochastic crash resampling ----------------------------
+
+TEST(FaultInjector, RestartResamplesCrashDrawCausally) {
+  // A scripted crash + recovery lands in the middle of a machine's pending
+  // stochastic crash draw.  The pre-crash draw must be cancelled (not fire
+  // into the downtime or instantly after recovery): every transition in the
+  // log must strictly alternate down/up per machine with increasing times —
+  // the failure process is re-anchored at each restart.
+  sim::Simulator sim;
+  sim::FaultPlan plan;
+  plan.mtbf = 300.0;
+  plan.mttr = 40.0;
+  plan.crash_for(0, 50.0, 30.0).crash_for(1, 120.0, 60.0);
+  sim::FaultInjector inj(sim, plan, Rng(9), 2);
+  inj.set_handlers([](std::size_t) {}, [](std::size_t) {});
+  inj.start();
+  run_until(sim, 20000.0);
+
+  ASSERT_GT(inj.log().size(), 4u);
+  std::map<std::size_t, bool> up;  // per-machine expected-next-state
+  std::map<std::size_t, Seconds> last;
+  for (const auto& t : inj.log()) {
+    if (up.count(t.machine) > 0) {
+      EXPECT_NE(t.up, up[t.machine])
+          << "non-alternating transition on machine " << t.machine << " at "
+          << t.time;
+      EXPECT_GT(t.time, last[t.machine]);
+    } else {
+      EXPECT_FALSE(t.up) << "first transition must be a crash";
+    }
+    up[t.machine] = t.up;
+    last[t.machine] = t.time;
+  }
+  // The scripted outages themselves are in the log at their exact times.
+  EXPECT_DOUBLE_EQ(inj.log()[0].time, 50.0);
+  EXPECT_FALSE(inj.log()[0].up);
 }
 
 }  // namespace

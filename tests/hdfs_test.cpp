@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -172,6 +175,150 @@ TEST(NameNode, BlockIdsAreSequentialAcrossFiles) {
   EXPECT_EQ(f1, (std::vector<BlockId>{0, 1}));
   EXPECT_EQ(f2, (std::vector<BlockId>{2, 3, 4}));
   EXPECT_EQ(nn.num_blocks(), 5u);
+}
+
+// --- degraded mode -----------------------------------------------------------
+
+// Drains the under-replication queue to completion, performing every copy
+// instantly.  Returns the number of replicas created.
+std::size_t drain_rereplication(NameNode& nn) {
+  std::size_t copies = 0;
+  while (auto work = nn.next_rereplication()) {
+    nn.add_replica(work->block, work->target);
+    ++copies;
+  }
+  return copies;
+}
+
+TEST(NameNodeDegraded, DatanodeDeathDropsReplicasAndQueuesBlocks) {
+  NameNode nn(Rng(11), 8);
+  const auto blocks = nn.create_file(64.0 * 50);
+  const cluster::MachineId dead = 3;
+  std::size_t hosted = nn.blocks_per_node()[dead];
+  ASSERT_GT(hosted, 0u);
+  nn.mark_datanode_dead(dead);
+  EXPECT_FALSE(nn.datanode_alive(dead));
+  EXPECT_TRUE(nn.mutated());
+  EXPECT_EQ(nn.blocks_per_node()[dead], 0u);
+  EXPECT_EQ(nn.under_replicated_count(), hosted);
+  for (BlockId b : blocks) {
+    const auto& locs = nn.locations(b);
+    EXPECT_EQ(std::find(locs.begin(), locs.end(), dead), locs.end());
+    if (locs.size() < kDefaultReplication) {
+      EXPECT_TRUE(nn.queued_for_rereplication(b));
+      EXPECT_TRUE(nn.rereplication_possible(b));
+    }
+  }
+  // Idempotent: declaring the same node dead twice changes nothing.
+  nn.mark_datanode_dead(dead);
+  EXPECT_EQ(nn.under_replicated_count(), hosted);
+}
+
+TEST(NameNodeDegraded, RereplicationServesFewestLiveReplicasFirst) {
+  NameNode nn(Rng(12), 8);
+  nn.create_file(64.0 * 80);
+  nn.mark_datanode_dead(1);
+  nn.mark_datanode_dead(5);
+  // Some blocks lost one replica, some lost two; none can be lost outright
+  // with replication 3 and only two deaths.
+  EXPECT_TRUE(nn.lost_blocks().empty());
+  std::size_t last_live = 0;
+  std::size_t served = 0;
+  while (auto work = nn.next_rereplication()) {
+    const std::size_t live = nn.live_replicas(work->block);
+    EXPECT_GE(live, last_live)
+        << "a healthier block was served before a more endangered one";
+    // The source must hold the block; the target must not, and must be live.
+    const auto& locs = nn.locations(work->block);
+    EXPECT_NE(std::find(locs.begin(), locs.end(), work->source), locs.end());
+    EXPECT_EQ(std::find(locs.begin(), locs.end(), work->target), locs.end());
+    EXPECT_TRUE(nn.datanode_alive(work->target));
+    last_live = live;
+    nn.add_replica(work->block, work->target);
+    ++served;
+  }
+  EXPECT_GT(served, 0u);
+  EXPECT_EQ(nn.under_replicated_count(), 0u);
+}
+
+TEST(NameNodeDegraded, RereplicationRestoresRackSpread) {
+  // 8 nodes in 2 racks.  Killing both replicas in one of a block's racks can
+  // collapse the survivors into a single rack; the re-replication target
+  // choice must restore the >= 2-rack spread.
+  const std::vector<std::size_t> racks = {0, 0, 0, 0, 1, 1, 1, 1};
+  NameNode nn(Rng(13), 8, 3, racks);
+  const auto blocks = nn.create_file(64.0 * 120);
+  nn.mark_datanode_dead(4);
+  nn.mark_datanode_dead(5);
+  drain_rereplication(nn);
+  for (BlockId b : blocks) {
+    const auto& locs = nn.locations(b);
+    ASSERT_EQ(locs.size(), 3u);
+    std::set<cluster::MachineId> nodes(locs.begin(), locs.end());
+    EXPECT_EQ(nodes.size(), 3u) << "duplicate replica on one node";
+    std::set<std::size_t> spanned;
+    for (auto m : locs) spanned.insert(nn.rack_of(m));
+    EXPECT_GE(spanned.size(), 2u) << "block " << b << " collapsed into one rack";
+  }
+}
+
+TEST(NameNodeDegraded, RecoveryKeepsPlacementBalanced) {
+  NameNode nn(Rng(14), 8);
+  nn.create_file(64.0 * 400);
+  nn.mark_datanode_dead(2);
+  const std::size_t copies = drain_rereplication(nn);
+  EXPECT_GT(copies, 0u);
+  // 400 x 3 replicas over the 7 survivors; balanced target choice keeps the
+  // spread a small fraction of the per-node mean (~171).
+  const auto& counts = nn.blocks_per_node();
+  std::size_t lo = nn.num_blocks(), hi = 0;
+  for (cluster::MachineId n = 0; n < 8; ++n) {
+    if (n == 2) continue;
+    lo = std::min(lo, counts[n]);
+    hi = std::max(hi, counts[n]);
+  }
+  EXPECT_LE(hi - lo, 60u) << "re-replication unbalanced the cluster";
+}
+
+TEST(NameNodeDegraded, LosingEveryReplicaRecordsPermanentLoss) {
+  NameNode nn(Rng(15), 4, 3);
+  const auto blocks = nn.create_file(64.0 * 10);
+  // Kill three of four nodes: every block kept at most one replica, and any
+  // block fully hosted on the dead trio is lost outright.
+  nn.mark_datanode_dead(0);
+  nn.mark_datanode_dead(1);
+  nn.mark_datanode_dead(2);
+  std::size_t lost = 0;
+  for (BlockId b : blocks) {
+    if (nn.block_lost(b)) {
+      ++lost;
+      EXPECT_EQ(nn.live_replicas(b), 0u);
+      EXPECT_FALSE(nn.queued_for_rereplication(b));
+      EXPECT_FALSE(nn.rereplication_possible(b));
+      EXPECT_NE(std::find(nn.lost_blocks().begin(), nn.lost_blocks().end(), b),
+                nn.lost_blocks().end());
+    }
+  }
+  EXPECT_EQ(nn.lost_blocks().size(), lost);
+  // Survivors sit on node 3 alone and have nowhere to copy to.
+  EXPECT_EQ(nn.next_rereplication(), std::nullopt);
+}
+
+TEST(NameNodeDegraded, NewFilePlacementSkipsDeadNodes) {
+  NameNode nn(Rng(16), 8);
+  nn.mark_datanode_dead(6);
+  const auto blocks = nn.create_file(64.0 * 60);
+  for (BlockId b : blocks) {
+    const auto& locs = nn.locations(b);
+    EXPECT_EQ(std::find(locs.begin(), locs.end(), cluster::MachineId{6}),
+              locs.end());
+  }
+  EXPECT_EQ(nn.blocks_per_node()[6], 0u);
+  // Once the node rejoins it is eligible again, and as the emptiest node the
+  // balanced placement immediately favours it.
+  nn.mark_datanode_alive(6);
+  nn.create_file(64.0 * 60);
+  EXPECT_GT(nn.blocks_per_node()[6], 0u);
 }
 
 }  // namespace
