@@ -1,8 +1,9 @@
 // Chaos campaign — the degraded-mode acceptance gauntlet.  Runs the MSD
 // workload on the oversubscribed 4-rack fabric under every default fault mix
 // (machine crashes, link flaps, a rack partition, datanode losses deep
-// enough to force re-replication, fetch-failure noise, and everything at
-// once) across a seed matrix, with the InvariantAuditor as the oracle.
+// enough to force re-replication, fetch-failure noise, two fail-slow mixes,
+// and everything at once) across a seed matrix, with the InvariantAuditor as
+// the oracle.
 //
 // A cell passes only if every job completes, the auditor reports zero
 // violations, and no block ends the run under-replicated without either a
@@ -11,27 +12,26 @@
 // exits non-zero if any cell fails, so CI can use it as a smoke gate.
 //
 // Usage: chaos_campaign [num_seeds] [quick]
-//   num_seeds: seeds per mix (default 4 -> 6 mixes x 4 seeds = 24 cells;
-//              the ISSUE floor is 20)
+//   num_seeds: seeds per mix (default 4 -> 8 mixes x 4 seeds = 32 cells)
 //   quick:     replace the full MSD workload with a small Terasort batch —
 //              the CI smoke configuration (every fault path still fires;
 //              the scripted fault times scale with the probed horizon)
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "bench_common.h"
 #include "common/table.h"
 #include "exp/chaos.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
 int main(int argc, char** argv) {
-  std::size_t num_seeds = 4;
-  if (argc > 1) num_seeds = static_cast<std::size_t>(std::atoi(argv[1]));
-  if (num_seeds == 0) num_seeds = 1;
-  const bool quick = argc > 2 && std::strcmp(argv[2], "quick") == 0;
+  exp::Cli cli(argc, argv, "chaos_campaign [num_seeds] [quick]");
+  const auto num_seeds =
+      static_cast<std::size_t>(cli.int_arg("num_seeds", 4, 1, 64));
+  const bool quick = cli.keyword_arg("quick");
+  cli.done();
 
   // Base configuration: the canonical workload on the oversubscribed fabric.
   // The expiry window is scaled with the bench (see fig13_fault_recovery):

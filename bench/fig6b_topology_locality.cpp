@@ -22,6 +22,7 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "exp/cli.h"
 #include "net/topology.h"
 
 using namespace eant;
@@ -67,11 +68,10 @@ std::string pct(double fraction) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs_per_app = argc > 1 ? std::atoi(argv[1]) : 3;
-  if (jobs_per_app <= 0) {
-    std::fprintf(stderr, "usage: %s [jobs-per-app]\n", argv[0]);
-    return 1;
-  }
+  exp::Cli cli(argc, argv, "fig6b_topology_locality [jobs-per-app]");
+  const int jobs_per_app =
+      static_cast<int>(cli.int_arg("jobs-per-app", 3, 1, 1000));
+  cli.done();
 
   struct Case {
     std::string label;

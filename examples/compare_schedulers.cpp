@@ -4,19 +4,22 @@
 //   ./compare_schedulers [num_jobs] [seed]
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/rng.h"
 #include "common/table.h"
 #include "exp/builders.h"
+#include "exp/cli.h"
 #include "exp/runner.h"
 #include "workload/msd.h"
 
 using namespace eant;
 
 int main(int argc, char** argv) {
-  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 30;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+  exp::Cli cli(argc, argv, "compare_schedulers [num_jobs] [seed]");
+  const int num_jobs = static_cast<int>(cli.int_arg("num_jobs", 30, 1, 100000));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_arg("seed", 5, 0, 1000000000L));
+  cli.done();
 
   workload::MsdConfig wl;
   wl.num_jobs = num_jobs;

@@ -5,21 +5,24 @@
 //   ./msd_replay [num_jobs] [seed]
 
 #include <cstdio>
-#include <cstdlib>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/eant_scheduler.h"
 #include "exp/builders.h"
+#include "exp/cli.h"
 #include "exp/runner.h"
 #include "workload/msd.h"
 
 using namespace eant;
 
 int main(int argc, char** argv) {
-  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 40;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 9;
+  exp::Cli cli(argc, argv, "msd_replay [num_jobs] [seed]");
+  const int num_jobs = static_cast<int>(cli.int_arg("num_jobs", 40, 1, 100000));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_arg("seed", 9, 0, 1000000000L));
+  cli.done();
 
   workload::MsdConfig wl;
   wl.num_jobs = num_jobs;

@@ -106,6 +106,7 @@ enum class Record : std::uint32_t {
   kReplicaChange = 16, ///< HDFS replica re-replicated (entity = block+target)
   kDataLoss = 17,      ///< all replicas of a block died (entity = block id)
   kFetchFailure = 18,  ///< shuffle fetch failed (entity = job+source bits)
+  kPerfState = 19,     ///< machine perf factors changed (entity = id+factor bits)
 };
 
 /// Task-attempt lifecycle events checked against the transition table.

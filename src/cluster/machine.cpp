@@ -73,6 +73,33 @@ double Machine::utilization_integral() {
   return util_integral_;
 }
 
+void Machine::set_perf_factors(double cpu, double io) {
+  EANT_CHECK(cpu > 0.0 && cpu <= 1.0, "perf cpu factor must lie in (0, 1]");
+  EANT_CHECK(io > 0.0 && io <= 1.0, "perf io factor must lie in (0, 1]");
+  perf_cpu_factor_ = cpu;
+  perf_io_factor_ = io;
+}
+
+Seconds Machine::effective_task_runtime(double cpu_ref_seconds,
+                                        Megabytes io_mb) const {
+  EANT_CHECK(cpu_ref_seconds >= 0.0, "cpu work must be non-negative");
+  EANT_CHECK(io_mb >= 0.0, "io volume must be non-negative");
+  return cpu_ref_seconds / (type_.cpu_factor * perf_cpu_factor_) +
+         io_mb / (type_.io_mbps * perf_io_factor_);
+}
+
+double Machine::stretch_for(double cpu_ref_seconds, Megabytes io_mb) const {
+  // Fast path doubles as the bit-identity guarantee: a healthy machine's
+  // factors are the assigned literal 1.0 (never arithmetic results), so the
+  // exact comparison is sound and nominal * stretch stays exact.
+  if (perf_cpu_factor_ == 1.0 && perf_io_factor_ == 1.0) {  // lint-ok: float-eq
+    return 1.0;
+  }
+  const Seconds nominal = type_.task_runtime(cpu_ref_seconds, io_mb);
+  if (nominal <= 0.0) return 1.0 / perf_cpu_factor_;
+  return effective_task_runtime(cpu_ref_seconds, io_mb) / nominal;
+}
+
 void Machine::settle() {
   const Seconds now = sim_.now();
   EANT_ASSERT(now >= last_settle_, "simulation clock went backwards");

@@ -107,6 +107,30 @@ class Machine {
   /// time-sliced); schedulers can consult this for contention modelling.
   bool oversubscribed() const { return demand_cores_ > type_.cores; }
 
+  /// Sets the dynamic performance multipliers of a fail-slow (gray) fault:
+  /// cpu scales the effective per-core speed, io the effective disk
+  /// throughput, both in (0, 1] with 1 = healthy.  Deliberately power-
+  /// neutral — a limping machine keeps drawing P(u) for its hosted demand
+  /// while every task takes longer, which is exactly the wasted-energy
+  /// signature of a gray failure.
+  void set_perf_factors(double cpu, double io);
+
+  /// Current dynamic performance multipliers (1 when healthy).
+  double perf_cpu_factor() const { return perf_cpu_factor_; }
+  double perf_io_factor() const { return perf_io_factor_; }
+
+  /// Seconds a task needs on this machine *right now*, with the dynamic
+  /// performance multipliers applied on top of the static type speed.
+  /// Identical to type().task_runtime() while the machine is healthy.
+  Seconds effective_task_runtime(double cpu_ref_seconds,
+                                 Megabytes io_mb) const;
+
+  /// Ratio effective / nominal runtime for the given task shape — the
+  /// stretch factor the TaskTracker applies to in-flight service times.
+  /// Exactly 1.0 while healthy (no floating-point drift on the fault-free
+  /// path: healthy factors are the literal 1.0).
+  double stretch_for(double cpu_ref_seconds, Megabytes io_mb) const;
+
   /// Attaches (or, with nullptr, detaches) a state observer.  At most one;
   /// it must outlive the machine or be detached first.
   void set_observer(MachineObserver* observer) { observer_ = observer; }
@@ -119,6 +143,8 @@ class Machine {
   MachineType type_;
   double demand_cores_ = 0.0;
   bool up_ = true;
+  double perf_cpu_factor_ = 1.0;
+  double perf_io_factor_ = 1.0;
   MachineObserver* observer_ = nullptr;
   Seconds last_settle_ = 0.0;
   Joules energy_ = 0.0;

@@ -15,6 +15,9 @@ EAntScheduler::EAntScheduler(EnergyModel model, Rng rng, EAntConfig config)
   EANT_CHECK(config.control_interval > 0.0,
              "control interval must be positive");
   EANT_CHECK(config.beta >= 0.0, "beta must be non-negative");
+  EANT_CHECK(config.slow_completion_beta == 0.0 ||  // lint-ok: float-eq
+                 config.slow_completion_beta >= 1.0,
+             "slow-completion beta must be 0 (off) or >= 1");
 }
 
 void EAntScheduler::attach(mr::JobTracker& job_tracker) {
@@ -52,6 +55,19 @@ void EAntScheduler::on_task_completed(const mr::TaskReport& report) {
   auto& counts = interval_counts_[report.spec.job];
   if (counts.empty()) counts.assign(jt_->cluster().size(), 0);
   ++counts[report.machine];
+
+  if (config_.slow_completion_beta > 0.0) {
+    // Anomalously slow completion (a limping machine's signature): treat it
+    // as negative path evidence right away, one evaporation step like a
+    // failure.  The mean includes this report, biasing conservatively.
+    const auto& js = jt_->job(report.spec.job);
+    const Seconds mean = js.mean_completed_duration(report.spec.kind);
+    if (mean > 0.0 &&
+        report.duration() > config_.slow_completion_beta * mean) {
+      table_->penalize(report.spec.job, report.spec.kind, report.machine,
+                       1.0 - config_.rho);
+    }
+  }
 }
 
 void EAntScheduler::on_tracker_lost(cluster::MachineId machine) {

@@ -65,6 +65,15 @@ struct EAntConfig {
   /// rack-local slot risks a cross-rack read over the oversubscribed
   /// uplink.  Inert with one flat rack.
   double rack_local_acceptance_floor = 0.25;
+
+  /// Optional slow-completion feedback: a task whose duration exceeds this
+  /// multiple of its job's mean completed duration depresses the
+  /// (job, kind, machine) trail immediately, like a failure, instead of
+  /// waiting for the energy deposits to starve it.  0 disables (default):
+  /// E-Ant's energy loop already routes around limping machines — their
+  /// tasks burn more energy, so their deposits shrink — and the fail-slow
+  /// tests prove that collapse happens without this explicit signal.
+  double slow_completion_beta = 0.0;
 };
 
 /// Realisation of Eq. 7's "infinite" eta for data-local candidates: the cap

@@ -83,6 +83,39 @@ std::vector<ChaosMix> default_chaos_mixes() {
                      cfg.faults.fetch_failure_prob = 0.03;
                    }});
 
+  // Fail-slow (gray failure): nothing crashes, nothing times out — machines
+  // just get slow.  One victim drops to 30% CPU for a long stretch, another
+  // rots progressively toward 40%, and background stochastic episodes limp
+  // random machines to 50% for short spells.  The detection loop (progress
+  // rates -> health EWMA -> quarantine) plus hardened speculation must keep
+  // the workload finishing with zero audit violations.
+  mixes.push_back({"fail-slow",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t,
+                      Seconds h, std::uint64_t seed) {
+                     const auto [a, b] = pick_two(seed, 17, machines);
+                     cfg.faults.slow_for(a, 0.15 * h, 0.55 * h, 0.3, 0.5);
+                     cfg.faults.rot(b, 0.30 * h, 0.40 * h, 0.4);
+                     cfg.faults.slow_mtbf = 2.0 * h;
+                     cfg.faults.slow_mttr = 0.05 * h;
+                     cfg.faults.slow_cpu_factor = 0.5;
+                     cfg.job_tracker.speculative_progress_ranking = true;
+                     cfg.job_tracker.max_speculative_per_node = 2;
+                   }});
+
+  // Gray-and-stop: a limping machine coexists with a hard crash and fetch
+  // noise, so quarantine (fail-slow) and blacklist/expiry (fail-stop) run
+  // concurrently and their state-priority interaction is exercised for real.
+  mixes.push_back({"gray-and-stop",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t,
+                      Seconds h, std::uint64_t seed) {
+                     const auto [a, b] = pick_two(seed, 19, machines);
+                     cfg.faults.slow_for(a, 0.10 * h, 0.60 * h, 0.35);
+                     cfg.faults.crash_for(b, 0.30 * h, 0.25 * h);
+                     cfg.faults.fetch_failure_prob = 0.01;
+                     cfg.job_tracker.speculative_progress_ranking = true;
+                     cfg.job_tracker.max_speculative_per_node = 2;
+                   }});
+
   // Everything at once (moderated so at most two machines are ever dark
   // together): a declared node loss, link flaps, a partition and transient
   // fetch errors.

@@ -1,7 +1,8 @@
 // Chaos-campaign harness: run a (seed x fault-mix) matrix of full workloads
 // with the InvariantAuditor as the oracle.  Each fault mix is a named recipe
 // that scripts or parameterises machine crashes, access-link faults, rack
-// partitions, datanode losses and transient fetch errors; a campaign asserts
+// partitions, datanode losses, fail-slow (gray failure) performance
+// degradations and transient fetch errors; a campaign asserts
 // that every run survives — all jobs complete, zero invariant violations,
 // no unexplained under-replication — and that re-running a (seed, mix) cell
 // reproduces its determinism digest bit-for-bit.
@@ -55,6 +56,7 @@ struct ChaosConfig {
 
 /// The default gauntlet: machine crashes, link flaps, a rack partition, a
 /// datanode loss deep enough to trigger re-replication, fetch-failure noise,
+/// two fail-slow mixes (pure gray failures, and gray-failures-plus-crash),
 /// and everything at once.
 std::vector<ChaosMix> default_chaos_mixes();
 

@@ -1,0 +1,62 @@
+#include "exp/cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace eant::exp {
+
+Cli::Cli(int argc, char** argv, std::string usage)
+    : argc_(argc), argv_(argv), usage_(std::move(usage)) {}
+
+const char* Cli::peek() const {
+  return next_ < argc_ ? argv_[next_] : nullptr;
+}
+
+void Cli::die(const std::string& message) const {
+  std::fprintf(stderr, "error: %s\nusage: %s\n", message.c_str(),
+               usage_.c_str());
+  std::exit(2);
+}
+
+long Cli::int_arg(const char* name, long def, long lo, long hi) {
+  const char* arg = peek();
+  if (arg == nullptr) return def;
+  // Anything flag-shaped is unknown by construction: the benches take only
+  // positionals.
+  if (arg[0] == '-' && !(arg[1] >= '0' && arg[1] <= '9')) {
+    die(std::string("unknown flag '") + arg + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(arg, &end, 10);
+  if (*arg == '\0' || end == arg || *end != '\0' || errno == ERANGE) {
+    die(std::string("malformed ") + name + " '" + arg + "'");
+  }
+  if (value < lo || value > hi) {
+    die(std::string(name) + " must lie in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "], got " + std::to_string(value));
+  }
+  ++next_;
+  return value;
+}
+
+bool Cli::keyword_arg(const char* word) {
+  const char* arg = peek();
+  if (arg == nullptr) return false;
+  if (std::strcmp(arg, word) != 0) {
+    die(std::string("unexpected argument '") + arg + "' (expected '" + word +
+        "')");
+  }
+  ++next_;
+  return true;
+}
+
+void Cli::done() const {
+  if (const char* arg = peek()) {
+    die(std::string("unexpected trailing argument '") + arg + "'");
+  }
+}
+
+}  // namespace eant::exp

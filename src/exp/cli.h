@@ -1,0 +1,45 @@
+// Strict positional argument parsing for the bench binaries.
+//
+// The benches used to atoi() their argv, silently turning typos ("fulll",
+// "1O") into default or zero-valued runs — an easy way to publish numbers
+// from the wrong configuration.  Cli consumes positionals left to right,
+// validates each against an explicit range or keyword, and on any malformed
+// value, unknown trailing argument or unexpected flag prints the usage line
+// to stderr and exits with status 2 (the conventional usage-error code).
+
+#pragma once
+
+#include <string>
+
+namespace eant::exp {
+
+/// One-pass positional parser.  Construct with main()'s argc/argv and the
+/// usage synopsis, consume arguments in declaration order, then call done().
+class Cli {
+ public:
+  Cli(int argc, char** argv, std::string usage);
+
+  /// Consumes the next positional as an integer in [lo, hi]; returns `def`
+  /// when absent.  Rejects partial parses ("1O"), empty strings and
+  /// out-of-range values.
+  long int_arg(const char* name, long def, long lo, long hi);
+
+  /// Consumes the next positional iff it equals `word`; returns whether it
+  /// did.  An argument in this position that is NOT the keyword is a usage
+  /// error (there is nothing else it could legally be).
+  bool keyword_arg(const char* word);
+
+  /// Call after the last declared argument: any unconsumed argv is an error.
+  void done() const;
+
+ private:
+  [[noreturn]] void die(const std::string& message) const;
+  const char* peek() const;
+
+  int argc_;
+  char** argv_;
+  int next_ = 1;
+  std::string usage_;
+};
+
+}  // namespace eant::exp

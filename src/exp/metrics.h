@@ -76,6 +76,8 @@ struct RunMetrics {
   Megabytes rereplication_mb = 0.0;      ///< bytes moved by block recovery
   std::size_t data_loss_events = 0;      ///< blocks whose last replica died
   std::size_t link_faults = 0;           ///< applied degrading net transitions
+  std::size_t perf_faults = 0;           ///< applied fail-slow degradations
+  std::size_t quarantine_episodes = 0;   ///< limper quarantine entries
   std::size_t under_replicated_blocks = 0;  ///< still queued at snapshot time
   /// Blocks short of `replication` live replicas that are neither recorded
   /// lost nor queued/in-flight for recovery — must be 0 (the "no block falls

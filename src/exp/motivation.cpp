@@ -44,7 +44,9 @@ class OpenLoopExecutor {
   void start() {
     ++running_;
     machine_.adjust_demand(cpu_demand_);
-    Seconds d = machine_.type().task_runtime(cpu_ref_seconds_, io_mb_);
+    // Stand-alone motivation experiment predates the fail-slow model; its
+    // machines are never degraded.
+    Seconds d = machine_.type().task_runtime(cpu_ref_seconds_, io_mb_);  // lint-ok: machine-speed
     const double projected =
         machine_.demand_cores() / machine_.type().cores;
     if (projected > 1.0) d *= projected;

@@ -103,6 +103,15 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
     injector_->set_handlers(
         [this](std::size_t m) { jt_->tracker(m).crash(); },
         [this](std::size_t m) { jt_->tracker(m).restart(); });
+    if (config_.faults.has_slow_faults()) {
+      // Fail-slow transitions land on the TaskTracker, which re-rates its
+      // in-flight attempts and lets the health/quarantine loop observe the
+      // limp through heartbeat progress samples.
+      injector_->set_slow_handler(
+          [this](std::size_t m, double cpu, double io) {
+            jt_->tracker(m).set_perf_factors(cpu, io);
+          });
+    }
     if (config_.faults.has_net_faults()) {
       injector_->set_net_handler([this](sim::NetFaultEvent::Target target,
                                         std::size_t index, double factor) {
@@ -163,7 +172,11 @@ RunMetrics Run::metrics() {
     rm.fabric_active = true;
     rm.network = fabric_->metrics();
   }
-  if (injector_) rm.link_faults = injector_->link_faults();
+  if (injector_) {
+    rm.link_faults = injector_->link_faults();
+    rm.perf_faults = injector_->slow_faults();
+  }
+  rm.quarantine_episodes = jt_->quarantine_episodes();
   if (auditor_) {
     rm.audited = true;
     rm.audit = auditor_->finalize();

@@ -58,6 +58,7 @@ void JobState::init_maps(const std::vector<hdfs::BlockId>& blocks,
   map_state_.status.assign(maps_.size(), TaskStatus::kPending);
   map_state_.speculative.assign(maps_.size(), false);
   map_state_.start_time.assign(maps_.size(), 0.0);
+  map_state_.start_machine.assign(maps_.size(), 0);
   map_state_.failed_attempts.assign(maps_.size(), 0);
 }
 
@@ -68,6 +69,7 @@ void JobState::init_reduces(std::vector<TaskSpec> reduces) {
   reduce_state_.status.assign(reduces_.size(), TaskStatus::kPending);
   reduce_state_.speculative.assign(reduces_.size(), false);
   reduce_state_.start_time.assign(reduces_.size(), 0.0);
+  reduce_state_.start_machine.assign(reduces_.size(), 0);
   reduce_state_.failed_attempts.assign(reduces_.size(), 0);
   for (TaskIndex i = 0; i < reduces_.size(); ++i) {
     reduce_state_.pending_queue.push_back(i);
@@ -203,8 +205,12 @@ void JobState::mark_started(TaskKind kind, TaskIndex index,
              "task must be claimed before starting");
   EANT_CHECK(machine < num_machines_, "machine id out of range");
   ++ks.started_per_machine[machine];
-  // Keep the first attempt's start time when a speculative twin launches.
-  if (!ks.speculative[index]) ks.start_time[index] = now;
+  // Keep the first attempt's start time and machine when a speculative twin
+  // launches.
+  if (!ks.speculative[index]) {
+    ks.start_time[index] = now;
+    ks.start_machine[index] = machine;
+  }
 }
 
 void JobState::mark_done(const TaskReport& report) {
@@ -240,6 +246,14 @@ Seconds JobState::task_start_time(TaskKind kind, TaskIndex index) const {
   EANT_CHECK(ks.status[index] != TaskStatus::kPending,
              "pending tasks have no start time");
   return ks.start_time[index];
+}
+
+cluster::MachineId JobState::task_machine(TaskKind kind, TaskIndex index) const {
+  const auto& ks = state(kind);
+  EANT_CHECK(index < ks.start_machine.size(), "task index out of range");
+  EANT_CHECK(ks.status[index] != TaskStatus::kPending,
+             "pending tasks have no machine");
+  return ks.start_machine[index];
 }
 
 Seconds JobState::mean_completed_duration(TaskKind kind) const {

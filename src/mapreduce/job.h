@@ -132,6 +132,11 @@ class JobState {
   /// Start time of a Running/Done task (its first attempt).
   Seconds task_start_time(TaskKind kind, TaskIndex index) const;
 
+  /// Machine running the task's *original* attempt (a speculative twin's
+  /// launch does not overwrite it) — the basis of the per-node speculation
+  /// cap.  Requires the task to have started.
+  cluster::MachineId task_machine(TaskKind kind, TaskIndex index) const;
+
   /// Mean duration of completed tasks of the kind (0 when none completed) —
   /// the straggler threshold basis for LATE-style speculation.
   Seconds mean_completed_duration(TaskKind kind) const;
@@ -170,6 +175,7 @@ class JobState {
     std::vector<std::size_t> completed_per_machine;
     std::vector<bool> speculative;
     std::vector<Seconds> start_time;
+    std::vector<cluster::MachineId> start_machine;
     std::vector<int> failed_attempts;
     double completed_duration_sum = 0.0;
   };

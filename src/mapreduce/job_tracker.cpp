@@ -33,6 +33,20 @@ JobTracker::JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
              "blacklist parameters must be non-negative");
   EANT_CHECK(config_.blacklist_decay_window >= 0.0,
              "blacklist decay window must be non-negative");
+  EANT_CHECK(config_.health_ewma_alpha > 0.0 && config_.health_ewma_alpha <= 1.0,
+             "health EWMA weight must lie in (0, 1]");
+  EANT_CHECK(config_.quarantine_threshold >= 0.0 &&
+                 config_.quarantine_threshold < 1.0,
+             "quarantine threshold must lie in [0, 1)");
+  EANT_CHECK(config_.health_recovery_threshold >=
+                 config_.quarantine_threshold,
+             "recovery threshold must not sit below the quarantine threshold");
+  EANT_CHECK(config_.health_min_samples >= 1,
+             "health detection needs at least one sample");
+  EANT_CHECK(config_.quarantine_decay_window >= 0.0,
+             "quarantine decay window must be non-negative");
+  EANT_CHECK(config_.max_speculative_per_node >= 0,
+             "speculative-per-node cap must be non-negative");
   EANT_CHECK(config_.fetch_failure_threshold >= 0,
              "fetch failure threshold must be non-negative");
   EANT_CHECK(config_.fetch_retry_backoff > 0.0 &&
@@ -71,14 +85,17 @@ void JobTracker::start_trackers() {
   }
   tracker_states_.resize(cluster_.size());
   if (config_.tracker_expiry_window > 0.0 ||
-      config_.blacklist_decay_window > 0.0) {
+      config_.blacklist_decay_window > 0.0 ||
+      (config_.quarantine_threshold > 0.0 &&
+       config_.quarantine_decay_window > 0.0)) {
     // The real JobTracker sweeps for expired trackers on a timer of its own;
     // one sweep per heartbeat interval bounds detection latency at
     // expiry_window + heartbeat_interval.  The same sweep drives the
-    // blacklist fault-counter decay.
+    // blacklist fault-counter decay and quarantine healing.
     expiry_event_ = sim_.schedule_periodic(config_.heartbeat_interval, [this] {
       check_tracker_expiry();
       decay_blacklist_counters();
+      decay_quarantine();
       return true;
     });
   }
@@ -132,7 +149,7 @@ void JobTracker::handle_heartbeat(TaskTracker& tracker) {
     // empty re-replication target — the declared loss already dropped its
     // replicas.
     ts.lost = false;
-    scheduler_.on_tracker_rejoined(m);
+    maybe_rejoin(m);
     if (!namenode_.datanode_alive(m)) {
       namenode_.mark_datanode_alive(m);
       pump_rereplication();
@@ -147,18 +164,90 @@ void JobTracker::handle_heartbeat(TaskTracker& tracker) {
     // for.
     pump_rereplication();
   }
-  if (ts.blacklisted) return;  // no new work while blacklisted
+  update_node_health(tracker);
+  // No new work while blacklisted (fail-stop suspicion) or quarantined
+  // (fail-slow suspicion).
+  if (ts.blacklisted || ts.quarantined) return;
   try_assign(tracker, TaskKind::kMap);
   try_assign(tracker, TaskKind::kReduce);
+}
+
+void JobTracker::update_node_health(TaskTracker& tracker) {
+  if (config_.quarantine_threshold <= 0.0) return;
+  const cluster::MachineId m = tracker.machine_id();
+  TrackerState& ts = tracker_states_[m];
+  const auto rates = tracker.progress_rate_samples();
+  if (rates.empty()) return;
+  double mean = 0.0;
+  for (double r : rates) mean += r;
+  mean /= static_cast<double>(rates.size());
+  // On a healthy machine every rate is exactly 1.0, so the EWMA update adds
+  // alpha * 0 and the score stays bit-identical to its 1.0 initial value —
+  // fail-slow detection is inert until a limp actually happens.
+  ts.health += config_.health_ewma_alpha * (mean - ts.health);
+  ++ts.health_samples;
+  if (!ts.quarantined && ts.health_samples >= config_.health_min_samples &&
+      ts.health < config_.quarantine_threshold) {
+    ts.quarantined = true;
+    ++quarantine_episodes_;
+    // The node is not dead — its running attempts continue (and may still
+    // finish) — but the scheduler must stop feeding it.
+    scheduler_.on_tracker_lost(m);
+  } else if (ts.quarantined &&
+             ts.health > config_.health_recovery_threshold) {
+    ts.quarantined = false;
+    ts.health_samples = 0;
+    maybe_rejoin(m);
+  }
+}
+
+void JobTracker::decay_quarantine() {
+  if (config_.quarantine_threshold <= 0.0 ||
+      config_.quarantine_decay_window <= 0.0) {
+    return;
+  }
+  const Seconds now = sim_.now();
+  if (now - last_quarantine_decay_ < config_.quarantine_decay_window) return;
+  last_quarantine_decay_ = now;
+  for (cluster::MachineId m = 0; m < tracker_states_.size(); ++m) {
+    TrackerState& ts = tracker_states_[m];
+    if (!ts.quarantined) continue;
+    // A quarantined node runs nothing, so its health can never recover from
+    // progress samples alone; heal it halfway toward 1.0 per window (the
+    // quarantine analogue of blacklist-counter halving) so the node is
+    // eventually retried.  A still-limping node re-quarantines quickly.
+    ts.health += 0.5 * (1.0 - ts.health);
+    if (ts.health > config_.health_recovery_threshold) {
+      ts.quarantined = false;
+      ts.health_samples = 0;
+      maybe_rejoin(m);
+    }
+  }
+}
+
+void JobTracker::maybe_rejoin(cluster::MachineId machine) {
+  // State-priority rule: a node may hold several suspensions at once (lost,
+  // blacklisted, quarantined).  It re-earns work only when the LAST of them
+  // clears — every clearing path funnels through here so no single decay can
+  // hand work to a node another mechanism still distrusts.
+  const TrackerState& ts = tracker_states_[machine];
+  if (trackers_[machine]->alive() && !ts.lost && !ts.blacklisted &&
+      !ts.quarantined) {
+    scheduler_.on_tracker_rejoined(machine);
+  }
 }
 
 void JobTracker::try_speculate(TaskTracker& tracker, TaskKind kind) {
   if (tracker.free_slots(kind) <= 0) return;
   const cluster::MachineId m = tracker.machine_id();
-  // Longest-overdue straggler that this machine could beat.
+  // Longest-overdue straggler that this machine could beat.  With
+  // speculative_progress_ranking the score is instead the LATE-style
+  // estimated remaining time from the attempt's observed progress rate — a
+  // limping node's near-stalled attempt ranks far above a merely unlucky
+  // one, and the beat test compares against remaining work, not elapsed.
   JobId best_job = 0;
   TaskIndex best_index = 0;
-  Seconds best_overshoot = 0.0;
+  Seconds best_score = 0.0;
   bool found = false;
   const Seconds now = sim_.now();
   for (JobId id : active_) {
@@ -173,15 +262,27 @@ void JobTracker::try_speculate(TaskTracker& tracker, TaskKind kind) {
       const Seconds elapsed = now - js.task_start_time(kind, i);
       if (elapsed <= config_.speculative_straggler_beta * mean) continue;
       // Only worthwhile if a fresh attempt here is expected to beat the
-      // original's progress-to-date.
+      // original.
       const TaskSpec& spec = js.task(kind, i);
       const Locality locality = kind == TaskKind::kReduce
                                     ? Locality::kNodeLocal
                                     : namenode_.locality(spec.block, m);
       const Seconds here = base_duration(spec, cluster_.machine(m), locality);
-      if (here >= elapsed) continue;
-      if (elapsed - mean > best_overshoot) {
-        best_overshoot = elapsed - mean;
+      Seconds score;
+      if (config_.speculative_progress_ranking) {
+        const double p = running_progress(id, kind, i);
+        // remaining = elapsed * (1 - p) / p; a zero-progress attempt (still
+        // fetching, or crawling) pessimistically counts its elapsed time.
+        const Seconds remaining =
+            p > 0.0 ? elapsed * (1.0 - p) / p : elapsed;
+        if (here >= remaining) continue;
+        score = remaining;
+      } else {
+        if (here >= elapsed) continue;
+        score = elapsed - mean;
+      }
+      if (score > best_score) {
+        best_score = score;
         best_job = id;
         best_index = i;
         found = true;
@@ -290,8 +391,10 @@ void JobTracker::launch_with_fabric(JobState& js, TaskKind kind,
   mult *= noise_.straggler_multiplier();
   mult *= noise_.duration_multiplier();
 
+  // Nominal runtime on purpose (see base_duration): the TaskTracker applies
+  // the fail-slow stretch event-deterministically on its side.
   Seconds compute_d =
-      machine.type().task_runtime(spec.cpu_ref_seconds, spec.io_mb) * mult;
+      machine.type().task_runtime(spec.cpu_ref_seconds, spec.io_mb) * mult;  // lint-ok: machine-speed
   Seconds fail_after = 0.0;
   if (attempt_fault_hook_) {
     // The transient fault runs down during the compute phase, matching the
@@ -783,7 +886,7 @@ void JobTracker::decay_blacklist_counters() {
     if (ts.blacklisted && ts.failures < config_.blacklist_threshold) {
       // The decayed record no longer justifies the blacklist: forgive early.
       ts.blacklisted = false;
-      if (trackers_[m]->alive() && !ts.lost) scheduler_.on_tracker_rejoined(m);
+      maybe_rejoin(m);
     }
   }
 }
@@ -861,8 +964,11 @@ void JobTracker::note_legacy_network() {
 Seconds JobTracker::base_duration(const TaskSpec& spec,
                                   const cluster::Machine& machine,
                                   Locality locality) const {
+  // The master's *nominal* expectation deliberately excludes fail-slow
+  // multipliers: Hadoop's JobTracker does not know a node is limping, it
+  // only observes the stretched progress downstream.
   Seconds base =
-      machine.type().task_runtime(spec.cpu_ref_seconds, spec.io_mb);
+      machine.type().task_runtime(spec.cpu_ref_seconds, spec.io_mb);  // lint-ok: machine-speed
   if (spec.kind == TaskKind::kMap && locality != Locality::kNodeLocal) {
     base += spec.input_mb / config_.remote_read_mbps;
   }
@@ -948,6 +1054,27 @@ bool JobTracker::start_speculative(JobId job, TaskKind kind, TaskIndex index,
   // a speculative twin on the original's own machine would collide (and is
   // pointless anyway — it shares every bottleneck with the original).
   if (fabric_ != nullptr && tracker.is_running(job, kind, index)) return false;
+
+  if (config_.max_speculative_per_node > 0) {
+    // Cap concurrent clones of one node's originals: a deeply limping
+    // machine can strand dozens of near-stalled attempts, and uncapped
+    // speculation would flood the fleet's free slots with its duplicates.
+    const cluster::MachineId origin = js.task_machine(kind, index);
+    int clones = 0;
+    for (JobId id : active_) {
+      const JobState& other = *jobs_[id];
+      for (TaskKind k : {TaskKind::kMap, TaskKind::kReduce}) {
+        const std::size_t total =
+            k == TaskKind::kMap ? other.num_maps() : other.num_reduces();
+        for (TaskIndex i = 0; i < total; ++i) {
+          if (other.status(k, i) != TaskStatus::kRunning) continue;
+          if (!other.is_speculative(k, i)) continue;
+          if (other.task_machine(k, i) == origin) ++clones;
+        }
+      }
+    }
+    if (clones >= config_.max_speculative_per_node) return false;
+  }
 
   const TaskSpec& spec = js.task(kind, index);
   const cluster::MachineId m = tracker.machine_id();
@@ -1051,7 +1178,7 @@ void JobTracker::handle_task_failure(TaskReport report) {
       if (!s.blacklisted) return;  // counter decay already forgave it
       s.blacklisted = false;
       s.failures = 0;
-      if (trackers_[m]->alive() && !s.lost) scheduler_.on_tracker_rejoined(m);
+      maybe_rejoin(m);
     });
   }
 
@@ -1194,7 +1321,8 @@ void JobTracker::fail_job(JobState& js) {
 bool JobTracker::tracker_available(cluster::MachineId id) const {
   EANT_CHECK(id < trackers_.size(), "tracker id out of range");
   const TrackerState& ts = tracker_states_[id];
-  return trackers_[id]->alive() && !ts.lost && !ts.blacklisted;
+  return trackers_[id]->alive() && !ts.lost && !ts.blacklisted &&
+         !ts.quarantined;
 }
 
 bool JobTracker::tracker_lost(cluster::MachineId id) const {
@@ -1205,6 +1333,26 @@ bool JobTracker::tracker_lost(cluster::MachineId id) const {
 bool JobTracker::tracker_blacklisted(cluster::MachineId id) const {
   EANT_CHECK(id < tracker_states_.size(), "tracker id out of range");
   return tracker_states_[id].blacklisted;
+}
+
+bool JobTracker::tracker_quarantined(cluster::MachineId id) const {
+  EANT_CHECK(id < tracker_states_.size(), "tracker id out of range");
+  return tracker_states_[id].quarantined;
+}
+
+double JobTracker::node_health(cluster::MachineId id) const {
+  EANT_CHECK(id < tracker_states_.size(), "tracker id out of range");
+  return tracker_states_[id].health;
+}
+
+double JobTracker::running_progress(JobId job, TaskKind kind,
+                                    TaskIndex index) const {
+  double best = -1.0;
+  for (const auto& t : trackers_) {
+    const double p = t->running_progress(job, kind, index);
+    if (p > best) best = p;
+  }
+  return best;
 }
 
 const JobState& JobTracker::job(JobId id) const {

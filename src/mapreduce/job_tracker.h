@@ -89,6 +89,19 @@ struct JobTrackerConfig {
   /// the mean completed-task duration of its job and kind.
   double speculative_straggler_beta = 1.5;
 
+  /// Hardened speculation: rank straggler candidates by estimated remaining
+  /// time derived from their observed progress rate (LATE's heuristic)
+  /// instead of raw elapsed-over-mean, and require the speculating machine
+  /// to beat that remaining time.  Off by default — flipping it changes
+  /// scheduling decisions and therefore digests.
+  bool speculative_progress_ranking = false;
+
+  /// Cap on concurrent speculative duplicates whose *original* attempt runs
+  /// on the same node — stops a limping machine from eating the fleet's
+  /// slots with clones before quarantine confirms it.  0 = unlimited
+  /// (stock Hadoop behaviour).
+  int max_speculative_per_node = 0;
+
   /// When set, every map task is forced local (true) or remote (false),
   /// overriding real block placement — used by the Fig. 6 experiment to
   /// control the data-locality percentage directly.
@@ -120,6 +133,32 @@ struct JobTrackerConfig {
   /// full blacklist_duration.  0 disables decay (pre-decay behaviour:
   /// blacklisting is permanent until the duration lapses).
   Seconds blacklist_decay_window = 600.0;
+
+  // --- fail-slow (gray failure) detection --------------------------------------
+
+  /// EWMA weight of each heartbeat's mean progress-rate sample in the
+  /// per-node health score (1.0 = healthy full-speed progress).
+  double health_ewma_alpha = 0.25;
+
+  /// A node whose health EWMA drops below this is quarantined: it keeps
+  /// heartbeating (it is NOT dead) but receives no new work until its health
+  /// recovers — the gray-failure analogue of blacklisting.  0 disables
+  /// fail-slow detection entirely.  Safe to leave on: a healthy machine's
+  /// progress rate is exactly 1.0, so the score never moves fault-free.
+  double quarantine_threshold = 0.55;
+
+  /// A quarantined node re-earns work once its health climbs back above
+  /// this (hysteresis above the entry threshold).
+  double health_recovery_threshold = 0.75;
+
+  /// Heartbeats carrying progress samples required before the health score
+  /// is trusted enough to quarantine (guards against one noisy window).
+  int health_min_samples = 4;
+
+  /// Every this many seconds a quarantined node's health heals halfway back
+  /// toward 1.0 (mirrors blacklist decay) so a repaired limper is retried
+  /// even when it holds no tasks to prove itself with.  0 disables decay.
+  Seconds quarantine_decay_window = 600.0;
 
   // --- degraded-mode fault tolerance ------------------------------------------
 
@@ -274,6 +313,19 @@ class JobTracker {
   bool tracker_lost(cluster::MachineId id) const;
   bool tracker_blacklisted(cluster::MachineId id) const;
 
+  /// True iff the node is quarantined as a suspected limper (fail-slow).
+  bool tracker_quarantined(cluster::MachineId id) const;
+
+  /// The node's progress-rate health EWMA (exactly 1.0 when never degraded).
+  double node_health(cluster::MachineId id) const;
+
+  /// Times any node entered quarantine.
+  std::size_t quarantine_episodes() const { return quarantine_episodes_; }
+
+  /// Progress fraction of the task's live attempt in [0, 1] (max over its
+  /// attempts when a speculative twin runs); -1 when no tracker runs it.
+  double running_progress(JobId job, TaskKind kind, TaskIndex index) const;
+
   /// Attempts killed by machine crashes / transient failures so far.
   std::size_t killed_attempts() const { return killed_attempts_; }
   std::size_t failed_attempts() const { return failed_attempts_; }
@@ -370,6 +422,11 @@ class JobTracker {
     Seconds last_heartbeat = 0.0;
     bool lost = false;
     bool blacklisted = false;
+    /// Suspected limper: healthy heartbeat but confirmed-slow progress.
+    bool quarantined = false;
+    /// Progress-rate health EWMA (1.0 = full speed) and sample count.
+    double health = 1.0;
+    int health_samples = 0;
     /// The node crashed and its casualties await detection + re-queue.
     bool crash_pending = false;
     int failures = 0;
@@ -461,6 +518,9 @@ class JobTracker {
   void finish_rereplication(net::FlowId id, hdfs::BlockId block,
                             cluster::MachineId target, Megabytes mb);
   void decay_blacklist_counters();
+  void update_node_health(TaskTracker& tracker);
+  void decay_quarantine();
+  void maybe_rejoin(cluster::MachineId machine);
   void note_legacy_network();
   void check_tracker_expiry();
   void reclaim_lost_work(cluster::MachineId machine, bool datanode_lost);
@@ -518,6 +578,8 @@ class JobTracker {
   std::size_t failed_attempts_ = 0;
   std::size_t lost_map_outputs_ = 0;
   double wasted_task_seconds_ = 0.0;
+  std::size_t quarantine_episodes_ = 0;
+  Seconds last_quarantine_decay_ = 0.0;
   sim::EventId expiry_event_ = 0;
 
   std::function<void(const TaskReport&)> report_listener_;

@@ -1,10 +1,12 @@
 #include "mapreduce/task_tracker.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "audit/auditor.h"
 #include "common/error.h"
+#include "common/fp.h"
 #include "mapreduce/job_tracker.h"
 
 namespace eant::mr {
@@ -83,6 +85,26 @@ TaskTracker::Running& TaskTracker::occupy_slot(const TaskSpec& spec,
   return it->second;
 }
 
+void TaskTracker::schedule_compute(Running& r, std::uint64_t attempt,
+                                   Seconds duration, Seconds fail_after) {
+  r.compute_start = sim_.now();
+  r.nominal_duration = duration;
+  r.fails = fail_after > 0.0 && fail_after < duration;
+  r.event_work = r.fails ? fail_after : duration;
+  r.stretch = machine_.stretch_for(r.spec.cpu_ref_seconds, r.spec.io_mb);
+  r.last_rescale = sim_.now();
+  r.work_done = 0.0;
+  // stretch is the literal 1.0 on a healthy machine, so event_work * stretch
+  // is bit-identical to the pre-fail-slow schedule there.
+  if (r.fails) {
+    r.completion_event = sim_.schedule_after(
+        r.event_work * r.stretch, [this, attempt] { fail_task(attempt); });
+  } else {
+    r.completion_event = sim_.schedule_after(
+        r.event_work * r.stretch, [this, attempt] { finish_task(attempt); });
+  }
+}
+
 void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
                              bool data_local, Seconds fail_after) {
   EANT_CHECK(duration > 0.0, "task duration must be positive");
@@ -90,13 +112,7 @@ void TaskTracker::start_task(const TaskSpec& spec, Seconds duration,
   Running& r = occupy_slot(spec, attempt);
   r.data_local = data_local;
   r.locality = data_local ? Locality::kNodeLocal : Locality::kOffRack;
-  if (fail_after > 0.0 && fail_after < duration) {
-    r.completion_event =
-        sim_.schedule_after(fail_after, [this, attempt] { fail_task(attempt); });
-  } else {
-    r.completion_event =
-        sim_.schedule_after(duration, [this, attempt] { finish_task(attempt); });
-  }
+  schedule_compute(r, attempt, duration, fail_after);
 }
 
 void TaskTracker::start_fetching_task(const TaskSpec& spec, Locality locality,
@@ -119,13 +135,7 @@ void TaskTracker::begin_compute(JobId job, TaskKind kind, TaskIndex index,
   r.fetching = false;
   r.fetch_end = sim_.now();
   r.abort_transfer = nullptr;
-  if (fail_after > 0.0 && fail_after < duration) {
-    r.completion_event =
-        sim_.schedule_after(fail_after, [this, attempt] { fail_task(attempt); });
-  } else {
-    r.completion_event =
-        sim_.schedule_after(duration, [this, attempt] { finish_task(attempt); });
-  }
+  schedule_compute(r, attempt, duration, fail_after);
 }
 
 void TaskTracker::abort_transfer_if_fetching(Running& r) {
@@ -153,12 +163,88 @@ void TaskTracker::close_sample_window(Running& r) {
   }
 }
 
+double TaskTracker::work_now(const Running& r) const {
+  if (r.compute_start < 0.0) return 0.0;
+  return r.work_done + (sim_.now() - r.last_rescale) / r.stretch;
+}
+
+void TaskTracker::set_perf_factors(double cpu, double io) {
+  machine_.set_perf_factors(cpu, io);
+  const Seconds now = sim_.now();
+  for (auto& [attempt, r] : running_) {
+    if (r.compute_start < 0.0) continue;  // fetching: stretch applies later
+    const double new_stretch =
+        machine_.stretch_for(r.spec.cpu_ref_seconds, r.spec.io_mb);
+    if (approx_equal(new_stretch, r.stretch)) continue;
+    // Bank the work done at the old stretch, then reschedule the pending
+    // event for the remaining nominal work at the new one — the same
+    // event-deterministic re-rate the fabric applies to flows.
+    r.work_done += (now - r.last_rescale) / r.stretch;
+    r.last_rescale = now;
+    r.stretch = new_stretch;
+    sim_.cancel(r.completion_event);
+    const Seconds remaining =
+        std::max(r.event_work - r.work_done, 0.0) * new_stretch;
+    const std::uint64_t id = attempt;
+    if (r.fails) {
+      r.completion_event =
+          sim_.schedule_after(remaining, [this, id] { fail_task(id); });
+    } else {
+      r.completion_event =
+          sim_.schedule_after(remaining, [this, id] { finish_task(id); });
+    }
+  }
+  if (audit::InvariantAuditor* auditor = job_tracker_.auditor()) {
+    audit::Fnv1a key;
+    key.mix(static_cast<std::uint64_t>(machine_.id()));
+    key.mix(cpu);
+    key.mix(io);
+    auditor->record(audit::Record::kPerfState, key.value());
+  }
+}
+
+std::vector<double> TaskTracker::progress_rate_samples() const {
+  std::vector<double> rates;
+  const Seconds now = sim_.now();
+  for (const auto& [id, r] : running_) {
+    if (r.compute_start < 0.0) continue;
+    const Seconds elapsed = now - r.compute_start;
+    if (elapsed <= 0.0) continue;
+    rates.push_back(work_now(r) / elapsed);
+  }
+  return rates;
+}
+
+double TaskTracker::running_progress(JobId job, TaskKind kind,
+                                     TaskIndex index) const {
+  const std::uint64_t attempt = find_attempt(job, kind, index);
+  if (attempt == 0) return -1.0;
+  const Running& r = running_.at(attempt);
+  if (r.compute_start < 0.0 || r.nominal_duration <= 0.0) return 0.0;
+  return std::clamp(work_now(r) / r.nominal_duration, 0.0, 1.0);
+}
+
 bool TaskTracker::heartbeat() {
   // First close the elapsed utilisation window for every running task (the
   // effective-share computation must see the old aggregate demand), then
   // redraw each task's true demand for the next window (transient noise).
   for (auto& [id, r] : running_) {
     close_sample_window(r);
+  }
+  // Audit: integrated nominal work never decreases, under any sequence of
+  // slowdown/recovery re-rates.
+  if (audit::InvariantAuditor* auditor = job_tracker_.auditor()) {
+    for (auto& [id, r] : running_) {
+      if (r.compute_start < 0.0) continue;
+      const double w = work_now(r);
+      if (w + 1e-9 < r.last_progress) {
+        auditor->report_violation(
+            "progress-monotonic", audit::Severity::kError,
+            "task progress went backwards on machine " +
+                std::to_string(machine_.id()));
+      }
+      r.last_progress = w;
+    }
   }
   for (auto& [id, r] : running_) {
     const double next_demand = r.spec.cpu_demand * noise_.demand_multiplier();
@@ -195,10 +281,28 @@ void TaskTracker::release_slot(TaskKind kind) {
   }
 }
 
+// Audit: when the scheduled compute event fires, the nominal work
+// integrated across every re-rate must equal the work the event was
+// scheduled for — the service-time re-estimation consistency invariant.
+void TaskTracker::check_work_integral(const Running& r) {
+  audit::InvariantAuditor* auditor = job_tracker_.auditor();
+  if (!auditor || r.compute_start < 0.0) return;
+  const double w = work_now(r);
+  const double tol = 1e-6 * std::max(r.event_work, 1.0);
+  if (std::abs(w - r.event_work) > tol) {
+    auditor->report_violation(
+        "work-integral", audit::Severity::kError,
+        "attempt finished with integrated work " + std::to_string(w) +
+            " against scheduled " + std::to_string(r.event_work) +
+            " on machine " + std::to_string(machine_.id()));
+  }
+}
+
 void TaskTracker::finish_task(std::uint64_t attempt_id) {
   auto it = running_.find(attempt_id);
   EANT_ASSERT(it != running_.end(), "completion for unknown attempt");
   Running& r = it->second;
+  check_work_integral(r);
   close_sample_window(r);
   machine_.adjust_demand(-r.current_demand);
   TaskReport report = make_report(r);
@@ -220,6 +324,7 @@ void TaskTracker::fail_task(std::uint64_t attempt_id) {
   auto it = running_.find(attempt_id);
   EANT_ASSERT(it != running_.end(), "failure for unknown attempt");
   Running& r = it->second;
+  check_work_integral(r);
   close_sample_window(r);
   machine_.adjust_demand(-r.current_demand);
   TaskReport report = make_report(r);

@@ -104,6 +104,27 @@ class TaskTracker {
   /// heartbeat.
   void restart();
 
+  /// Fail-slow transition: updates the machine's dynamic performance
+  /// multipliers and re-estimates every in-flight compute phase
+  /// event-deterministically — the work done so far at the old stretch is
+  /// integrated, the completion (or scheduled-failure) event is cancelled
+  /// and rescheduled for the remaining work at the new stretch.  Tasks still
+  /// in their network-transfer phase pick up the new stretch when compute
+  /// begins.  No-op re-rates (unchanged stretch) leave events untouched.
+  void set_perf_factors(double cpu, double io);
+
+  /// Nominal-work progress rate of each running compute-phase attempt:
+  /// (nominal seconds of work completed) / (wall seconds elapsed since
+  /// compute began).  Exactly 1.0 on a healthy machine; ≈ the slowdown
+  /// factor on a limping one.  Attempts still fetching or started this
+  /// instant are skipped.  The JobTracker folds these into its per-node
+  /// health score at every heartbeat.
+  std::vector<double> progress_rate_samples() const;
+
+  /// Fraction of the attempt's nominal duration completed, in [0, 1];
+  /// 0 while fetching.  Returns -1 if the attempt is not running here.
+  double running_progress(JobId job, TaskKind kind, TaskIndex index) const;
+
   Seconds heartbeat_interval() const { return heartbeat_; }
 
   /// Total tasks completed by this tracker (per kind); survives crashes.
@@ -122,10 +143,27 @@ class TaskTracker {
     Seconds last_sample = 0.0;
     std::vector<UtilSample> samples;
     sim::EventId completion_event = 0;  // completion or scheduled failure
+    // Fail-slow re-estimation state (compute phase only).  `event_work` is
+    // the nominal seconds of work until the scheduled event (the full
+    // duration, or fail_after for a doomed attempt); `work_done` the nominal
+    // work banked at previous stretches; `stretch` the wall-seconds-per-
+    // nominal-second factor currently in force (exactly 1.0 healthy).
+    Seconds compute_start = -1.0;  // <0 = compute not begun (fetching)
+    Seconds nominal_duration = 0.0;
+    Seconds event_work = 0.0;
+    bool fails = false;  // scheduled event is a transient failure
+    double stretch = 1.0;
+    Seconds last_rescale = 0.0;
+    double work_done = 0.0;
+    double last_progress = 0.0;  // audit: progress must be monotonic
   };
 
   bool heartbeat();
   void start_heartbeat(Seconds first_delay);
+  void schedule_compute(Running& r, std::uint64_t attempt, Seconds duration,
+                        Seconds fail_after);
+  double work_now(const Running& r) const;
+  void check_work_integral(const Running& r);
   void finish_task(std::uint64_t attempt_id);
   void fail_task(std::uint64_t attempt_id);
   void close_sample_window(Running& r);

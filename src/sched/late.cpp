@@ -35,10 +35,15 @@ bool LateScheduler::try_speculate(cluster::MachineId machine,
   if (!machine_is_fast(machine)) return false;
   const Seconds now = jt_->simulator().now();
 
-  // Longest-elapsed straggler across active jobs.
+  // Longest-elapsed straggler across active jobs; with the JobTracker's
+  // speculative_progress_ranking enabled the candidates are instead ranked
+  // by estimated time-left from observed progress (LATE's actual heuristic),
+  // which singles out attempts crawling on a limping machine rather than
+  // merely old ones.
+  const bool by_progress = jt_->config().speculative_progress_ranking;
   mr::JobId best_job = 0;
   mr::TaskIndex best_index = 0;
-  Seconds best_elapsed = 0.0;
+  Seconds best_score = 0.0;
   bool found = false;
   for (mr::JobId id : jt_->active_jobs()) {
     const auto& js = jt_->job(id);
@@ -50,10 +55,16 @@ bool LateScheduler::try_speculate(cluster::MachineId machine,
       if (js.status(kind, i) != mr::TaskStatus::kRunning) continue;
       if (js.is_speculative(kind, i)) continue;
       const Seconds elapsed = now - js.task_start_time(kind, i);
-      if (elapsed > straggler_beta_ * mean && elapsed > best_elapsed) {
+      if (elapsed <= straggler_beta_ * mean) continue;
+      Seconds score = elapsed;
+      if (by_progress) {
+        const double p = jt_->running_progress(id, kind, i);
+        score = p > 0.0 ? elapsed * (1.0 - p) / p : elapsed;
+      }
+      if (score > best_score) {
         best_job = id;
         best_index = i;
-        best_elapsed = elapsed;
+        best_score = score;
         found = true;
       }
     }

@@ -62,6 +62,40 @@ FaultPlan& FaultPlan::degrade_trunk_for(std::size_t rack, Seconds t,
   return *this;
 }
 
+FaultPlan& FaultPlan::slow_for(std::size_t machine, Seconds t,
+                               Seconds duration, double cpu_factor,
+                               double io_factor) {
+  EANT_CHECK(duration > 0.0, "fault duration must be positive");
+  EANT_CHECK(cpu_factor > 0.0 && cpu_factor <= 1.0,
+             "a slow fault's cpu factor must lie in (0, 1]");
+  EANT_CHECK(io_factor > 0.0 && io_factor <= 1.0,
+             "a slow fault's io factor must lie in (0, 1]");
+  EANT_CHECK(cpu_factor < 1.0 || io_factor < 1.0,
+             "a slow fault must degrade at least one factor");
+  slow_events.push_back(SlowFaultEvent{t, machine, cpu_factor, io_factor});
+  slow_events.push_back(SlowFaultEvent{t + duration, machine, 1.0, 1.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::rot(std::size_t machine, Seconds t, Seconds duration,
+                          double final_cpu_factor, int steps) {
+  EANT_CHECK(duration > 0.0, "fault duration must be positive");
+  EANT_CHECK(final_cpu_factor > 0.0 && final_cpu_factor < 1.0,
+             "a rot's final cpu factor must lie in (0, 1)");
+  EANT_CHECK(steps >= 1, "a rot needs at least one step");
+  // Equal-time steps, linearly interpolated factors ending exactly at
+  // final_cpu_factor; the machine snaps back to full speed when the rot
+  // episode ends (the disk was swapped / the throttle released).
+  for (int s = 1; s <= steps; ++s) {
+    const double frac = static_cast<double>(s) / steps;
+    const double factor = 1.0 + frac * (final_cpu_factor - 1.0);
+    slow_events.push_back(SlowFaultEvent{
+        t + duration * (s - 1) / steps, machine, factor, 1.0});
+  }
+  slow_events.push_back(SlowFaultEvent{t + duration, machine, 1.0, 1.0});
+  return *this;
+}
+
 FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
                              std::size_t num_machines, std::size_t num_racks)
     : sim_(sim),
@@ -71,7 +105,9 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
       up_(num_machines, true),
       crash_event_(num_machines, 0),
       node_link_factor_(num_machines, 1.0),
-      trunk_factor_(num_racks, 1.0) {
+      trunk_factor_(num_racks, 1.0),
+      cpu_factor_(num_machines, 1.0),
+      io_factor_(num_machines, 1.0) {
   EANT_CHECK(num_machines >= 1, "fault injector needs machines");
   EANT_CHECK(num_racks >= 1, "fault injector needs at least one rack");
   EANT_CHECK(plan_.mtbf >= 0.0 && plan_.mttr >= 0.0,
@@ -87,6 +123,15 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
   EANT_CHECK(
       plan_.link_fault_factor >= 0.0 && plan_.link_fault_factor < 1.0,
       "link fault factor must be in [0, 1)");
+  EANT_CHECK(plan_.slow_mtbf >= 0.0 && plan_.slow_mttr >= 0.0,
+             "slow MTBF/MTTR must be non-negative");
+  EANT_CHECK(plan_.slow_cpu_factor > 0.0 && plan_.slow_cpu_factor <= 1.0,
+             "stochastic slow cpu factor must lie in (0, 1]");
+  EANT_CHECK(plan_.slow_io_factor > 0.0 && plan_.slow_io_factor <= 1.0,
+             "stochastic slow io factor must lie in (0, 1]");
+  EANT_CHECK(plan_.slow_mtbf == 0.0 ||  // lint-ok: float-eq (config sentinel)
+                 plan_.slow_cpu_factor < 1.0 || plan_.slow_io_factor < 1.0,
+             "stochastic slow faults must degrade at least one factor");
   for (const auto& e : plan_.events) {
     EANT_CHECK(e.machine < num_machines, "fault plan names unknown machine");
     EANT_CHECK(e.time >= 0.0, "fault plan event in the past");
@@ -102,6 +147,15 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
     EANT_CHECK(e.factor >= 0.0 && e.factor <= 1.0,
                "net fault factor must lie in [0, 1]");
   }
+  for (const auto& e : plan_.slow_events) {
+    EANT_CHECK(e.machine < num_machines,
+               "slow fault plan names unknown machine");
+    EANT_CHECK(e.time >= 0.0, "slow fault plan event in the past");
+    EANT_CHECK(e.cpu_factor > 0.0 && e.cpu_factor <= 1.0,
+               "slow fault cpu factor must lie in (0, 1]");
+    EANT_CHECK(e.io_factor > 0.0 && e.io_factor <= 1.0,
+               "slow fault io factor must lie in (0, 1]");
+  }
   machine_rng_.reserve(num_machines);
   for (std::size_t m = 0; m < num_machines; ++m) {
     machine_rng_.push_back(rng.fork(m + 1));
@@ -109,6 +163,14 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
   link_rng_.reserve(num_machines);
   for (std::size_t m = 0; m < num_machines; ++m) {
     link_rng_.push_back(rng.fork(num_machines + 1 + m));
+  }
+  // Slow-fault streams fork at 2N + 2 .. 3N + 1, past every stream the
+  // fail-stop era claimed (task = 0, machines = 1..N, links = N+1..2N,
+  // fetch = 2N+1) — Rng::fork is pure, so a plan without slow faults
+  // consumes exactly the draws it always did.
+  slow_rng_.reserve(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    slow_rng_.push_back(rng.fork(2 * num_machines + 2 + m));
   }
 }
 
@@ -125,12 +187,19 @@ void FaultInjector::set_net_handler(NetHandler handler) {
   on_net_ = std::move(handler);
 }
 
+void FaultInjector::set_slow_handler(SlowHandler handler) {
+  EANT_CHECK(static_cast<bool>(handler), "slow handler must be callable");
+  on_slow_ = std::move(handler);
+}
+
 void FaultInjector::start() {
   EANT_CHECK(!started_, "fault injector already started");
   EANT_CHECK(static_cast<bool>(on_crash_),
              "set_handlers() must precede start()");
   EANT_CHECK(!plan_.has_net_faults() || static_cast<bool>(on_net_),
              "set_net_handler() must precede start() with network faults");
+  EANT_CHECK(!plan_.has_slow_faults() || static_cast<bool>(on_slow_),
+             "set_slow_handler() must precede start() with fail-slow faults");
   started_ = true;
   for (const auto& e : plan_.events) {
     if (e.kind == FaultEvent::Kind::kCrash) {
@@ -154,6 +223,16 @@ void FaultInjector::start() {
       schedule_link_flap(m);
     }
   }
+  for (const auto& e : plan_.slow_events) {
+    sim_.schedule_at(e.time, [this, e] {
+      apply_slow(e.machine, e.cpu_factor, e.io_factor);
+    });
+  }
+  if (plan_.slow_mtbf > 0.0) {
+    for (std::size_t m = 0; m < up_.size(); ++m) {
+      schedule_slow_episode(m);
+    }
+  }
 }
 
 bool FaultInjector::is_up(std::size_t machine) const {
@@ -170,6 +249,16 @@ double FaultInjector::node_link_factor(std::size_t machine) const {
 double FaultInjector::trunk_factor(std::size_t rack) const {
   EANT_CHECK(rack < trunk_factor_.size(), "rack index out of range");
   return trunk_factor_[rack];
+}
+
+double FaultInjector::cpu_factor(std::size_t machine) const {
+  EANT_CHECK(machine < cpu_factor_.size(), "machine index out of range");
+  return cpu_factor_[machine];
+}
+
+double FaultInjector::io_factor(std::size_t machine) const {
+  EANT_CHECK(machine < io_factor_.size(), "machine index out of range");
+  return io_factor_[machine];
 }
 
 std::optional<double> FaultInjector::draw_attempt_failure() {
@@ -197,6 +286,13 @@ std::size_t FaultInjector::link_faults() const {
   return static_cast<std::size_t>(
       std::count_if(net_log_.begin(), net_log_.end(),
                     [](const NetTransition& t) { return t.factor < 1.0; }));
+}
+
+std::size_t FaultInjector::slow_faults() const {
+  return static_cast<std::size_t>(std::count_if(
+      slow_log_.begin(), slow_log_.end(), [](const SlowTransition& t) {
+        return t.cpu_factor < 1.0 || t.io_factor < 1.0;
+      }));
 }
 
 void FaultInjector::crash(std::size_t machine) {
@@ -261,6 +357,28 @@ void FaultInjector::schedule_link_flap(std::size_t machine) {
   });
 }
 
+void FaultInjector::schedule_slow_episode(std::size_t machine) {
+  const Seconds dt = slow_rng_[machine].exponential(1.0 / plan_.slow_mtbf);
+  sim_.schedule_after(dt, [this, machine] {
+    if (cpu_factor_[machine] < 1.0 || io_factor_[machine] < 1.0) {
+      // Already limping (scripted overlap): skip this episode and resample
+      // from now, mirroring the link-flap semantics.
+      schedule_slow_episode(machine);
+      return;
+    }
+    apply_slow(machine, plan_.slow_cpu_factor, plan_.slow_io_factor);
+    if (plan_.slow_mttr > 0.0) {
+      const Seconds repair =
+          slow_rng_[machine].exponential(1.0 / plan_.slow_mttr);
+      sim_.schedule_after(repair, [this, machine] {
+        apply_slow(machine, 1.0, 1.0);
+        schedule_slow_episode(machine);
+      });
+    }
+    // slow_mttr == 0: the machine limps forever; its episode process ends.
+  });
+}
+
 void FaultInjector::apply_net(NetFaultEvent::Target target, std::size_t index,
                               double factor) {
   double& state = target == NetFaultEvent::Target::kNodeLink
@@ -270,6 +388,19 @@ void FaultInjector::apply_net(NetFaultEvent::Target target, std::size_t index,
   state = factor;
   net_log_.push_back(NetTransition{sim_.now(), target, index, factor});
   on_net_(target, index, factor);
+}
+
+void FaultInjector::apply_slow(std::size_t machine, double cpu_factor,
+                               double io_factor) {
+  if (approx_equal(cpu_factor_[machine], cpu_factor) &&
+      approx_equal(io_factor_[machine], io_factor)) {
+    return;  // redundant transition
+  }
+  cpu_factor_[machine] = cpu_factor;
+  io_factor_[machine] = io_factor;
+  slow_log_.push_back(
+      SlowTransition{sim_.now(), machine, cpu_factor, io_factor});
+  on_slow_(machine, cpu_factor, io_factor);
 }
 
 }  // namespace eant::sim

@@ -4,19 +4,24 @@
 // events, stochastic machine failures (exponential MTBF) with exponential
 // repair times (MTTR), a transient per-attempt task-failure probability,
 // scripted and stochastic *network* faults (access-link and rack-trunk
-// degradation/failure — a trunk factor of 0 partitions the rack), and a
-// transient shuffle-fetch failure probability.  The FaultInjector turns the
-// plan into simulator events and invokes handlers (wired to
-// TaskTracker::crash/restart and Fabric::set_*_factor by the exp harness)
-// when a machine or link changes state.
+// degradation/failure — a trunk factor of 0 partitions the rack), a
+// transient shuffle-fetch failure probability, and scripted and stochastic
+// *fail-slow* (gray) faults — CPU slowdown and disk-throughput degradation
+// factors, including progressive "rot" ramps, under which a machine keeps
+// accepting work but runs it at a fraction of nominal speed.  The
+// FaultInjector turns the plan into simulator events and invokes handlers
+// (wired to TaskTracker::crash/restart, Fabric::set_*_factor and
+// TaskTracker::set_perf_factors by the exp harness) when a machine or link
+// changes state.
 //
 // The injector lives in the sim layer on purpose: it knows machines, racks
 // and links only as indices and reports faults through callbacks, so the
 // MapReduce engine owns all recovery semantics.  Every random draw comes
 // from dedicated forked RNG streams (one per machine for MTBF/MTTR, one per
-// machine for link flaps, one for task failures, one for fetch failures), so
-// a run is exactly reproducible per seed and adding fault injection never
-// perturbs the draws of other components.
+// machine for link flaps, one for task failures, one for fetch failures,
+// one per machine for slow faults), so a run is exactly reproducible per
+// seed and adding fault injection never perturbs the draws of other
+// components.
 //
 // Stochastic failure processes are *restart-anchored*: a machine's next
 // crash is always sampled from the instant it (re)entered service, never
@@ -55,6 +60,18 @@ struct NetFaultEvent {
   Target target = Target::kNodeLink;
   std::size_t index = 0;  ///< machine id (kNodeLink) or rack id (kRackTrunk)
   double factor = 0.0;
+};
+
+/// One scripted fail-slow (gray failure) transition: sets a machine's CPU
+/// slowdown factor and disk/IO throughput factor.  Both factors multiply
+/// the machine's nominal speed: 1 restores full speed, (0, 1) limps —
+/// a cpu_factor of 0.5 doubles the compute phase of every task on the
+/// machine.  Unlike crashes the machine stays up and keeps accepting work.
+struct SlowFaultEvent {
+  Seconds time = 0.0;
+  std::size_t machine = 0;
+  double cpu_factor = 1.0;
+  double io_factor = 1.0;
 };
 
 /// Declarative description of the faults to inject into a run.
@@ -96,15 +113,38 @@ struct FaultPlan {
   /// a healthy network.
   double fetch_failure_prob = 0.0;
 
+  /// Scripted fail-slow transitions (performance degradation and recovery).
+  std::vector<SlowFaultEvent> slow_events;
+
+  /// Mean time between stochastic fail-slow episodes per machine
+  /// (exponential); 0 disables stochastic slowdowns.
+  Seconds slow_mtbf = 0.0;
+
+  /// Mean duration of a stochastic fail-slow episode (exponential);
+  /// 0 with slow_mtbf > 0 means limping machines never recover.
+  Seconds slow_mttr = 0.0;
+
+  /// CPU factor a stochastically limping machine drops to while the episode
+  /// is active (must be in (0, 1) when slow_mtbf > 0).
+  double slow_cpu_factor = 1.0;
+
+  /// IO throughput factor during a stochastic fail-slow episode.
+  double slow_io_factor = 1.0;
+
   /// True when the plan injects network faults (needs a Fabric to act on).
   bool has_net_faults() const {
     return !net_events.empty() || link_mtbf > 0.0;
   }
 
+  /// True when the plan injects fail-slow faults (needs a slow handler).
+  bool has_slow_faults() const {
+    return !slow_events.empty() || slow_mtbf > 0.0;
+  }
+
   /// True when the plan injects anything at all.
   bool enabled() const {
     return !events.empty() || mtbf > 0.0 || task_failure_prob > 0.0 ||
-           has_net_faults() || fetch_failure_prob > 0.0;
+           has_net_faults() || fetch_failure_prob > 0.0 || has_slow_faults();
   }
 
   /// Scripting helpers.
@@ -123,6 +163,15 @@ struct FaultPlan {
   /// Degrade a rack's trunk to `factor` capacity for `duration`.
   FaultPlan& degrade_trunk_for(std::size_t rack, Seconds t, Seconds duration,
                                double factor);
+  /// Slow a machine to `cpu_factor` (and `io_factor`) of nominal speed at t,
+  /// restore full speed `duration` seconds later.
+  FaultPlan& slow_for(std::size_t machine, Seconds t, Seconds duration,
+                      double cpu_factor, double io_factor = 1.0);
+  /// Progressive rot: degrade a machine's CPU in `steps` equal-time scripted
+  /// steps from full speed down to `final_cpu_factor` over `duration`,
+  /// then restore at t + duration (the dying-disk / thermal-throttle ramp).
+  FaultPlan& rot(std::size_t machine, Seconds t, Seconds duration,
+                 double final_cpu_factor, int steps = 4);
 };
 
 /// Executes a FaultPlan against a Simulator.
@@ -133,6 +182,10 @@ class FaultInjector {
   /// Fabric::set_node_link_factor / set_trunk_factor).
   using NetHandler = std::function<void(NetFaultEvent::Target target,
                                         std::size_t index, double factor)>;
+  /// Receives applied fail-slow transitions (wired by the exp harness to
+  /// TaskTracker::set_perf_factors).
+  using SlowHandler = std::function<void(std::size_t machine,
+                                         double cpu_factor, double io_factor)>;
 
   /// One applied machine transition (for logs, tests and determinism
   /// checks).
@@ -150,6 +203,14 @@ class FaultInjector {
     double factor = 1.0;  ///< factor after the transition
   };
 
+  /// One applied fail-slow transition.
+  struct SlowTransition {
+    Seconds time = 0.0;
+    std::size_t machine = 0;
+    double cpu_factor = 1.0;  ///< factors after the transition
+    double io_factor = 1.0;
+  };
+
   FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
                 std::size_t num_machines, std::size_t num_racks = 1);
 
@@ -163,6 +224,10 @@ class FaultInjector {
   /// plan has network faults.
   void set_net_handler(NetHandler handler);
 
+  /// Installs the fail-slow callback.  Must precede start() when the plan
+  /// has fail-slow faults.
+  void set_slow_handler(SlowHandler handler);
+
   /// Schedules every scripted event and seeds the stochastic failure
   /// processes.  Call exactly once.
   void start();
@@ -175,6 +240,10 @@ class FaultInjector {
 
   /// The injector's view of a rack's trunk capacity factor.
   double trunk_factor(std::size_t rack) const;
+
+  /// The injector's view of a machine's CPU / IO performance factors.
+  double cpu_factor(std::size_t machine) const;
+  double io_factor(std::size_t machine) const;
 
   /// Transient task-failure draw, consulted once per launched attempt.
   /// Empty: the attempt runs to completion.  Otherwise: the fraction of the
@@ -192,12 +261,19 @@ class FaultInjector {
   /// Every network transition actually applied, in simulation order.
   const std::vector<NetTransition>& net_log() const { return net_log_; }
 
+  /// Every fail-slow transition actually applied, in simulation order.
+  const std::vector<SlowTransition>& slow_log() const { return slow_log_; }
+
   /// Number of crash transitions applied so far.
   std::size_t crashes() const;
 
   /// Number of applied network transitions that degraded a link or trunk
   /// (factor < 1).
   std::size_t link_faults() const;
+
+  /// Number of applied fail-slow transitions that degraded a machine
+  /// (cpu or io factor < 1).
+  std::size_t slow_faults() const;
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -207,8 +283,10 @@ class FaultInjector {
   void schedule_stochastic_crash(std::size_t machine);
   void schedule_stochastic_recovery(std::size_t machine);
   void schedule_link_flap(std::size_t machine);
+  void schedule_slow_episode(std::size_t machine);
   void apply_net(NetFaultEvent::Target target, std::size_t index,
                  double factor);
+  void apply_slow(std::size_t machine, double cpu_factor, double io_factor);
 
   Simulator& sim_;
   FaultPlan plan_;
@@ -216,17 +294,22 @@ class FaultInjector {
   Rng task_rng_;                  // transient task-failure stream
   std::vector<Rng> link_rng_;     // one stream per machine (link flap draws)
   Rng fetch_rng_;                 // transient fetch-failure stream
+  std::vector<Rng> slow_rng_;     // one stream per machine (fail-slow draws)
   std::vector<bool> up_;
   // Pending stochastic crash per machine: cancelled when a scripted crash
   // intervenes, re-armed (with a fresh draw) at every recovery.
   std::vector<EventId> crash_event_;
   std::vector<double> node_link_factor_;
   std::vector<double> trunk_factor_;
+  std::vector<double> cpu_factor_;
+  std::vector<double> io_factor_;
   MachineHandler on_crash_;
   MachineHandler on_recover_;
   NetHandler on_net_;
+  SlowHandler on_slow_;
   std::vector<Transition> log_;
   std::vector<NetTransition> net_log_;
+  std::vector<SlowTransition> slow_log_;
   bool started_ = false;
 };
 

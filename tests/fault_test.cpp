@@ -497,6 +497,170 @@ TEST(BlacklistDecay, RegressionZeroWindowKeepsPreDecayPermanence) {
   EXPECT_LT(forgiven, 0.0) << "blacklist lifted despite decay being disabled";
 }
 
+// --- blacklist x quarantine interaction --------------------------------------
+
+TEST(BlacklistQuarantine, RejoinWaitsForBothSuspensionsToClear) {
+  // Regression for the state-priority rule: a node can be blacklisted
+  // (fail-stop suspicion) and quarantined (fail-slow suspicion) at once, and
+  // the decay of ONE must not hand it work while the other still stands.
+  const MachineId victim = 1;
+  exp::RunConfig cfg;
+  cfg.seed = 5;
+  cfg.job_tracker.blacklist_threshold = 2;
+  cfg.job_tracker.blacklist_duration = 100000.0;  // only decay forgives
+  // Wide enough that the victim's two mid-flight failures land inside ONE
+  // window (they spread out because the limp stretches each attempt by a
+  // different amount), yet still far shorter than the quarantine's decay.
+  cfg.job_tracker.blacklist_decay_window = 90.0;
+  cfg.job_tracker.health_min_samples = 2;
+  cfg.job_tracker.quarantine_decay_window = 120.0;  // clears after blacklist
+  cfg.job_tracker.max_attempts = 50;
+  // The victim limps (driving its health down) while its attempts also die
+  // halfway (driving its failure counter up).
+  cfg.faults.slow_for(victim, 5.0, 120.0, 0.2, 0.5);
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kFair, cfg);
+
+  bool burst_over = false;
+  run.job_tracker().set_attempt_fault_hook(
+      [&](const mr::TaskSpec&, MachineId m) -> std::optional<double> {
+        if (m != victim || burst_over) return std::nullopt;
+        return 0.5;
+      });
+  auto jobs = exp::job_batch(workload::AppKind::kWordcount, 64.0 * 24, 2, 5);
+  jobs[1].submit_time = 40.0;
+  jobs[2].submit_time = 80.0;
+  jobs[3].submit_time = 200.0;
+  jobs[4].submit_time = 320.0;
+  run.submit(jobs);
+
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  bool ever_both = false;
+  bool both_cleared = false;
+  bool worked_after_clear = false;
+  bool drained = false;
+  while (!jt.all_done()) {
+    ASSERT_TRUE(sim.step());
+    const bool bl = jt.tracker_blacklisted(victim);
+    const bool qu = jt.tracker_quarantined(victim);
+    if (bl && qu) {
+      ever_both = true;
+      burst_over = true;  // both mechanisms latched; stop injecting
+    }
+    const int running = jt.tracker(victim).running(TaskKind::kMap) +
+                        jt.tracker(victim).running(TaskKind::kReduce);
+    if (bl || qu) {
+      // Any standing suspicion blocks work — in particular during the
+      // window where one of the two has already decayed.
+      EXPECT_FALSE(jt.tracker_available(victim));
+      if (drained) {
+        EXPECT_EQ(running, 0)
+            << "suspended node received work (bl=" << bl << " qu=" << qu
+            << ") at t=" << sim.now();
+      } else if (running == 0) {
+        drained = true;
+      }
+    } else {
+      drained = false;
+      if (ever_both) {
+        both_cleared = true;
+        EXPECT_TRUE(jt.tracker_available(victim));
+        if (running > 0) worked_after_clear = true;
+      }
+    }
+  }
+  EXPECT_TRUE(ever_both) << "blacklist and quarantine never overlapped";
+  EXPECT_TRUE(both_cleared) << "the suspensions never both decayed";
+  EXPECT_TRUE(worked_after_clear)
+      << "victim never received work after both suspensions cleared";
+  EXPECT_EQ(jt.jobs_failed(), 0u);
+  EXPECT_EQ(jt.jobs_completed(), 5u);
+}
+
+TEST(BlacklistDecay, SpeculativeFailureReentersDecayedCounter) {
+  // A decayed (forgiven) node is trusted with a speculative clone; the clone
+  // fails.  That failure must land in the node's decayed counter like any
+  // other — pushing it straight back over the threshold.
+  const MachineId flaky = 1;
+  exp::RunConfig cfg;
+  cfg.seed = 5;
+  cfg.job_tracker.blacklist_threshold = 2;
+  cfg.job_tracker.blacklist_duration = 100000.0;
+  cfg.job_tracker.blacklist_decay_window = 60.0;
+  cfg.job_tracker.max_attempts = 50;
+  cfg.job_tracker.speculative_execution = false;  // clones by hand only
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kFair, cfg);
+
+  // Phase 1 hook: every attempt on the flaky machine dies halfway, until the
+  // blacklist latches.  Phase 2 hook: only the chosen speculative clone dies.
+  bool burst_over = false;
+  std::optional<std::pair<mr::JobId, mr::TaskIndex>> doomed_clone;
+  run.job_tracker().set_attempt_fault_hook(
+      [&](const mr::TaskSpec& spec, MachineId m) -> std::optional<double> {
+        if (m != flaky) return std::nullopt;
+        if (!burst_over) return 0.5;
+        if (doomed_clone && spec.kind == TaskKind::kMap &&
+            spec.job == doomed_clone->first &&
+            spec.index == doomed_clone->second) {
+          // Die almost immediately: the clone must fail before its original
+          // completes (which would cancel it) and before the next decay
+          // window halves the forgiven counter 1 -> 0.
+          return 0.05;
+        }
+        return std::nullopt;
+      });
+  run.submit(small_workload());
+
+  auto& sim = run.simulator();
+  auto& jt = run.job_tracker();
+  bool forgiven = false;
+  bool clone_launched = false;
+  bool reblacklisted = false;
+  while (!jt.all_done()) {
+    ASSERT_TRUE(sim.step());
+    if (!burst_over) {
+      if (jt.tracker_blacklisted(flaky)) burst_over = true;
+      continue;
+    }
+    if (!forgiven) {
+      forgiven = !jt.tracker_blacklisted(flaky);  // decay halved 2 -> 1
+      continue;
+    }
+    if (!clone_launched) {
+      if (jt.tracker(flaky).free_slots(TaskKind::kMap) <= 0) continue;
+      // Any running, unspeculated map whose original lives elsewhere.
+      for (mr::JobId id : jt.active_jobs()) {
+        const mr::JobState& js = jt.job(id);
+        for (mr::TaskIndex i = 0; i < js.num_maps(); ++i) {
+          if (js.status(TaskKind::kMap, i) != mr::TaskStatus::kRunning) {
+            continue;
+          }
+          if (js.is_speculative(TaskKind::kMap, i)) continue;
+          if (jt.tracker(flaky).is_running(id, TaskKind::kMap, i)) continue;
+          doomed_clone = {{id, i}};
+          if (jt.start_speculative(id, TaskKind::kMap, i,
+                                   jt.tracker(flaky))) {
+            clone_launched = true;
+          } else {
+            doomed_clone.reset();
+          }
+          break;
+        }
+        if (clone_launched) break;
+      }
+      continue;
+    }
+    if (jt.tracker_blacklisted(flaky)) reblacklisted = true;
+  }
+  EXPECT_TRUE(burst_over) << "flaky tracker was never blacklisted";
+  EXPECT_TRUE(forgiven) << "decay never forgave the first blacklist";
+  EXPECT_TRUE(clone_launched) << "no speculative clone could be placed";
+  EXPECT_TRUE(reblacklisted)
+      << "the failed clone did not re-enter the decayed counter";
+  EXPECT_EQ(jt.jobs_failed(), 0u);
+  EXPECT_EQ(jt.jobs_completed(), 3u);
+}
+
 // --- restart-anchored stochastic crash resampling ----------------------------
 
 TEST(FaultInjector, RestartResamplesCrashDrawCausally) {

@@ -26,6 +26,11 @@ Rules (each can be suppressed on a line with `// lint-ok: <rule>`):
                  make scheduling decisions (allowlisted containers only) —
                  iteration order is hash-seed dependent and anything drawn
                  from an RNG inside such a loop diverges across platforms.
+  machine-speed  `.type().task_runtime(...)` outside src/cluster/machine.* —
+                 the nominal per-type runtime ignores the fail-slow
+                 performance multipliers; use Machine::effective_task_runtime
+                 (or suppress where nominal time is deliberate, e.g. the
+                 launch path that lets the TaskTracker apply the stretch).
 
 Exit status: 0 when clean, 1 when any finding is reported.
 """
@@ -74,6 +79,13 @@ UNORDERED_ALLOWLIST: set[tuple[str, str]] = {
     ("src/sim/simulator.h", "queued_"),     # membership test only
     ("src/sim/simulator.h", "cancelled_"),  # membership test only
 }
+
+# Nominal (type-level) task runtime read outside the Machine wrapper: every
+# src/ call site must either go through Machine::effective_task_runtime —
+# which folds in the fail-slow performance multipliers — or carry an explicit
+# `// lint-ok: machine-speed` acknowledging that nominal time is intended.
+MACHINE_SPEED = re.compile(r"\.\s*type\s*\(\s*\)\s*\.\s*task_runtime\s*\(")
+MACHINE_SPEED_ALLOWLIST = {"src/cluster/machine.h", "src/cluster/machine.cpp"}
 
 
 def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
@@ -152,6 +164,12 @@ def lint_file(path: Path) -> list[str]:
 
         if is_header and USING_NAMESPACE.search(code):
             report("ns-in-header", "`using namespace` in a header")
+
+        if (rel.startswith("src/") and rel not in MACHINE_SPEED_ALLOWLIST
+                and MACHINE_SPEED.search(code)):
+            report("machine-speed",
+                   "nominal type-level runtime bypasses the fail-slow "
+                   "perf multipliers; use Machine::effective_task_runtime")
 
         if rel.startswith(ORDER_SENSITIVE_DIRS):
             m = UNORDERED_MEMBER.search(code)
