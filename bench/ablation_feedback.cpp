@@ -8,10 +8,14 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "ablation_feedback");
+  cli.done();
+
   TextTable nf("ablation: cross-colony negative feedback (Eq. 6)");
   nf.set_header({"variant", "energy (kJ)", "mean JCT (s)"});
   for (bool enabled : {false, true}) {

@@ -9,10 +9,14 @@
 #include "bench_common.h"
 #include "common/table.h"
 #include "exp/provisioning.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "ablation_provisioning");
+  cli.done();
+
   // Light load: a thin trickle of MSD jobs leaves most of the fleet idle,
   // which is where consolidation pays.
   workload::MsdConfig wl = bench::msd_config();

@@ -2,8 +2,10 @@
 // workload on the oversubscribed 4-rack fabric under every default fault mix
 // (machine crashes, link flaps, a rack partition, datanode losses deep
 // enough to force re-replication, fetch-failure noise, two fail-slow mixes,
-// and everything at once) across a seed matrix, with the InvariantAuditor as
-// the oracle.
+// two control-plane mixes — JobTracker crashes with checkpoint replay, and a
+// correlated JobTracker + NameNode outage during a rack partition — and
+// everything at once) across a seed matrix, with the InvariantAuditor as the
+// oracle.
 //
 // A cell passes only if every job completes, the auditor reports zero
 // violations, and no block ends the run under-replicated without either a
@@ -12,7 +14,7 @@
 // exits non-zero if any cell fails, so CI can use it as a smoke gate.
 //
 // Usage: chaos_campaign [num_seeds] [quick]
-//   num_seeds: seeds per mix (default 4 -> 8 mixes x 4 seeds = 32 cells)
+//   num_seeds: seeds per mix (default 4 -> 10 mixes x 4 seeds = 40 cells)
 //   quick:     replace the full MSD workload with a small Terasort batch —
 //              the CI smoke configuration (every fault path still fires;
 //              the scripted fault times scale with the probed horizon)
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
               std::to_string(outcomes.size()) + " cells)");
   t.set_header({"mix", "seed", "makespan (s)", "jobs failed", "fetch fail",
                 "maps re-run", "re-repl", "data loss", "link faults",
-                "violations", "det", "verdict"});
+                "master", "orphans", "violations", "det", "verdict"});
   std::size_t failures = 0;
   for (const auto& o : outcomes) {
     const bool ok = o.survived && o.deterministic;
@@ -81,6 +83,9 @@ int main(int argc, char** argv) {
                std::to_string(o.metrics.rereplicated_blocks),
                std::to_string(o.metrics.data_loss_events),
                std::to_string(o.metrics.link_faults),
+               std::to_string(o.metrics.master_crashes),
+               std::to_string(o.metrics.orphans_committed +
+                              o.metrics.orphans_requeued),
                std::to_string(o.audit_violations),
                o.deterministic ? "yes" : "NO",
                ok ? "survived" : "FAILED"});

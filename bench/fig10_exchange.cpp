@@ -8,10 +8,14 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig10_exchange");
+  cli.done();
+
   // Heavier noise than the default makes the smoothing earn its keep.
   exp::RunConfig base = bench::run_config();
   base.noise = mr::NoiseConfig::typical();

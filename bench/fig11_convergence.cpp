@@ -14,6 +14,7 @@
 #include "core/eant_scheduler.h"
 #include "exp/builders.h"
 #include "exp/runner.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
@@ -97,7 +98,10 @@ void fig11b() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig11_convergence");
+  cli.done();
+
   fig11a();
   fig11b();
   return 0;

@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
@@ -30,7 +31,10 @@ exp::RunMetrics run_eant(exp::RunConfig cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig12_sensitivity");
+  cli.done();
+
   const auto jobs = sweep_workload();
 
   // Baseline: heterogeneity-agnostic Hadoop (FIFO).

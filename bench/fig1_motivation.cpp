@@ -14,6 +14,7 @@
 #include "cluster/catalog.h"
 #include "common/table.h"
 #include "exp/motivation.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
@@ -132,7 +133,10 @@ void fig1d() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig1_motivation");
+  cli.done();
+
   fig1a();
   fig1b();
   fig1c();

@@ -19,6 +19,7 @@
 #include "core/energy_model.h"
 #include "exp/builders.h"
 #include "exp/runner.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
@@ -96,7 +97,10 @@ Accuracy measure(const cluster::MachineType& type, workload::AppKind app) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig4_energy_model");
+  cli.done();
+
   for (const auto& type :
        {cluster::catalog::desktop(), cluster::catalog::xeon_e5()}) {
     TextTable t("Fig 4: energy-model accuracy on " + type.name);

@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "exp/builders.h"
 #include "exp/runner.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
@@ -34,7 +35,10 @@ Seconds run_with_locality(double local_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig6_locality");
+  cli.done();
+
   TextTable t("Fig 6: job completion time vs data locality");
   t.set_header({"% local data", "mean completion (min)"});
   for (double pct : {10.0, 40.0, 80.0}) {

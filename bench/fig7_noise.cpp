@@ -13,10 +13,14 @@
 #include "core/energy_model.h"
 #include "exp/builders.h"
 #include "exp/runner.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig7_noise");
+  cli.done();
+
   exp::RunConfig cfg;
   cfg.seed = 17;
   cfg.noise = mr::NoiseConfig::typical();

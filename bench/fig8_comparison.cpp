@@ -12,10 +12,14 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig8_comparison");
+  cli.done();
+
   std::map<exp::SchedulerKind, exp::RunMetrics> results;
   for (exp::SchedulerKind kind :
        {exp::SchedulerKind::kFair, exp::SchedulerKind::kTarazu,

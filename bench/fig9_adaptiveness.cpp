@@ -8,10 +8,14 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "fig9_adaptiveness");
+  cli.done();
+
   const auto m = bench::run_msd(exp::SchedulerKind::kEAnt);
 
   TextTable a("Fig 9(a): completed tasks by machine type and application");

@@ -1,0 +1,115 @@
+// perf_smoke — the simulator-throughput baseline for the scale arc.
+//
+// Runs a homogeneous Terasort batch at three fleet sizes and emits
+// BENCH_perf_smoke.json: simulated events per wall-clock second, wall-clock
+// seconds, and peak RSS against node and task count.  Future scale/speed PRs
+// diff their numbers against this file's committed trajectory; the absolute
+// values are machine-dependent, the shape (events/sec should stay roughly
+// flat as the fleet grows) is not.
+//
+// Usage: perf_smoke [out.json]   (default BENCH_perf_smoke.json)
+
+#include <sys/resource.h>
+
+#include <chrono>  // lint-ok: wall-clock
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "exp/builders.h"
+#include "exp/cli.h"
+#include "exp/runner.h"
+
+using namespace eant;
+
+namespace {
+
+/// Peak resident set size in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+struct Row {
+  std::size_t nodes = 0;
+  std::size_t jobs = 0;
+  std::size_t tasks = 0;
+  std::uint64_t events = 0;
+  Seconds sim_makespan = 0.0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double peak_rss_mib = 0.0;
+};
+
+Row measure(std::size_t nodes) {
+  // Work scales with the fleet: jobs proportional to nodes so every size
+  // runs at comparable utilisation and the per-event cost is comparable.
+  const int jobs = static_cast<int>(nodes / 4);
+  exp::RunConfig cfg;
+  cfg.seed = 7;
+  exp::Run run(exp::homogeneous(cluster::catalog::xeon_e5(), nodes),
+               exp::SchedulerKind::kEAnt, cfg);
+  run.submit(exp::job_batch(workload::AppKind::kTerasort, 4000.0, 8, jobs));
+
+  const auto t0 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+  run.execute();
+  const auto t1 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+
+  Row r;
+  r.nodes = nodes;
+  r.jobs = static_cast<std::size_t>(jobs);
+  const exp::RunMetrics m = run.metrics();
+  r.tasks = m.total_tasks;
+  r.events = run.simulator().executed();
+  r.sim_makespan = m.makespan;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
+                           : 0.0;
+  r.peak_rss_mib = peak_rss_mib();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "perf_smoke [out.json]");
+  const std::string out_path = cli.string_arg("out", "BENCH_perf_smoke.json");
+  cli.done();
+
+  std::vector<Row> rows;
+  for (std::size_t nodes : {16, 64, 256}) {
+    rows.push_back(measure(nodes));
+    const Row& r = rows.back();
+    std::printf(
+        "nodes=%3zu jobs=%3zu tasks=%6zu events=%9llu wall=%6.2fs "
+        "events/s=%9.0f rss=%6.1f MiB\n",
+        r.nodes, r.jobs, r.tasks, static_cast<unsigned long long>(r.events),
+        r.wall_seconds, r.events_per_sec, r.peak_rss_mib);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"perf_smoke\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"nodes\": %zu, \"jobs\": %zu, \"tasks\": %zu, "
+                 "\"events\": %llu, \"sim_makespan_s\": %.3f, "
+                 "\"wall_s\": %.3f, \"events_per_s\": %.0f, "
+                 "\"peak_rss_mib\": %.1f}%s\n",
+                 r.nodes, r.jobs, r.tasks,
+                 static_cast<unsigned long long>(r.events), r.sim_makespan,
+                 r.wall_seconds, r.events_per_sec, r.peak_rss_mib,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

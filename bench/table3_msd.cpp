@@ -8,10 +8,14 @@
 
 #include "bench_common.h"
 #include "common/table.h"
+#include "exp/cli.h"
 
 using namespace eant;
 
-int main() {
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "table3_msd");
+  cli.done();
+
   const auto jobs = bench::msd_workload();
   const auto cfg = bench::msd_config();
 

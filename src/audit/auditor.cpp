@@ -251,35 +251,54 @@ void InvariantAuditor::on_task_transition(std::uint64_t job, bool is_map,
       break;
 
     case TaskEvent::kFinish:
+    case TaskEvent::kOrphanCommit:
       if (task.attempts_running < 1)
         report_violation("task-state-machine", Severity::kError,
-                         context("finish without a running attempt"));
+                         context(event == TaskEvent::kFinish
+                                     ? "finish without a running attempt"
+                                     : "orphan commit without a running attempt"));
       if (task.done)
         report_violation("task-state-machine", Severity::kError,
-                         context("second finish of a completed task"));
+                         context(event == TaskEvent::kFinish
+                                     ? "second finish of a completed task"
+                                     : "orphan commit of a completed task"));
+      // A second commit without an intervening revert would credit the
+      // task's work (and the energy attributed to it) twice — the classic
+      // failover double-count when a stale completion slips past fencing.
+      if (!committed_.insert({job, is_map, index}).second)
+        report_violation("double-counted-energy", Severity::kError,
+                         context("task committed twice across epochs"));
       task.done = true;
       task.attempts_running = std::max(0, task.attempts_running - 1);
       if (m != nullptr) {
         int& running = is_map ? m->running_maps : m->running_reduces;
         running = std::max(0, running - 1);
       }
-      record(Record::kTaskFinish,
+      record(event == TaskEvent::kFinish ? Record::kTaskFinish
+                                         : Record::kOrphanCommit,
              (job << 20) ^ (index << 1) ^ (is_map ? 1 : 0));
       break;
 
     case TaskEvent::kFail:
     case TaskEvent::kKill:
+    case TaskEvent::kOrphanRequeue:
       if (task.attempts_running < 1)
         report_violation(
             "task-state-machine", Severity::kError,
-            context(event == TaskEvent::kFail ? "fail without a running attempt"
-                                              : "kill without a running attempt"));
+            context(event == TaskEvent::kFail
+                        ? "fail without a running attempt"
+                        : event == TaskEvent::kKill
+                              ? "kill without a running attempt"
+                              : "orphan requeue without a running attempt"));
       task.attempts_running = std::max(0, task.attempts_running - 1);
       if (m != nullptr) {
         int& running = is_map ? m->running_maps : m->running_reduces;
         running = std::max(0, running - 1);
       }
-      record(event == TaskEvent::kFail ? Record::kTaskFail : Record::kTaskKill,
+      record(event == TaskEvent::kFail
+                 ? Record::kTaskFail
+                 : event == TaskEvent::kKill ? Record::kTaskKill
+                                             : Record::kOrphanRequeue,
              (job << 20) ^ (index << 1) ^ (is_map ? 1 : 0));
       break;
 
@@ -289,10 +308,23 @@ void InvariantAuditor::on_task_transition(std::uint64_t job, bool is_map,
         report_violation("task-state-machine", Severity::kError,
                          context("revert of a task that is not done"));
       task.done = false;
+      // The work no longer counts, so a later re-commit is legitimate.
+      committed_.erase({job, is_map, index});
       record(Record::kTaskRevert,
              (job << 20) ^ (index << 1) ^ (is_map ? 1 : 0));
       break;
   }
+}
+
+void InvariantAuditor::on_master_epoch(std::uint64_t epoch) {
+  if (epoch <= last_epoch_) {
+    std::ostringstream os;
+    os << "master epoch advanced to " << epoch << " but epoch " << last_epoch_
+       << " was already observed — fencing cannot distinguish the regimes";
+    report_violation("epoch-monotonicity", Severity::kError, os.str());
+  }
+  last_epoch_ = std::max(last_epoch_, epoch);
+  record(Record::kEpoch, epoch);
 }
 
 void InvariantAuditor::record(Record type, std::uint64_t entity) {

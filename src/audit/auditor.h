@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -107,10 +108,27 @@ enum class Record : std::uint32_t {
   kDataLoss = 17,      ///< all replicas of a block died (entity = block id)
   kFetchFailure = 18,  ///< shuffle fetch failed (entity = job+source bits)
   kPerfState = 19,     ///< machine perf factors changed (entity = id+factor bits)
+  kMasterCrash = 20,   ///< control-plane daemon died (entity = 0 JT, 1 NN)
+  kMasterRecover = 21, ///< control-plane daemon restarted (entity = 0 JT, 1 NN)
+  kCheckpoint = 22,    ///< JobTracker edit-log checkpoint committed
+  kEpoch = 23,         ///< master epoch advanced (entity = new epoch)
+  kOrphanCommit = 24,  ///< orphaned attempt committed from checkpoint replay
+  kOrphanRequeue = 25, ///< orphaned attempt discarded and requeued
 };
 
 /// Task-attempt lifecycle events checked against the transition table.
-enum class TaskEvent { kLaunch, kFinish, kFail, kKill, kRevertDone };
+/// kOrphanCommit / kOrphanRequeue are the failover-recovery resolutions of
+/// an attempt that outlived its master: commit behaves like a finish (the
+/// work counts once), requeue like a kill (the work is wasted).
+enum class TaskEvent {
+  kLaunch,
+  kFinish,
+  kFail,
+  kKill,
+  kRevertDone,
+  kOrphanCommit,
+  kOrphanRequeue,
+};
 
 /// The checking layer.  Construct, wire via attach_* / set_auditor calls,
 /// run the simulation, then finalize() for the report.
@@ -163,6 +181,11 @@ class InvariantAuditor final : public sim::SimObserver,
   /// kind, `machine` where the event happened.
   void on_task_transition(std::uint64_t job, bool is_map, std::uint64_t index,
                           TaskEvent event, cluster::MachineId machine);
+
+  /// Observes a master-epoch advance (JobTracker recovery).  Epochs must be
+  /// strictly increasing — a stale or repeated epoch means fencing is broken
+  /// and stale heartbeats could be double-applied.
+  void on_master_epoch(std::uint64_t epoch);
 
   // --- generic hooks (higher layers without a dedicated interface) ------------
 
@@ -239,6 +262,12 @@ class InvariantAuditor final : public sim::SimObserver,
   // iteration and because the key is a composite.
   std::map<std::tuple<std::uint64_t, bool, std::uint64_t>, TaskAudit> tasks_;
   std::map<net::FlowId, Megabytes> open_flows_;
+
+  // Tasks whose completion was committed (kFinish or kOrphanCommit).  A
+  // second commit without an intervening kRevertDone would count the same
+  // task's work — and energy — twice across master epochs.
+  std::set<std::tuple<std::uint64_t, bool, std::uint64_t>> committed_;
+  std::uint64_t last_epoch_ = 0;
 
   std::map<std::string, Violation> violations_;
 };

@@ -84,6 +84,41 @@ void EAntScheduler::on_tracker_rejoined(cluster::MachineId machine) {
   table_->reseed_machine(machine);
 }
 
+void EAntScheduler::on_master_recovered(std::uint64_t /*epoch*/) {
+  // The partial interval's buffered reports lived in the dead master's
+  // memory; re-depositing them after the failover would double-count task
+  // energy across epochs (the auditor checks exactly that on the commit
+  // side), so both ablation modes drop the buffers.
+  interval_reports_.clear();
+  interval_counts_.clear();
+  const std::vector<mr::JobId> active = jt_->active_jobs();
+  if (config_.pheromone_snapshot_on_master_recovery) {
+    // Rewind to the trail state persisted at the last control tick; only
+    // the intra-interval learning is lost.
+    table_->restore(tick_snapshot_);
+    // Colonies that finished between that tick and the crash were
+    // resurrected by the restore: retire them again.
+    for (const auto& [key, row] : tick_snapshot_.trails) {
+      if (std::find(active.begin(), active.end(), key.first) == active.end()) {
+        table_->remove_job(key.first);
+      }
+    }
+  } else {
+    // Amnesia ablation: the trail died with the master.  Every live colony
+    // restarts at tau_init, and the class priors are gone too.
+    table_ = std::make_unique<PheromoneTable>(
+        table_->num_machines(), config_.rho, config_.tau_init,
+        config_.tau_min);
+  }
+  // Colonies submitted after the snapshot (under amnesia, all of them) need
+  // fresh trails before the next heartbeat samples them.
+  for (mr::JobId job : active) {
+    if (!table_->has_job(job)) {
+      table_->add_job(job, jt_->job(job).spec().exchange_key());
+    }
+  }
+}
+
 void EAntScheduler::on_task_failed(const mr::TaskSpec& spec,
                                    cluster::MachineId machine) {
   // A failed attempt is negative evidence about the (job, machine) path —
@@ -102,6 +137,10 @@ void EAntScheduler::on_fetch_failed(mr::JobId job,
 }
 
 void EAntScheduler::control_tick() {
+  // The scheduler runs inside the master process: while the JobTracker is
+  // down there is no one to tick.  The interval whose tick lands in an
+  // outage is simply lost, like the edit-log entries past the checkpoint.
+  if (!jt_->master_up()) return;
   ++intervals_;
   if (!interval_reports_.empty()) {
     DeltaMap deposits = compute_deposits(
@@ -130,6 +169,12 @@ void EAntScheduler::control_tick() {
 
   interval_reports_.clear();
   interval_counts_.clear();
+
+  if (config_.pheromone_snapshot_on_master_recovery) {
+    // Persist the trail alongside this tick (the failover snapshot): a
+    // master crash rewinds the table to here, not to scratch.
+    tick_snapshot_ = table_->snapshot();
+  }
 
   if (auditor_) {
     auditor_->record(audit::Record::kControlTick, intervals_);

@@ -66,6 +66,15 @@ struct EAntConfig {
   /// uplink.  Inert with one flat rack.
   double rack_local_acceptance_floor = 0.25;
 
+  /// Master-failover ablation (does the ant trail survive amnesia?): when
+  /// true (default), E-Ant snapshots its pheromone table at every control
+  /// tick — modeling the trail being persisted alongside the JobTracker's
+  /// edit-log — and a master recovery restores the last tick's snapshot,
+  /// losing only the intra-interval learning.  When false the trail dies
+  /// with the master: recovery reseeds every live colony at tau_init and
+  /// the fleet relearns its ranking from scratch.
+  bool pheromone_snapshot_on_master_recovery = true;
+
   /// Optional slow-completion feedback: a task whose duration exceeds this
   /// multiple of its job's mean completed duration depresses the
   /// (job, kind, machine) trail immediately, like a failure, instead of
@@ -102,6 +111,7 @@ class EAntScheduler final : public mr::Scheduler {
   void on_tracker_rejoined(cluster::MachineId machine) override;
   void on_task_failed(const mr::TaskSpec& spec,
                       cluster::MachineId machine) override;
+  void on_master_recovered(std::uint64_t epoch) override;
   void on_fetch_failed(mr::JobId job, cluster::MachineId source) override;
   std::optional<mr::JobId> select_job(cluster::MachineId machine,
                                       mr::TaskKind kind) override;
@@ -145,6 +155,8 @@ class EAntScheduler final : public mr::Scheduler {
   std::map<mr::JobId, std::vector<std::size_t>> interval_counts_;
   std::vector<Joules> estimated_per_machine_;
   std::size_t intervals_ = 0;
+  /// Trail state persisted at the last control tick (the failover snapshot).
+  PheromoneTable::Snapshot tick_snapshot_;
 };
 
 }  // namespace eant::core

@@ -159,4 +159,18 @@ std::vector<double> PheromoneTable::trail(mr::JobId job,
   return it->second;
 }
 
+PheromoneTable::Snapshot PheromoneTable::snapshot() const {
+  return Snapshot{trails_, classes_, priors_};
+}
+
+void PheromoneTable::restore(const Snapshot& snap) {
+  for (const auto& [key, row] : snap.trails) {
+    EANT_CHECK(row.size() == num_machines_,
+               "snapshot shape does not match the table");
+  }
+  trails_ = snap.trails;
+  classes_ = snap.classes;
+  priors_ = snap.priors;
+}
+
 }  // namespace eant::core

@@ -94,6 +94,18 @@ class PheromoneTable {
   const std::vector<double>* class_prior(const std::string& class_key,
                                          mr::TaskKind kind) const;
 
+  /// Full-state snapshot/restore (the control-plane failover model): the
+  /// trails, class bindings and class priors of every colony, restorable
+  /// onto a table of the same shape.  Used by E-Ant's master-recovery hook
+  /// to rewind the ant trail to the last persisted control tick.
+  struct Snapshot {
+    std::map<TrailKey, std::vector<double>> trails;
+    std::map<TrailKey, std::string> classes;
+    std::map<std::pair<std::string, mr::TaskKind>, std::vector<double>> priors;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
  private:
   std::size_t num_machines_;
   double rho_;

@@ -116,6 +116,43 @@ std::vector<ChaosMix> default_chaos_mixes() {
                      cfg.job_tracker.max_speculative_per_node = 2;
                    }});
 
+  // Control-plane only: the JobTracker crashes twice — a brief blip the
+  // buffered reports ride out, and a long outage that spans tracker activity
+  // — with checkpointing enabled so the second recovery replays real
+  // coverage.  Epoch fencing, the re-registration storm and orphan
+  // resolution all run while the data plane stays perfectly healthy.
+  mixes.push_back({"jobtracker-crash",
+                   [](RunConfig& cfg, std::size_t, std::size_t, Seconds h,
+                      std::uint64_t seed) {
+                     const Seconds t1 = (0.15 + 0.02 * pick(seed, 23, 5)) * h;
+                     cfg.faults.crash_jobtracker_for(t1, 0.03 * h);
+                     cfg.faults.crash_jobtracker_for(0.55 * h, 0.15 * h);
+                     cfg.job_tracker.checkpoint_interval = 0.05 * h;
+                     cfg.job_tracker.checkpoint_write_cost = 0.002 * h;
+                     cfg.job_tracker.reregistration_window = 0.01 * h;
+                   }});
+
+  // Correlated control-plane + network disaster: the JobTracker and the
+  // NameNode both crash while one rack is partitioned, so recovery must
+  // interleave checkpoint replay, block-map restoration, buffered datanode
+  // marks and fetch-failure handling.  The NameNode comes back first (the
+  // JobTracker replays buffered submissions only once both are up).
+  mixes.push_back({"master-and-partition",
+                   [](RunConfig& cfg, std::size_t, std::size_t racks,
+                      Seconds h, std::uint64_t seed) {
+                     EANT_CHECK(racks >= 2,
+                                "master-and-partition mix needs a multi-rack "
+                                "fabric");
+                     cfg.faults.partition_rack(pick(seed, 29, racks), 0.30 * h,
+                                               0.15 * h);
+                     const Seconds t = (0.32 + 0.01 * pick(seed, 31, 4)) * h;
+                     cfg.faults.crash_namenode_for(t, 0.08 * h);
+                     cfg.faults.crash_jobtracker_for(t + 0.01 * h, 0.10 * h);
+                     cfg.job_tracker.checkpoint_interval = 0.04 * h;
+                     cfg.job_tracker.checkpoint_write_cost = 0.002 * h;
+                     cfg.job_tracker.reregistration_window = 0.01 * h;
+                   }});
+
   // Everything at once (moderated so at most two machines are ever dark
   // together): a declared node loss, link flaps, a partition and transient
   // fetch errors.

@@ -2,7 +2,8 @@
 // with the InvariantAuditor as the oracle.  Each fault mix is a named recipe
 // that scripts or parameterises machine crashes, access-link faults, rack
 // partitions, datanode losses, fail-slow (gray failure) performance
-// degradations and transient fetch errors; a campaign asserts
+// degradations, control-plane (JobTracker / NameNode) crashes and transient
+// fetch errors; a campaign asserts
 // that every run survives — all jobs complete, zero invariant violations,
 // no unexplained under-replication — and that re-running a (seed, mix) cell
 // reproduces its determinism digest bit-for-bit.
@@ -57,6 +58,8 @@ struct ChaosConfig {
 /// The default gauntlet: machine crashes, link flaps, a rack partition, a
 /// datanode loss deep enough to trigger re-replication, fetch-failure noise,
 /// two fail-slow mixes (pure gray failures, and gray-failures-plus-crash),
+/// two control-plane mixes (JobTracker-only crashes with checkpoint replay,
+/// and a correlated JobTracker + NameNode outage during a rack partition),
 /// and everything at once.
 std::vector<ChaosMix> default_chaos_mixes();
 

@@ -53,6 +53,19 @@ bool Cli::keyword_arg(const char* word) {
   return true;
 }
 
+std::string Cli::string_arg(const char* name, std::string def) {
+  const char* arg = peek();
+  if (arg == nullptr) return def;
+  if (arg[0] == '-') {
+    die(std::string("unknown flag '") + arg + "'");
+  }
+  if (*arg == '\0') {
+    die(std::string("empty ") + name);
+  }
+  ++next_;
+  return arg;
+}
+
 void Cli::done() const {
   if (const char* arg = peek()) {
     die(std::string("unexpected trailing argument '") + arg + "'");

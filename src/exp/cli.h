@@ -29,6 +29,11 @@ class Cli {
   /// error (there is nothing else it could legally be).
   bool keyword_arg(const char* word);
 
+  /// Consumes the next positional as a free-form string (e.g. an output
+  /// path); returns `def` when absent.  Flag-shaped arguments still die —
+  /// the benches take only positionals.
+  std::string string_arg(const char* name, std::string def);
+
   /// Call after the last declared argument: any unconsumed argv is an error.
   void done() const;
 

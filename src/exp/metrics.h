@@ -84,6 +84,15 @@ struct RunMetrics {
   /// through the cracks" invariant).
   std::size_t replication_violations = 0;
 
+  // --- control-plane failover accounting --------------------------------------
+  std::size_t master_crashes = 0;       ///< JT + NN crash transitions applied
+  std::size_t checkpoints_written = 0;  ///< committed edit-log checkpoints
+  std::size_t checkpoint_replays = 0;   ///< recoveries that replayed one
+  std::size_t fenced_heartbeats = 0;    ///< heartbeats rejected by epoch fencing
+  std::size_t fenced_completions = 0;   ///< reports buffered as orphans
+  std::size_t orphans_committed = 0;    ///< orphaned attempts committed on replay
+  std::size_t orphans_requeued = 0;     ///< orphaned attempts discarded + requeued
+
   // --- invariant audit (only meaningful when audited) ------------------------
   bool audited = false;  ///< the run had the InvariantAuditor attached
   /// FNV-1a over the ordered observation stream; bit-identical across two

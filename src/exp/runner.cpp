@@ -122,6 +122,16 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
         }
       });
     }
+    if (config_.faults.has_master_faults()) {
+      injector_->set_master_handler(
+          [this](sim::MasterFaultEvent::Target target, bool up) {
+            if (target == sim::MasterFaultEvent::Target::kJobTracker) {
+              up ? jt_->recover_master() : jt_->crash_master();
+            } else {
+              up ? jt_->recover_namenode() : jt_->crash_namenode();
+            }
+          });
+    }
     injector_->start();
     if (config_.faults.task_failure_prob > 0.0) {
       jt_->set_attempt_fault_hook(
@@ -176,6 +186,13 @@ RunMetrics Run::metrics() {
     rm.link_faults = injector_->link_faults();
     rm.perf_faults = injector_->slow_faults();
   }
+  rm.master_crashes = jt_->master_crashes();
+  rm.checkpoints_written = jt_->checkpoints_written();
+  rm.checkpoint_replays = jt_->checkpoint_replays();
+  rm.fenced_heartbeats = jt_->fenced_heartbeats();
+  rm.fenced_completions = jt_->fenced_completions();
+  rm.orphans_committed = jt_->orphans_committed();
+  rm.orphans_requeued = jt_->orphans_requeued();
   rm.quarantine_episodes = jt_->quarantine_episodes();
   if (auditor_) {
     rm.audited = true;

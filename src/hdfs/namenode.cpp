@@ -342,6 +342,37 @@ LocalityStats NameNode::locality_stats() const {
   return stats;
 }
 
+NameNode::Snapshot NameNode::snapshot() const {
+  return Snapshot{blocks_,       per_node_counts_, per_rack_counts_,
+                  alive_,        under_replicated_, lost_blocks_,
+                  mutated_};
+}
+
+void NameNode::restore(const Snapshot& snap) {
+  EANT_CHECK(snap.per_node_counts.size() == num_datanodes_ &&
+                 snap.alive.size() == num_datanodes_ &&
+                 snap.per_rack_counts.size() == num_racks_,
+             "snapshot shape does not match this NameNode");
+  blocks_ = snap.blocks;
+  per_node_counts_ = snap.per_node_counts;
+  per_rack_counts_ = snap.per_rack_counts;
+  alive_ = snap.alive;
+  under_replicated_ = snap.under_replicated;
+  lost_blocks_ = snap.lost_blocks;
+  mutated_ = snap.mutated;
+}
+
+void NameNode::rebuild_under_replication() {
+  under_replicated_.clear();
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    const BlockInfo& b = blocks_[id];
+    if (b.locations.empty()) continue;  // lost: recorded, never re-queued
+    if (b.locations.size() < static_cast<std::size_t>(replication_)) {
+      under_replicated_.insert(id);
+    }
+  }
+}
+
 std::size_t NameNode::rack_of(cluster::MachineId machine) const {
   EANT_CHECK(machine < num_datanodes_, "unknown datanode");
   return racks_[machine];

@@ -163,12 +163,44 @@ class NameNode {
   /// code paths (stale-locality recomputation etc.).
   bool mutated() const { return mutated_; }
 
- private:
+  // --- control-plane failover --------------------------------------------------
+
+  /// Size and replica locations of one block.
   struct BlockInfo {
     Megabytes size;
     std::vector<cluster::MachineId> locations;
   };
 
+  /// Full mutable state of the NameNode — the fsimage + edit-log analogue.
+  /// The RNG streams and the immutable shape (datanode count, replication,
+  /// racks) are not part of the snapshot: a restarted NameNode is the same
+  /// process image resuming from its persisted namespace.
+  struct Snapshot {
+    std::vector<BlockInfo> blocks;
+    std::vector<std::size_t> per_node_counts;
+    std::vector<std::size_t> per_rack_counts;
+    std::vector<bool> alive;
+    std::set<BlockId> under_replicated;
+    std::vector<BlockId> lost_blocks;
+    bool mutated = false;
+  };
+
+  /// Captures the block map, liveness view, under-replication queue and
+  /// loss record (the periodic fsimage checkpoint).
+  Snapshot snapshot() const;
+
+  /// Restores a snapshot taken from this NameNode (shapes must match).
+  void restore(const Snapshot& snap);
+
+  /// Recomputes the under-replication queue from the block map and the
+  /// current liveness view — the failover recovery step after replaying
+  /// buffered datanode death/rejoin marks: every short-but-live block is
+  /// re-queued, fully replicated blocks leave the queue, and the append-only
+  /// loss record is left untouched (block locations themselves are ground
+  /// truth, rebuilt from datanode block reports in real HDFS).
+  void rebuild_under_replication();
+
+ private:
   /// Least-loaded of two random candidates from `pool` (power of two
   /// choices) using `rng`; removes and returns it.  pool must be non-empty.
   cluster::MachineId take_balanced_with(Rng& rng,

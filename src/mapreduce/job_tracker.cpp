@@ -57,10 +57,18 @@ JobTracker::JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
   EANT_CHECK(config_.max_replication_streams >= 1 &&
                  config_.rereplication_mbps > 0.0,
              "re-replication parameters must be positive");
+  EANT_CHECK(config_.checkpoint_interval >= 0.0 &&
+                 config_.checkpoint_write_cost >= 0.0,
+             "checkpoint parameters must be non-negative");
+  EANT_CHECK(config_.reregistration_window >= 0.0,
+             "re-registration window must be non-negative");
   scheduler_.attach(*this);
 }
 
-JobTracker::~JobTracker() { sim_.cancel(expiry_event_); }
+JobTracker::~JobTracker() {
+  sim_.cancel(expiry_event_);
+  sim_.cancel(checkpoint_event_);
+}
 
 void JobTracker::start_trackers() {
   EANT_CHECK(trackers_.empty(), "trackers already started");
@@ -84,6 +92,8 @@ void JobTracker::start_trackers() {
     capability_share_[id] = type.cores * type.cpu_factor / total_capability;
   }
   tracker_states_.resize(cluster_.size());
+  tracker_epoch_.assign(cluster_.size(), master_epoch_);
+  reregistration_gate_.assign(cluster_.size(), 0.0);
   if (config_.tracker_expiry_window > 0.0 ||
       config_.blacklist_decay_window > 0.0 ||
       (config_.quarantine_threshold > 0.0 &&
@@ -93,12 +103,38 @@ void JobTracker::start_trackers() {
     // expiry_window + heartbeat_interval.  The same sweep drives the
     // blacklist fault-counter decay and quarantine healing.
     expiry_event_ = sim_.schedule_periodic(config_.heartbeat_interval, [this] {
+      if (!master_up_) return true;  // a dead master detects nothing
       check_tracker_expiry();
       decay_blacklist_counters();
       decay_quarantine();
       return true;
     });
   }
+  start_checkpoint_timer();
+}
+
+void JobTracker::start_checkpoint_timer() {
+  if (config_.checkpoint_interval <= 0.0) return;
+  checkpoint_event_ =
+      sim_.schedule_periodic(config_.checkpoint_interval, [this] {
+        if (!master_up_) return true;  // no edit-log writer while down
+        const Seconds started = sim_.now();
+        const std::uint64_t epoch = master_epoch_;
+        // The write becomes durable only checkpoint_write_cost later: a
+        // master crash in between falls back to the previous committed
+        // checkpoint, so coverage never includes a torn write.
+        sim_.schedule_after(
+            config_.checkpoint_write_cost, [this, started, epoch] {
+              if (!master_up_ || master_epoch_ != epoch) return;
+              checkpoint_coverage_ = started;
+              ++checkpoints_written_;
+              if (auditor_) {
+                auditor_->record(audit::Record::kCheckpoint,
+                                 checkpoints_written_);
+              }
+            });
+        return true;
+      });
 }
 
 void JobTracker::attach_fabric(net::Fabric& fabric) {
@@ -114,6 +150,8 @@ TaskTracker& JobTracker::tracker(cluster::MachineId id) {
 
 JobId JobTracker::submit_now(workload::JobSpec spec) {
   EANT_CHECK(!trackers_.empty(), "start_trackers() must precede submission");
+  EANT_CHECK(master_up_ && namenode_up_,
+             "job submission requires a live JobTracker and NameNode");
   const JobId id = jobs_.size();
   spec.submit_time = sim_.now();
   auto js = std::make_unique<JobState>(id, spec, cluster_.size());
@@ -130,9 +168,26 @@ JobId JobTracker::submit_now(workload::JobSpec spec) {
 void JobTracker::submit(workload::JobSpec spec) {
   ++jobs_expected_;
   sim_.schedule_at(spec.submit_time, [this, spec]() mutable {
+    if (!master_up_ || !namenode_up_) {
+      // The client retries until a live master accepts the job; the buffer
+      // preserves arrival order for the replay at recovery.  jobs_expected_
+      // stays counted, so all_done() holds out for the replayed jobs.
+      pending_submissions_.push_back(std::move(spec));
+      return;
+    }
     --jobs_expected_;  // submit_now re-counts it
-    submit_now(spec);
+    submit_now(std::move(spec));
   });
+}
+
+void JobTracker::replay_pending_submissions() {
+  if (pending_submissions_.empty()) return;
+  std::vector<workload::JobSpec> pending = std::move(pending_submissions_);
+  pending_submissions_.clear();
+  for (auto& spec : pending) {
+    --jobs_expected_;  // submit_now re-counts it
+    submit_now(std::move(spec));
+  }
 }
 
 void JobTracker::submit_all(const std::vector<workload::JobSpec>& specs) {
@@ -141,6 +196,21 @@ void JobTracker::submit_all(const std::vector<workload::JobSpec>& specs) {
 
 void JobTracker::handle_heartbeat(TaskTracker& tracker) {
   const cluster::MachineId m = tracker.machine_id();
+  if (!master_up_) {
+    // The master process is dead: nobody hears the heartbeat.
+    ++fenced_heartbeats_;
+    return;
+  }
+  if (tracker_epoch_[m] != master_epoch_) {
+    if (sim_.now() < reregistration_gate_[m]) {
+      // Re-registration storm throttle: the restarted master admits the
+      // fleet in machine-id order across reregistration_window; reports
+      // arriving before a tracker's gate are fenced as stale-epoch.
+      ++fenced_heartbeats_;
+      return;
+    }
+    reregister_tracker(tracker);
+  }
   TrackerState& ts = tracker_states_[m];
   ts.last_heartbeat = sim_.now();
   if (ts.lost) {
@@ -151,8 +221,7 @@ void JobTracker::handle_heartbeat(TaskTracker& tracker) {
     ts.lost = false;
     maybe_rejoin(m);
     if (!namenode_.datanode_alive(m)) {
-      namenode_.mark_datanode_alive(m);
-      pump_rereplication();
+      apply_datanode_mark(m, /*dead=*/false);
     }
   } else if (ts.crash_pending) {
     // Fast restart: the node crashed and came back before the expiry window
@@ -168,8 +237,141 @@ void JobTracker::handle_heartbeat(TaskTracker& tracker) {
   // No new work while blacklisted (fail-stop suspicion) or quarantined
   // (fail-slow suspicion).
   if (ts.blacklisted || ts.quarantined) return;
+  // Placement decisions and split-locality answers need a live NameNode.
+  if (!namenode_up_) return;
   try_assign(tracker, TaskKind::kMap);
   try_assign(tracker, TaskKind::kReduce);
+}
+
+void JobTracker::reregister_tracker(TaskTracker& tracker) {
+  const cluster::MachineId m = tracker.machine_id();
+  tracker_epoch_[m] = master_epoch_;
+  const TrackerState& ts = tracker_states_[m];
+  // A node that crashed since fencing began lost the local outputs behind
+  // its buffered reports along with its attempts: nothing is committable.
+  // Its orphans are dropped by reclaim_lost_work, which the heartbeat body
+  // reaches through the lost / crash_pending paths (or already ran at
+  // expiry detection).
+  if (ts.lost || ts.crash_pending) return;
+  resolve_orphans(m, /*commit_allowed=*/true);
+  reconcile_running_attempts(tracker);
+}
+
+void JobTracker::resolve_orphans(cluster::MachineId machine,
+                                 bool commit_allowed) {
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    if (std::get<3>(it->first) != machine) {
+      ++it;
+      continue;
+    }
+    const Orphan orphan = std::move(it->second);
+    it = orphans_.erase(it);
+    const TaskSpec& spec = orphan.report.spec;
+    const bool is_map = spec.kind == TaskKind::kMap;
+    const bool covered = attempt_covered(orphan.report.start);
+    if (orphan.failed) {
+      // A buffered failure report: a covered attempt takes the normal
+      // failure path (attempt budget + blacklist credit); an attempt the
+      // replayed checkpoint never knew requeues for free — the restarted
+      // master cannot charge a failure it has no record of launching.
+      if (commit_allowed && covered) {
+        if (auditor_) {
+          auditor_->on_task_transition(spec.job, is_map, spec.index,
+                                       audit::TaskEvent::kFail, machine);
+        }
+        note_orphan_outcome(spec, machine, 1);
+        handle_task_failure(orphan.report);
+      } else {
+        if (auditor_) {
+          auditor_->on_task_transition(spec.job, is_map, spec.index,
+                                       audit::TaskEvent::kOrphanRequeue,
+                                       machine);
+        }
+        note_orphan_outcome(spec, machine, 2);
+        ++orphans_requeued_;
+        report_waste(orphan.report, WasteReason::kOrphaned);
+        requeue_orphaned_task(spec, machine);
+      }
+      continue;
+    }
+    // A buffered completion: commit iff the replayed checkpoint knew the
+    // attempt (it launched inside coverage) and the task still wants the
+    // result (no speculative twin won, job still live).
+    const JobState& js = job(spec.job);
+    const bool wanted = !js.failed() && !js.complete() &&
+                        js.status(spec.kind, spec.index) == TaskStatus::kRunning;
+    if (commit_allowed && covered && wanted) {
+      if (auditor_) {
+        auditor_->on_task_transition(spec.job, is_map, spec.index,
+                                     audit::TaskEvent::kOrphanCommit, machine);
+      }
+      note_orphan_outcome(spec, machine, 0);
+      ++orphans_committed_;
+      handle_completion(orphan.report);
+    } else {
+      if (auditor_) {
+        auditor_->on_task_transition(spec.job, is_map, spec.index,
+                                     audit::TaskEvent::kOrphanRequeue, machine);
+      }
+      note_orphan_outcome(spec, machine, 2);
+      ++orphans_requeued_;
+      report_waste(orphan.report, WasteReason::kOrphaned);
+      requeue_orphaned_task(spec, machine);
+    }
+  }
+}
+
+void JobTracker::reconcile_running_attempts(TaskTracker& tracker) {
+  const cluster::MachineId m = tracker.machine_id();
+  for (const auto& a : tracker.running_attempts()) {
+    if (attempt_covered(a.start)) continue;  // replayed table re-adopts it
+    // The restarted master has no record of this in-flight attempt: kill it
+    // (cancel_task audits the kKill) and requeue the task.
+    tracker.cancel_task(a.spec.job, a.spec.kind, a.spec.index);
+    ++killed_attempts_;
+    ++orphans_requeued_;
+    TaskReport waste;
+    waste.spec = a.spec;
+    waste.machine = m;
+    waste.start = a.start;
+    waste.finish = sim_.now();
+    report_waste(waste, WasteReason::kOrphaned);
+    note_orphan_outcome(a.spec, m, 2);
+    requeue_orphaned_task(a.spec, m);
+  }
+}
+
+void JobTracker::requeue_orphaned_task(const TaskSpec& spec,
+                                       cluster::MachineId machine) {
+  JobState& js = job_mutable(spec.job);
+  if (js.failed() || js.complete()) return;
+  if (js.status(spec.kind, spec.index) != TaskStatus::kRunning) return;
+  js.clear_speculative(spec.kind, spec.index);
+  if (!running_elsewhere(spec.job, spec.kind, spec.index)) {
+    js.unclaim(spec.kind, spec.index, machine);
+  }
+}
+
+void JobTracker::note_orphan_outcome(const TaskSpec& spec,
+                                     cluster::MachineId machine, int outcome) {
+  orphan_outcomes_[{spec.job, spec.kind, spec.index, machine}].push_back(
+      outcome);
+}
+
+std::uint64_t JobTracker::orphan_resolution_digest() const {
+  // Keys iterate in sorted order and carry no timestamps, so the digest
+  // depends only on WHAT was resolved and HOW — not on the re-registration
+  // schedule that got there.
+  audit::Fnv1a digest;
+  for (const auto& [key, outcomes] : orphan_outcomes_) {
+    digest.mix(static_cast<std::uint64_t>(std::get<0>(key)));
+    digest.mix(
+        static_cast<std::uint64_t>(std::get<1>(key) == TaskKind::kMap ? 0 : 1));
+    digest.mix(static_cast<std::uint64_t>(std::get<2>(key)));
+    digest.mix(static_cast<std::uint64_t>(std::get<3>(key)));
+    for (int o : outcomes) digest.mix(static_cast<std::uint64_t>(o));
+  }
+  return digest.value();
 }
 
 void JobTracker::update_node_health(TaskTracker& tracker) {
@@ -809,17 +1011,33 @@ void JobTracker::handle_network_casualties(cluster::MachineId dead) {
 }
 
 void JobTracker::handle_datanode_loss(cluster::MachineId machine) {
-  const std::size_t lost_before = namenode_.lost_blocks().size();
-  namenode_.mark_datanode_dead(machine);
-  const auto& lost = namenode_.lost_blocks();
-  for (std::size_t i = lost_before; i < lost.size(); ++i) {
-    ++data_loss_events_;
-    if (auditor_) auditor_->record(audit::Record::kDataLoss, lost[i]);
+  apply_datanode_mark(machine, /*dead=*/true);
+}
+
+void JobTracker::apply_datanode_mark(cluster::MachineId machine, bool dead) {
+  if (!namenode_up_) {
+    // The NameNode cannot hear the mark right now; it replays in arrival
+    // order at recovery (data-loss detection moves to the replay, like real
+    // HDFS learning of deaths from its post-restart heartbeat view).
+    pending_datanode_marks_.emplace_back(machine, dead);
+    return;
+  }
+  if (dead) {
+    const std::size_t lost_before = namenode_.lost_blocks().size();
+    namenode_.mark_datanode_dead(machine);
+    const auto& lost = namenode_.lost_blocks();
+    for (std::size_t i = lost_before; i < lost.size(); ++i) {
+      ++data_loss_events_;
+      if (auditor_) auditor_->record(audit::Record::kDataLoss, lost[i]);
+    }
+  } else {
+    namenode_.mark_datanode_alive(machine);
   }
   pump_rereplication();
 }
 
 void JobTracker::pump_rereplication() {
+  if (!namenode_up_) return;  // the work queue lives in the NameNode
   while (rerep_active_ < config_.max_replication_streams) {
     const auto work = namenode_.next_rereplication();
     if (!work) return;
@@ -872,6 +1090,75 @@ void JobTracker::finish_rereplication(net::FlowId id, hdfs::BlockId block,
     ++rereplicated_blocks_;
     rereplication_mb_ += mb;
   }
+  pump_rereplication();
+}
+
+void JobTracker::crash_master() {
+  EANT_CHECK(master_up_, "JobTracker master crashed while already down");
+  master_up_ = false;
+  ++master_crashes_;
+  if (auditor_) auditor_->record(audit::Record::kMasterCrash, 0);
+}
+
+void JobTracker::recover_master() {
+  EANT_CHECK(!master_up_, "JobTracker master recovered while up");
+  master_up_ = true;
+  ++master_epoch_;
+  if (auditor_) {
+    auditor_->record(audit::Record::kMasterRecover, 0);
+    auditor_->on_master_epoch(master_epoch_);
+  }
+  if (checkpoint_coverage_ >= 0.0) ++checkpoint_replays_;
+  const Seconds now = sim_.now();
+  const double fleet = std::max<double>(1.0, cluster_.size());
+  for (cluster::MachineId m = 0; m < cluster_.size(); ++m) {
+    TrackerState& ts = tracker_states_[m];
+    // Grace period: the master has no heartbeat history, so every tracker
+    // gets a fresh expiry clock rather than being declared lost for silence
+    // that happened while nobody was listening.
+    ts.last_heartbeat = now;
+    // Health samples accumulated against the dead master's view are stale;
+    // quarantine decisions restart from scratch (blacklists persist — they
+    // record charged faults, not an opinion of the old master).
+    ts.health = 1.0;
+    ts.health_samples = 0;
+    if (ts.quarantined) {
+      ts.quarantined = false;
+      maybe_rejoin(m);
+    }
+    // Stagger re-registration in machine-id order so a thousand trackers do
+    // not stampede the recovering master in one event.
+    reregistration_gate_[m] =
+        now + config_.reregistration_window * (static_cast<double>(m) / fleet);
+  }
+  if (namenode_up_) replay_pending_submissions();
+  // Scheduler hook last: it may immediately inspect tracker state.
+  scheduler_.on_master_recovered(master_epoch_);
+}
+
+void JobTracker::crash_namenode() {
+  EANT_CHECK(namenode_up_, "NameNode crashed while already down");
+  namenode_up_ = false;
+  ++master_crashes_;
+  nn_snapshot_ = namenode_.snapshot();
+  if (auditor_) auditor_->record(audit::Record::kMasterCrash, 1);
+}
+
+void JobTracker::recover_namenode() {
+  EANT_CHECK(!namenode_up_, "NameNode recovered while up");
+  namenode_up_ = true;
+  if (auditor_) auditor_->record(audit::Record::kMasterRecover, 1);
+  EANT_ASSERT(nn_snapshot_.has_value(),
+              "NameNode recovery without a crash snapshot");
+  namenode_.restore(*nn_snapshot_);
+  nn_snapshot_.reset();
+  // Replay datanode liveness changes observed during the outage in arrival
+  // order; data-loss accounting happens here, against the restored map.
+  const auto marks = std::move(pending_datanode_marks_);
+  pending_datanode_marks_.clear();
+  for (const auto& [machine, dead] : marks) apply_datanode_mark(machine, dead);
+  namenode_.rebuild_under_replication();
+  if (master_up_) replay_pending_submissions();
   pump_rereplication();
 }
 
@@ -1043,6 +1330,7 @@ void JobTracker::maybe_build_reduces(JobState& js) {
 
 bool JobTracker::start_speculative(JobId job, TaskKind kind, TaskIndex index,
                                    TaskTracker& tracker) {
+  if (!master_up_ || !namenode_up_) return false;
   JobState& js = job_mutable(job);
   if (js.failed()) return false;
   if (js.status(kind, index) != TaskStatus::kRunning) return false;
@@ -1087,6 +1375,15 @@ bool JobTracker::start_speculative(JobId job, TaskKind kind, TaskIndex index,
 }
 
 void JobTracker::handle_completion(TaskReport report) {
+  if (!accepts_reports(report.machine)) {
+    // Master down or stale tracker epoch: the report lands in the orphan
+    // buffer for deterministic resolution at the tracker's re-registration.
+    ++fenced_completions_;
+    const auto key = std::make_tuple(report.spec.job, report.spec.kind,
+                                     report.spec.index, report.machine);
+    orphans_[key] = Orphan{std::move(report), /*failed=*/false};
+    return;
+  }
   JobState& js = job_mutable(report.spec.job);
   if (js.failed()) return;  // late completion of an already-failed job
   // A speculative twin may already have completed this task; the losing
@@ -1161,6 +1458,13 @@ void JobTracker::record_crash_casualties(cluster::MachineId machine,
 }
 
 void JobTracker::handle_task_failure(TaskReport report) {
+  if (!accepts_reports(report.machine)) {
+    ++fenced_completions_;
+    const auto key = std::make_tuple(report.spec.job, report.spec.kind,
+                                     report.spec.index, report.machine);
+    orphans_[key] = Orphan{std::move(report), /*failed=*/true};
+    return;
+  }
   const cluster::MachineId m = report.machine;
   EANT_CHECK(m < tracker_states_.size(), "failure from unknown tracker");
   TrackerState& ts = tracker_states_[m];
@@ -1176,6 +1480,10 @@ void JobTracker::handle_task_failure(TaskReport report) {
     sim_.schedule_after(config_.blacklist_duration, [this, m] {
       TrackerState& s = tracker_states_[m];
       if (!s.blacklisted) return;  // counter decay already forgave it
+      // The blacklist is durable state and its timers belong to the master
+      // process: while it is down nothing forgives — the decay sweep
+      // resumes after recovery and clears the entry eventually.
+      if (!master_up_) return;
       s.blacklisted = false;
       s.failures = 0;
       maybe_rejoin(m);
@@ -1227,6 +1535,34 @@ void JobTracker::reclaim_lost_work(cluster::MachineId machine,
   if (datanode_lost) handle_datanode_loss(machine);
   RecoveryRecord rec;
   rec.start = sim_.now();
+
+  // Reports fenced while the master was down die with the node that produced
+  // them — the outputs behind a buffered completion lived on its local disk.
+  // Requeue the tasks; nothing is committable.
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    if (std::get<3>(it->first) != machine) {
+      ++it;
+      continue;
+    }
+    const Orphan orphan = std::move(it->second);
+    it = orphans_.erase(it);
+    const TaskSpec& spec = orphan.report.spec;
+    if (auditor_) {
+      auditor_->on_task_transition(spec.job, spec.kind == TaskKind::kMap,
+                                   spec.index, audit::TaskEvent::kOrphanRequeue,
+                                   machine);
+    }
+    note_orphan_outcome(spec, machine, 3);
+    ++orphans_requeued_;
+    report_waste(orphan.report, WasteReason::kOrphaned);
+    JobState& ojs = job_mutable(spec.job);
+    if (ojs.failed() || ojs.complete()) continue;
+    if (ojs.status(spec.kind, spec.index) != TaskStatus::kRunning) continue;
+    ojs.clear_speculative(spec.kind, spec.index);
+    if (running_elsewhere(spec.job, spec.kind, spec.index)) continue;
+    ojs.unclaim(spec.kind, spec.index, machine);
+    rec.outstanding.insert({spec.job, spec.kind, spec.index});
+  }
 
   // Attempts that were running when the node died: back to Pending, unless a
   // speculative twin elsewhere already carries (or carried) the task.

@@ -192,6 +192,27 @@ struct JobTrackerConfig {
   /// Per-flow rate cap of block re-replication traffic (same scale as the
   /// other application-level caps).
   double rereplication_mbps = 40.0;
+
+  // --- control-plane fault tolerance -------------------------------------------
+
+  /// Period of the JobTracker's edit-log checkpoint of its in-flight attempt
+  /// table.  Job submissions and task completions are synchronously durable
+  /// regardless; only knowledge of *running* attempts is bounded by the last
+  /// committed checkpoint.  0 (the default) disables checkpointing entirely —
+  /// a restarted master then recovers with full amnesia over in-flight
+  /// attempts, and, crucially, the fault-free event stream is bit-identical
+  /// to the pre-failover engine.
+  Seconds checkpoint_interval = 0.0;
+
+  /// Seconds between starting a checkpoint write and it becoming durable.  A
+  /// master crash mid-write falls back to the previous committed checkpoint.
+  Seconds checkpoint_write_cost = 5.0;
+
+  /// Window over which the fleet's re-registration is spread after a master
+  /// restart (in machine-id order) — the throttle that keeps the restarted
+  /// master from absorbing every tracker's status report in one instant.
+  /// Heartbeats arriving before a tracker's gate are fenced as stale.
+  Seconds reregistration_window = 30.0;
 };
 
 /// Why a piece of completed-or-partial work was thrown away — tags the
@@ -202,6 +223,7 @@ enum class WasteReason {
   kLostMapOutput,  ///< completed map re-run because its output died with a node
   kJobFailed,      ///< attempts killed when their job ran out of retries
   kFetchFailed,    ///< completed map re-run because its output was unreachable
+  kOrphaned,       ///< work discarded because the restarted master forgot it
 };
 
 /// Master node: job admission, heartbeat-driven assignment, lifecycle.
@@ -250,6 +272,14 @@ class JobTracker {
 
   void handle_heartbeat(TaskTracker& tracker);
   void handle_completion(TaskReport report);
+
+  /// True iff a report from this tracker would be applied live rather than
+  /// fenced into the orphan buffer (master up + current registration epoch).
+  /// The TaskTracker consults this to decide whether its completion/failure
+  /// audit event fires now or at orphan resolution.
+  bool accepts_reports(cluster::MachineId machine) const {
+    return master_up_ && tracker_epoch_[machine] == master_epoch_;
+  }
 
   /// A running attempt died of a transient fault (injected via the attempt
   /// fault hook).  Counts toward the task's max_attempts and the tracker's
@@ -360,6 +390,75 @@ class JobTracker {
   /// Re-replication streams currently in flight (experiments drain this to
   /// zero before reading HDFS invariants).
   int rereplication_active() const { return rerep_active_; }
+
+  // --- control-plane fault tolerance ------------------------------------------
+
+  /// JobTracker process death: the control plane stops — heartbeats,
+  /// completion reports and failure reports are fenced (buffered as
+  /// orphans), the expiry sweep and the forgiveness decays freeze, no work
+  /// is assigned — while the data plane (running attempts, in-flight
+  /// transfers) continues untouched.  Wired to the FaultInjector's master
+  /// fault stream via the Run harness.
+  void crash_master();
+
+  /// JobTracker restart: replays the durable edit log (job + completion
+  /// state, plus the in-flight attempt table up to the last committed
+  /// checkpoint), advances the master epoch so stale reports stay fenced,
+  /// spreads tracker re-registration over reregistration_window, resets the
+  /// in-memory health/quarantine view (the blacklist, derived from durable
+  /// job history, persists) and hands the scheduler its
+  /// on_master_recovered() hook.
+  void recover_master();
+
+  /// NameNode process death: new task assignment and the re-replication pump
+  /// pause (placements and split locations need the NameNode), datanode
+  /// death/rejoin marks are buffered, and the fsimage snapshot is pinned.
+  /// Reads of existing block locations stay served (they are ground truth).
+  void crash_namenode();
+
+  /// NameNode restart: restores the pinned fsimage snapshot, replays the
+  /// buffered datanode marks in arrival order, rebuilds the
+  /// under-replication queue and restarts the pump.
+  void recover_namenode();
+
+  /// True while the JobTracker process is up (the scheduler runs inside it).
+  bool master_up() const { return master_up_; }
+  bool namenode_up() const { return namenode_up_; }
+
+  /// Fencing epoch, bumped at every master recovery.  Reports from trackers
+  /// registered under an older epoch are buffered until re-registration.
+  std::uint64_t master_epoch() const { return master_epoch_; }
+
+  /// Durable coverage time of the last committed checkpoint; -1 = none.  An
+  /// in-flight attempt survives failover iff it launched at or before this.
+  Seconds checkpoint_coverage() const { return checkpoint_coverage_; }
+
+  /// Control-plane (JobTracker + NameNode) process deaths observed.
+  std::size_t master_crashes() const { return master_crashes_; }
+  std::size_t checkpoints_written() const { return checkpoints_written_; }
+
+  /// Recoveries that replayed a non-empty checkpointed attempt table.
+  std::size_t checkpoint_replays() const { return checkpoint_replays_; }
+
+  /// Heartbeats rejected for a down master, a stale epoch or a closed
+  /// re-registration gate.
+  std::size_t fenced_heartbeats() const { return fenced_heartbeats_; }
+
+  /// Completion/failure reports buffered as orphans instead of applied.
+  std::size_t fenced_completions() const { return fenced_completions_; }
+
+  /// Orphaned attempts committed from checkpoint coverage at re-registration.
+  std::size_t orphans_committed() const { return orphans_committed_; }
+
+  /// Orphaned attempts discarded and requeued (uncovered, or their node
+  /// died before re-registering).
+  std::size_t orphans_requeued() const { return orphans_requeued_; }
+
+  /// Order-independent digest over every orphan resolution this run:
+  /// (job, kind, index, machine) -> outcome sequence, no timestamps.  Two
+  /// runs resolving the same orphans the same way hash identically even if
+  /// re-registration order differs (the storm-throttle invariance test).
+  std::uint64_t orphan_resolution_digest() const;
 
   /// Task-seconds of work thrown away (killed, failed and re-run attempts).
   double wasted_task_seconds() const { return wasted_task_seconds_; }
@@ -518,6 +617,18 @@ class JobTracker {
   void finish_rereplication(net::FlowId id, hdfs::BlockId block,
                             cluster::MachineId target, Megabytes mb);
   void decay_blacklist_counters();
+  void start_checkpoint_timer();
+  void reregister_tracker(TaskTracker& tracker);
+  void resolve_orphans(cluster::MachineId machine, bool commit_allowed);
+  void reconcile_running_attempts(TaskTracker& tracker);
+  void requeue_orphaned_task(const TaskSpec& spec, cluster::MachineId machine);
+  void note_orphan_outcome(const TaskSpec& spec, cluster::MachineId machine,
+                           int outcome);
+  void replay_pending_submissions();
+  void apply_datanode_mark(cluster::MachineId machine, bool dead);
+  bool attempt_covered(Seconds start) const {
+    return checkpoint_coverage_ >= 0.0 && start <= checkpoint_coverage_;
+  }
   void update_node_health(TaskTracker& tracker);
   void decay_quarantine();
   void maybe_rejoin(cluster::MachineId machine);
@@ -581,6 +692,45 @@ class JobTracker {
   std::size_t quarantine_episodes_ = 0;
   Seconds last_quarantine_decay_ = 0.0;
   sim::EventId expiry_event_ = 0;
+
+  // --- control-plane state ----------------------------------------------------
+
+  /// A completion or failure report fenced while its tracker's epoch was
+  /// stale (master down, or not yet re-registered), awaiting deterministic
+  /// resolution at the tracker's re-registration.
+  struct Orphan {
+    TaskReport report;
+    bool failed = false;  ///< failure report (vs. completion)
+  };
+
+  bool master_up_ = true;
+  bool namenode_up_ = true;
+  std::uint64_t master_epoch_ = 1;
+  Seconds checkpoint_coverage_ = -1.0;  ///< last committed checkpoint; -1 none
+  std::vector<std::uint64_t> tracker_epoch_;
+  std::vector<Seconds> reregistration_gate_;
+  // std::map: resolution iterates per tracker in task order (deterministic).
+  std::map<std::tuple<JobId, TaskKind, TaskIndex, cluster::MachineId>, Orphan>
+      orphans_;
+  /// Every orphan resolution, keyed without timestamps so the digest is
+  /// independent of re-registration order (outcomes append in key order).
+  std::map<std::tuple<JobId, TaskKind, TaskIndex, cluster::MachineId>,
+           std::vector<int>>
+      orphan_outcomes_;
+  /// Submissions that arrived while a master was down, replayed in order.
+  std::vector<workload::JobSpec> pending_submissions_;
+  /// Datanode death/rejoin marks buffered while the NameNode was down.
+  std::vector<std::pair<cluster::MachineId, bool>> pending_datanode_marks_;
+  /// fsimage pinned at NameNode crash, restored at its recovery.
+  std::optional<hdfs::NameNode::Snapshot> nn_snapshot_;
+  std::size_t master_crashes_ = 0;
+  std::size_t checkpoints_written_ = 0;
+  std::size_t checkpoint_replays_ = 0;
+  std::size_t fenced_heartbeats_ = 0;
+  std::size_t fenced_completions_ = 0;
+  std::size_t orphans_committed_ = 0;
+  std::size_t orphans_requeued_ = 0;
+  sim::EventId checkpoint_event_ = 0;
 
   std::function<void(const TaskReport&)> report_listener_;
   std::function<void(const JobState&)> job_finished_listener_;

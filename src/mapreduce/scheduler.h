@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -52,6 +53,13 @@ class Scheduler {
     (void)spec;
     (void)machine;
   }
+
+  /// The JobTracker restarted after a control-plane crash and is entering
+  /// `epoch` (a strictly increasing failover counter).  In-memory scheduler
+  /// state not covered by the master's checkpoint died with the old
+  /// process; schedulers that keep learned per-machine state (E-Ant's
+  /// pheromone table) decide here whether to restore a snapshot or reseed.
+  virtual void on_master_recovered(std::uint64_t epoch) { (void)epoch; }
 
   /// A reduce-side shuffle fetch of `source`'s map output failed (link
   /// fault, rack partition or transient error) — the machine is alive but

@@ -315,8 +315,13 @@ void TaskTracker::finish_task(std::uint64_t attempt_id) {
   }
   running_.erase(it);
 
-  audit_transition(job_tracker_, report.spec, machine_.id(),
-                   audit::TaskEvent::kFinish);
+  // A report the master will fence (down, or this tracker not yet
+  // re-registered) gets its lifecycle audit event at orphan resolution
+  // instead — exactly one terminal event per launch either way.
+  if (job_tracker_.accepts_reports(machine_.id())) {
+    audit_transition(job_tracker_, report.spec, machine_.id(),
+                     audit::TaskEvent::kFinish);
+  }
   job_tracker_.handle_completion(std::move(report));
 }
 
@@ -332,8 +337,12 @@ void TaskTracker::fail_task(std::uint64_t attempt_id) {
   release_slot(r.spec.kind);
   running_.erase(it);
 
-  audit_transition(job_tracker_, report.spec, machine_.id(),
-                   audit::TaskEvent::kFail);
+  // Same fencing rule as finish_task: a buffered failure audits when the
+  // recovered master resolves the orphan.
+  if (job_tracker_.accepts_reports(machine_.id())) {
+    audit_transition(job_tracker_, report.spec, machine_.id(),
+                     audit::TaskEvent::kFail);
+  }
   job_tracker_.handle_task_failure(std::move(report));
 }
 
@@ -349,6 +358,15 @@ std::uint64_t TaskTracker::find_attempt(JobId job, TaskKind kind,
 
 bool TaskTracker::is_running(JobId job, TaskKind kind, TaskIndex index) const {
   return find_attempt(job, kind, index) != 0;
+}
+
+std::vector<TaskTracker::AttemptInfo> TaskTracker::running_attempts() const {
+  std::vector<AttemptInfo> out;
+  out.reserve(running_.size());
+  for (const auto& [id, r] : running_) {
+    out.push_back(AttemptInfo{r.spec, r.start});
+  }
+  return out;
 }
 
 bool TaskTracker::cancel_task(JobId job, TaskKind kind, TaskIndex index) {

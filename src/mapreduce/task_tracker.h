@@ -130,6 +130,18 @@ class TaskTracker {
   /// Total tasks completed by this tracker (per kind); survives crashes.
   std::size_t completed(TaskKind kind) const;
 
+  /// Identity and launch time of one in-flight attempt, as reported to a
+  /// restarted JobTracker during re-registration (Hadoop's tracker status
+  /// report): enough for the master to reconcile the attempt against its
+  /// replayed checkpoint.
+  struct AttemptInfo {
+    TaskSpec spec;
+    Seconds start = 0.0;
+  };
+
+  /// Every attempt currently running here, in attempt-id (launch) order.
+  std::vector<AttemptInfo> running_attempts() const;
+
  private:
   struct Running {
     TaskSpec spec;

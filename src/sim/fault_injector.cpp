@@ -96,12 +96,39 @@ FaultPlan& FaultPlan::rot(std::size_t machine, Seconds t, Seconds duration,
   return *this;
 }
 
+FaultPlan& FaultPlan::crash_jobtracker_for(Seconds t, Seconds downtime) {
+  EANT_CHECK(downtime > 0.0, "downtime must be positive");
+  master_events.push_back(MasterFaultEvent{
+      t, MasterFaultEvent::Target::kJobTracker, MasterFaultEvent::Kind::kCrash});
+  master_events.push_back(MasterFaultEvent{t + downtime,
+                                           MasterFaultEvent::Target::kJobTracker,
+                                           MasterFaultEvent::Kind::kRecover});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_namenode_for(Seconds t, Seconds downtime) {
+  EANT_CHECK(downtime > 0.0, "downtime must be positive");
+  master_events.push_back(MasterFaultEvent{
+      t, MasterFaultEvent::Target::kNameNode, MasterFaultEvent::Kind::kCrash});
+  master_events.push_back(MasterFaultEvent{t + downtime,
+                                           MasterFaultEvent::Target::kNameNode,
+                                           MasterFaultEvent::Kind::kRecover});
+  return *this;
+}
+
 FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
                              std::size_t num_machines, std::size_t num_racks)
     : sim_(sim),
       plan_(std::move(plan)),
       task_rng_(rng.fork(0)),
       fetch_rng_(rng.fork(2 * num_machines + 1)),
+      // Master streams fork at 3N + 2 (JobTracker) and 3N + 3 (NameNode),
+      // past every stream the worker-fault eras claimed (task = 0, machines
+      // = 1..N, links = N+1..2N, fetch = 2N+1, slow = 2N+2..3N+1) — Rng::fork
+      // is pure, so a plan without master faults consumes exactly the draws
+      // it always did.
+      jt_rng_(rng.fork(3 * num_machines + 2)),
+      nn_rng_(rng.fork(3 * num_machines + 3)),
       up_(num_machines, true),
       crash_event_(num_machines, 0),
       node_link_factor_(num_machines, 1.0),
@@ -156,6 +183,13 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
     EANT_CHECK(e.io_factor > 0.0 && e.io_factor <= 1.0,
                "slow fault io factor must lie in (0, 1]");
   }
+  EANT_CHECK(plan_.jt_mtbf >= 0.0 && plan_.jt_mttr >= 0.0,
+             "JobTracker MTBF/MTTR must be non-negative");
+  EANT_CHECK(plan_.nn_mtbf >= 0.0 && plan_.nn_mttr >= 0.0,
+             "NameNode MTBF/MTTR must be non-negative");
+  for (const auto& e : plan_.master_events) {
+    EANT_CHECK(e.time >= 0.0, "master fault plan event in the past");
+  }
   machine_rng_.reserve(num_machines);
   for (std::size_t m = 0; m < num_machines; ++m) {
     machine_rng_.push_back(rng.fork(m + 1));
@@ -192,6 +226,11 @@ void FaultInjector::set_slow_handler(SlowHandler handler) {
   on_slow_ = std::move(handler);
 }
 
+void FaultInjector::set_master_handler(MasterHandler handler) {
+  EANT_CHECK(static_cast<bool>(handler), "master handler must be callable");
+  on_master_ = std::move(handler);
+}
+
 void FaultInjector::start() {
   EANT_CHECK(!started_, "fault injector already started");
   EANT_CHECK(static_cast<bool>(on_crash_),
@@ -200,6 +239,8 @@ void FaultInjector::start() {
              "set_net_handler() must precede start() with network faults");
   EANT_CHECK(!plan_.has_slow_faults() || static_cast<bool>(on_slow_),
              "set_slow_handler() must precede start() with fail-slow faults");
+  EANT_CHECK(!plan_.has_master_faults() || static_cast<bool>(on_master_),
+             "set_master_handler() must precede start() with master faults");
   started_ = true;
   for (const auto& e : plan_.events) {
     if (e.kind == FaultEvent::Kind::kCrash) {
@@ -232,6 +273,19 @@ void FaultInjector::start() {
     for (std::size_t m = 0; m < up_.size(); ++m) {
       schedule_slow_episode(m);
     }
+  }
+  for (const auto& e : plan_.master_events) {
+    if (e.kind == MasterFaultEvent::Kind::kCrash) {
+      sim_.schedule_at(e.time, [this, t = e.target] { crash_master(t); });
+    } else {
+      sim_.schedule_at(e.time, [this, t = e.target] { recover_master(t); });
+    }
+  }
+  if (plan_.jt_mtbf > 0.0) {
+    schedule_stochastic_master_crash(MasterFaultEvent::Target::kJobTracker);
+  }
+  if (plan_.nn_mtbf > 0.0) {
+    schedule_stochastic_master_crash(MasterFaultEvent::Target::kNameNode);
   }
 }
 
@@ -286,6 +340,12 @@ std::size_t FaultInjector::link_faults() const {
   return static_cast<std::size_t>(
       std::count_if(net_log_.begin(), net_log_.end(),
                     [](const NetTransition& t) { return t.factor < 1.0; }));
+}
+
+std::size_t FaultInjector::master_crashes() const {
+  return static_cast<std::size_t>(
+      std::count_if(master_log_.begin(), master_log_.end(),
+                    [](const MasterTransition& t) { return !t.up; }));
 }
 
 std::size_t FaultInjector::slow_faults() const {
@@ -376,6 +436,54 @@ void FaultInjector::schedule_slow_episode(std::size_t machine) {
       });
     }
     // slow_mttr == 0: the machine limps forever; its episode process ends.
+  });
+}
+
+void FaultInjector::crash_master(MasterFaultEvent::Target target) {
+  const bool jt = target == MasterFaultEvent::Target::kJobTracker;
+  bool& up = jt ? jt_up_ : nn_up_;
+  if (!up) return;  // scripted/stochastic overlap: already down
+  // A scripted master crash preempts any pending stochastic one — the same
+  // restart-anchored protocol the worker failure process uses.
+  EventId& pending = jt ? jt_crash_event_ : nn_crash_event_;
+  sim_.cancel(pending);
+  pending = 0;
+  up = false;
+  master_log_.push_back(MasterTransition{sim_.now(), target, false});
+  on_master_(target, false);
+}
+
+void FaultInjector::recover_master(MasterFaultEvent::Target target) {
+  const bool jt = target == MasterFaultEvent::Target::kJobTracker;
+  bool& up = jt ? jt_up_ : nn_up_;
+  if (up) return;  // already recovered by another path
+  up = true;
+  master_log_.push_back(MasterTransition{sim_.now(), target, true});
+  on_master_(target, true);
+  // Restart-anchored resampling, exactly like the worker processes.
+  if ((jt ? plan_.jt_mtbf : plan_.nn_mtbf) > 0.0) {
+    schedule_stochastic_master_crash(target);
+  }
+}
+
+void FaultInjector::schedule_stochastic_master_crash(
+    MasterFaultEvent::Target target) {
+  const bool jt = target == MasterFaultEvent::Target::kJobTracker;
+  Rng& rng = jt ? jt_rng_ : nn_rng_;
+  const Seconds dt =
+      rng.exponential(1.0 / (jt ? plan_.jt_mtbf : plan_.nn_mtbf));
+  EventId& pending = jt ? jt_crash_event_ : nn_crash_event_;
+  pending = sim_.schedule_after(dt, [this, target, jt] {
+    (jt ? jt_crash_event_ : nn_crash_event_) = 0;
+    if (!(jt ? jt_up_ : nn_up_)) return;  // raced a scripted crash
+    crash_master(target);
+    const Seconds mttr = jt ? plan_.jt_mttr : plan_.nn_mttr;
+    if (mttr > 0.0) {
+      Rng& r = jt ? jt_rng_ : nn_rng_;
+      sim_.schedule_after(r.exponential(1.0 / mttr),
+                          [this, target] { recover_master(target); });
+    }
+    // mttr == 0: the master stays down; its failure process ends.
   });
 }
 

@@ -8,7 +8,9 @@
 // transient shuffle-fetch failure probability, and scripted and stochastic
 // *fail-slow* (gray) faults — CPU slowdown and disk-throughput degradation
 // factors, including progressive "rot" ramps, under which a machine keeps
-// accepting work but runs it at a fraction of nominal speed.  The
+// accepting work but runs it at a fraction of nominal speed — and scripted
+// and stochastic *control-plane* faults that crash the cluster masters
+// (JobTracker, NameNode) while the data plane keeps running.  The
 // FaultInjector turns the plan into simulator events and invokes handlers
 // (wired to TaskTracker::crash/restart, Fabric::set_*_factor and
 // TaskTracker::set_perf_factors by the exp harness) when a machine or link
@@ -60,6 +62,20 @@ struct NetFaultEvent {
   Target target = Target::kNodeLink;
   std::size_t index = 0;  ///< machine id (kNodeLink) or rack id (kRackTrunk)
   double factor = 0.0;
+};
+
+/// One scripted control-plane fault transition: crashes or recovers a
+/// cluster *master* — the JobTracker or the NameNode — rather than a worker.
+/// While a master is down the data plane keeps running (tasks compute,
+/// flows drain) but the control functions the master provides are
+/// unavailable; the MapReduce engine owns the recovery semantics
+/// (checkpoint replay, epoch fencing, re-registration).
+struct MasterFaultEvent {
+  enum class Target { kJobTracker, kNameNode };
+  enum class Kind { kCrash, kRecover };
+  Seconds time = 0.0;
+  Target target = Target::kJobTracker;
+  Kind kind = Kind::kCrash;
 };
 
 /// One scripted fail-slow (gray failure) transition: sets a machine's CPU
@@ -131,6 +147,23 @@ struct FaultPlan {
   /// IO throughput factor during a stochastic fail-slow episode.
   double slow_io_factor = 1.0;
 
+  /// Scripted control-plane (master) fault transitions.
+  std::vector<MasterFaultEvent> master_events;
+
+  /// Mean time between stochastic JobTracker crashes (exponential);
+  /// 0 disables stochastic JobTracker failures.
+  Seconds jt_mtbf = 0.0;
+
+  /// Mean time to repair a stochastically crashed JobTracker (exponential);
+  /// 0 with jt_mtbf > 0 means a crashed JobTracker stays down forever.
+  Seconds jt_mttr = 0.0;
+
+  /// Mean time between stochastic NameNode crashes (exponential).
+  Seconds nn_mtbf = 0.0;
+
+  /// Mean time to repair a stochastically crashed NameNode (exponential).
+  Seconds nn_mttr = 0.0;
+
   /// True when the plan injects network faults (needs a Fabric to act on).
   bool has_net_faults() const {
     return !net_events.empty() || link_mtbf > 0.0;
@@ -141,10 +174,16 @@ struct FaultPlan {
     return !slow_events.empty() || slow_mtbf > 0.0;
   }
 
+  /// True when the plan injects control-plane (master) faults.
+  bool has_master_faults() const {
+    return !master_events.empty() || jt_mtbf > 0.0 || nn_mtbf > 0.0;
+  }
+
   /// True when the plan injects anything at all.
   bool enabled() const {
     return !events.empty() || mtbf > 0.0 || task_failure_prob > 0.0 ||
-           has_net_faults() || fetch_failure_prob > 0.0 || has_slow_faults();
+           has_net_faults() || fetch_failure_prob > 0.0 ||
+           has_slow_faults() || has_master_faults();
   }
 
   /// Scripting helpers.
@@ -172,6 +211,10 @@ struct FaultPlan {
   /// then restore at t + duration (the dying-disk / thermal-throttle ramp).
   FaultPlan& rot(std::size_t machine, Seconds t, Seconds duration,
                  double final_cpu_factor, int steps = 4);
+  /// Crash the JobTracker at t and bring it back `downtime` seconds later.
+  FaultPlan& crash_jobtracker_for(Seconds t, Seconds downtime);
+  /// Crash the NameNode at t and bring it back `downtime` seconds later.
+  FaultPlan& crash_namenode_for(Seconds t, Seconds downtime);
 };
 
 /// Executes a FaultPlan against a Simulator.
@@ -186,6 +229,10 @@ class FaultInjector {
   /// TaskTracker::set_perf_factors).
   using SlowHandler = std::function<void(std::size_t machine,
                                          double cpu_factor, double io_factor)>;
+  /// Receives applied control-plane transitions (wired by the exp harness to
+  /// JobTracker::crash_master / recover_master).
+  using MasterHandler =
+      std::function<void(MasterFaultEvent::Target target, bool up)>;
 
   /// One applied machine transition (for logs, tests and determinism
   /// checks).
@@ -211,6 +258,13 @@ class FaultInjector {
     double io_factor = 1.0;
   };
 
+  /// One applied control-plane transition.
+  struct MasterTransition {
+    Seconds time = 0.0;
+    MasterFaultEvent::Target target = MasterFaultEvent::Target::kJobTracker;
+    bool up = false;  ///< state after the transition
+  };
+
   FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
                 std::size_t num_machines, std::size_t num_racks = 1);
 
@@ -227,6 +281,10 @@ class FaultInjector {
   /// Installs the fail-slow callback.  Must precede start() when the plan
   /// has fail-slow faults.
   void set_slow_handler(SlowHandler handler);
+
+  /// Installs the control-plane callback.  Must precede start() when the
+  /// plan has master faults.
+  void set_master_handler(MasterHandler handler);
 
   /// Schedules every scripted event and seeds the stochastic failure
   /// processes.  Call exactly once.
@@ -264,6 +322,15 @@ class FaultInjector {
   /// Every fail-slow transition actually applied, in simulation order.
   const std::vector<SlowTransition>& slow_log() const { return slow_log_; }
 
+  /// Every control-plane transition actually applied, in simulation order.
+  const std::vector<MasterTransition>& master_log() const {
+    return master_log_;
+  }
+
+  /// The injector's view of the masters' state.
+  bool jobtracker_up() const { return jt_up_; }
+  bool namenode_up() const { return nn_up_; }
+
   /// Number of crash transitions applied so far.
   std::size_t crashes() const;
 
@@ -274,6 +341,9 @@ class FaultInjector {
   /// Number of applied fail-slow transitions that degraded a machine
   /// (cpu or io factor < 1).
   std::size_t slow_faults() const;
+
+  /// Number of applied control-plane crash transitions.
+  std::size_t master_crashes() const;
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -287,6 +357,9 @@ class FaultInjector {
   void apply_net(NetFaultEvent::Target target, std::size_t index,
                  double factor);
   void apply_slow(std::size_t machine, double cpu_factor, double io_factor);
+  void crash_master(MasterFaultEvent::Target target);
+  void recover_master(MasterFaultEvent::Target target);
+  void schedule_stochastic_master_crash(MasterFaultEvent::Target target);
 
   Simulator& sim_;
   FaultPlan plan_;
@@ -295,10 +368,17 @@ class FaultInjector {
   std::vector<Rng> link_rng_;     // one stream per machine (link flap draws)
   Rng fetch_rng_;                 // transient fetch-failure stream
   std::vector<Rng> slow_rng_;     // one stream per machine (fail-slow draws)
+  Rng jt_rng_;                    // JobTracker MTBF/MTTR stream
+  Rng nn_rng_;                    // NameNode MTBF/MTTR stream
   std::vector<bool> up_;
   // Pending stochastic crash per machine: cancelled when a scripted crash
   // intervenes, re-armed (with a fresh draw) at every recovery.
   std::vector<EventId> crash_event_;
+  bool jt_up_ = true;
+  bool nn_up_ = true;
+  // Pending stochastic master crash, same cancel/re-arm protocol as above.
+  EventId jt_crash_event_ = 0;
+  EventId nn_crash_event_ = 0;
   std::vector<double> node_link_factor_;
   std::vector<double> trunk_factor_;
   std::vector<double> cpu_factor_;
@@ -307,9 +387,11 @@ class FaultInjector {
   MachineHandler on_recover_;
   NetHandler on_net_;
   SlowHandler on_slow_;
+  MasterHandler on_master_;
   std::vector<Transition> log_;
   std::vector<NetTransition> net_log_;
   std::vector<SlowTransition> slow_log_;
+  std::vector<MasterTransition> master_log_;
   bool started_ = false;
 };
 
