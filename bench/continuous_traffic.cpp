@@ -1,0 +1,132 @@
+// continuous_traffic — the multi-tenant open-loop bake-off.
+//
+// Replays the canonical three-tenant diurnal mix (tenancy/presets.h) on the
+// paper's 16-node fleet under Fair, tenant-mode Capacity and E-Ant, and
+// reports the per-tenant SLO picture: latency percentiles, mean slowdown
+// against per-class standalone runtimes, Eq. 2 energy per job, preemptions
+// and deadline misses.  Unlike the closed fig8 batch, arrivals are open-loop
+// — load follows the trace no matter how far the scheduler falls behind —
+// so tenant interference, share enforcement and deadline pressure are
+// visible instead of averaged away.
+//
+// Usage: continuous_traffic [hours] [seed] [rate-scale]
+// (default: 48-hour horizon, seed 42, 1x arrival rates — ~25 jobs/hour;
+// rate-scale multiplies every tenant's arrival rate, pushing the diurnal
+// peaks into saturation where share enforcement and preemption engage)
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/cli.h"
+#include "exp/runner.h"
+#include "tenancy/presets.h"
+#include "tenancy/traffic.h"
+
+using namespace eant;
+
+namespace {
+
+sched::TenantShareConfig tenant_shares(const tenancy::TrafficConfig& mix) {
+  sched::TenantShareConfig share;
+  for (const auto& t : mix.tenants) {
+    share.tenants.push_back(
+        sched::TenantQueue{t.profile.tenant, t.profile.name, t.profile.weight});
+  }
+  return share;
+}
+
+/// Standalone runtime per job class, calibrated from the class's median-input
+/// job — the denominator of the slowdown metric (Sec. VI-D).
+std::map<std::string, Seconds> calibrate_standalone(
+    const std::vector<workload::JobSpec>& jobs, const exp::RunConfig& cfg) {
+  std::map<std::string, std::vector<workload::JobSpec>> by_class;
+  for (const auto& j : jobs) by_class[j.class_key()].push_back(j);
+  std::map<std::string, Seconds> standalone;
+  for (auto& [key, members] : by_class) {
+    std::sort(members.begin(), members.end(),
+              [](const workload::JobSpec& a, const workload::JobSpec& b) {
+                return a.input_mb < b.input_mb;
+              });
+    workload::JobSpec rep = members[members.size() / 2];
+    rep.tenant = 0;
+    rep.deadline = -1.0;
+    standalone[key] = exp::standalone_runtime(exp::paper_fleet(), rep, cfg);
+  }
+  return standalone;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Cli cli(argc, argv, "continuous_traffic [hours] [seed] [rate-scale]");
+  const int hours = static_cast<int>(cli.int_arg("hours", 48, 1, 24 * 10));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.int_arg("seed", 42, 1, 1 << 30));
+  const int rate_scale = static_cast<int>(cli.int_arg("rate-scale", 1, 1, 50));
+  cli.done();
+
+  auto mix = tenancy::presets::three_tenant_mix(
+      hours * 3600.0, static_cast<double>(rate_scale));
+  const sched::TenantShareConfig shares = tenant_shares(mix);
+  std::map<workload::TenantId, std::string> tenant_names;
+  for (const auto& t : mix.tenants) {
+    tenant_names[t.profile.tenant] = t.profile.name;
+  }
+  const tenancy::TrafficGenerator generator(std::move(mix));
+  Rng rng(seed);
+  const std::vector<workload::JobSpec> jobs = generator.generate(rng);
+
+  std::printf("== continuous traffic: %zu jobs over %d h, %zu tenants ==\n",
+              jobs.size(), hours, shares.tenants.size());
+
+  const exp::RunConfig base_cfg = bench::run_config(seed);
+  const auto standalone = calibrate_standalone(jobs, base_cfg);
+
+  std::printf(
+      "\n%-9s %-12s %6s %9s %9s %9s %10s %9s %8s %7s\n", "scheduler", "tenant",
+      "jobs", "p50 (s)", "p95 (s)", "p99 (s)", "slowdown", "kJ/job", "preempt",
+      "miss");
+  for (const exp::SchedulerKind kind :
+       {exp::SchedulerKind::kFair, exp::SchedulerKind::kCapacity,
+        exp::SchedulerKind::kEAnt}) {
+    exp::RunConfig cfg = base_cfg;
+    if (kind == exp::SchedulerKind::kCapacity) cfg.tenancy = shares;
+    exp::Run run(exp::paper_fleet(), kind, cfg);
+    run.submit(jobs);
+    run.execute();
+    const exp::RunMetrics m = run.metrics();
+
+    // Mean slowdown per tenant over completed jobs.
+    std::map<workload::TenantId, double> slowdown_sum;
+    std::map<workload::TenantId, std::size_t> slowdown_n;
+    for (const auto& j : m.jobs) {
+      if (j.failed) continue;
+      slowdown_sum[j.tenant] += j.completion_time / standalone.at(j.class_name);
+      ++slowdown_n[j.tenant];
+    }
+
+    for (const auto& t : m.by_tenant) {
+      const double slowdown =
+          slowdown_n[t.tenant] == 0
+              ? 0.0
+              : slowdown_sum[t.tenant] /
+                    static_cast<double>(slowdown_n[t.tenant]);
+      std::printf(
+          "%-9s %-12s %6zu %9.0f %9.0f %9.0f %10.2f %9.1f %8zu %7zu\n",
+          m.scheduler_name.c_str(), tenant_names[t.tenant].c_str(), t.jobs,
+          t.latency_p50, t.latency_p95, t.latency_p99, slowdown,
+          t.energy_per_job_kj(), t.preemptions, t.deadline_misses);
+    }
+    std::printf(
+        "%-9s %-12s makespan %.1f h  energy %.0f kJ  preemptions %zu  "
+        "deadline misses %zu  jobs failed %zu\n\n",
+        m.scheduler_name.c_str(), "(total)", m.makespan / 3600.0,
+        m.total_energy_kj(), m.preempted_attempts, m.deadline_misses,
+        m.jobs_failed);
+  }
+  return 0;
+}

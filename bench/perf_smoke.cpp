@@ -1,11 +1,13 @@
 // perf_smoke — the simulator-throughput baseline for the scale arc.
 //
-// Runs a homogeneous Terasort batch at three fleet sizes and emits
-// BENCH_perf_smoke.json: simulated events per wall-clock second, wall-clock
-// seconds, and peak RSS against node and task count.  Future scale/speed PRs
-// diff their numbers against this file's committed trajectory; the absolute
-// values are machine-dependent, the shape (events/sec should stay roughly
-// flat as the fleet grows) is not.
+// Runs a homogeneous Terasort batch at three fleet sizes under E-Ant and
+// Capacity and emits BENCH_perf_smoke.json: simulated events per wall-clock
+// second, wall-clock seconds, peak RSS, and the scheduler-work attribution
+// (time inside Scheduler::select_job, per processed heartbeat) against node
+// and task count.  Future scale/speed PRs diff their numbers against this
+// file's committed trajectory; the absolute values are machine-dependent,
+// the shape (events/sec should stay roughly flat as the fleet grows, and
+// select_job time per heartbeat should not blow up with job count) is not.
 //
 // Usage: perf_smoke [out.json]   (default BENCH_perf_smoke.json)
 
@@ -33,6 +35,7 @@ double peak_rss_mib() {
 }
 
 struct Row {
+  std::string scheduler;
   std::size_t nodes = 0;
   std::size_t jobs = 0;
   std::size_t tasks = 0;
@@ -41,16 +44,21 @@ struct Row {
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
   double peak_rss_mib = 0.0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t select_job_calls = 0;
+  double select_job_wall_s = 0.0;
+  double select_us_per_heartbeat = 0.0;
 };
 
-Row measure(std::size_t nodes) {
+Row measure(exp::SchedulerKind kind, std::size_t nodes) {
   // Work scales with the fleet: jobs proportional to nodes so every size
   // runs at comparable utilisation and the per-event cost is comparable.
   const int jobs = static_cast<int>(nodes / 4);
   exp::RunConfig cfg;
   cfg.seed = 7;
-  exp::Run run(exp::homogeneous(cluster::catalog::xeon_e5(), nodes),
-               exp::SchedulerKind::kEAnt, cfg);
+  cfg.job_tracker.measure_scheduler_time = true;
+  exp::Run run(exp::homogeneous(cluster::catalog::xeon_e5(), nodes), kind,
+               cfg);
   run.submit(exp::job_batch(workload::AppKind::kTerasort, 4000.0, 8, jobs));
 
   const auto t0 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
@@ -58,6 +66,7 @@ Row measure(std::size_t nodes) {
   const auto t1 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
 
   Row r;
+  r.scheduler = exp::scheduler_kind_name(kind);
   r.nodes = nodes;
   r.jobs = static_cast<std::size_t>(jobs);
   const exp::RunMetrics m = run.metrics();
@@ -69,6 +78,14 @@ Row measure(std::size_t nodes) {
       r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
                            : 0.0;
   r.peak_rss_mib = peak_rss_mib();
+  const mr::JobTracker& jt = run.job_tracker();
+  r.heartbeats = jt.heartbeats();
+  r.select_job_calls = jt.select_job_calls();
+  r.select_job_wall_s = jt.select_job_wall_seconds();
+  r.select_us_per_heartbeat =
+      r.heartbeats > 0 ? r.select_job_wall_s * 1e6 /
+                             static_cast<double>(r.heartbeats)
+                       : 0.0;
   return r;
 }
 
@@ -80,14 +97,18 @@ int main(int argc, char** argv) {
   cli.done();
 
   std::vector<Row> rows;
-  for (std::size_t nodes : {16, 64, 256}) {
-    rows.push_back(measure(nodes));
-    const Row& r = rows.back();
-    std::printf(
-        "nodes=%3zu jobs=%3zu tasks=%6zu events=%9llu wall=%6.2fs "
-        "events/s=%9.0f rss=%6.1f MiB\n",
-        r.nodes, r.jobs, r.tasks, static_cast<unsigned long long>(r.events),
-        r.wall_seconds, r.events_per_sec, r.peak_rss_mib);
+  for (const exp::SchedulerKind kind :
+       {exp::SchedulerKind::kEAnt, exp::SchedulerKind::kCapacity}) {
+    for (std::size_t nodes : {16, 64, 256}) {
+      rows.push_back(measure(kind, nodes));
+      const Row& r = rows.back();
+      std::printf(
+          "%-8s nodes=%3zu jobs=%3zu tasks=%6zu events=%9llu wall=%6.2fs "
+          "events/s=%9.0f rss=%6.1f MiB select/hb=%6.2fus\n",
+          r.scheduler.c_str(), r.nodes, r.jobs, r.tasks,
+          static_cast<unsigned long long>(r.events), r.wall_seconds,
+          r.events_per_sec, r.peak_rss_mib, r.select_us_per_heartbeat);
+    }
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -99,13 +120,20 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(out,
-                 "    {\"nodes\": %zu, \"jobs\": %zu, \"tasks\": %zu, "
+                 "    {\"scheduler\": \"%s\", \"nodes\": %zu, \"jobs\": %zu, "
+                 "\"tasks\": %zu, "
                  "\"events\": %llu, \"sim_makespan_s\": %.3f, "
                  "\"wall_s\": %.3f, \"events_per_s\": %.0f, "
-                 "\"peak_rss_mib\": %.1f}%s\n",
-                 r.nodes, r.jobs, r.tasks,
+                 "\"peak_rss_mib\": %.1f, "
+                 "\"heartbeats\": %llu, \"select_job_calls\": %llu, "
+                 "\"select_job_wall_s\": %.4f, "
+                 "\"select_us_per_heartbeat\": %.3f}%s\n",
+                 r.scheduler.c_str(), r.nodes, r.jobs, r.tasks,
                  static_cast<unsigned long long>(r.events), r.sim_makespan,
                  r.wall_seconds, r.events_per_sec, r.peak_rss_mib,
+                 static_cast<unsigned long long>(r.heartbeats),
+                 static_cast<unsigned long long>(r.select_job_calls),
+                 r.select_job_wall_s, r.select_us_per_heartbeat,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

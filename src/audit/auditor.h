@@ -114,6 +114,7 @@ enum class Record : std::uint32_t {
   kEpoch = 23,         ///< master epoch advanced (entity = new epoch)
   kOrphanCommit = 24,  ///< orphaned attempt committed from checkpoint replay
   kOrphanRequeue = 25, ///< orphaned attempt discarded and requeued
+  kPreempt = 26,       ///< attempt killed to rebalance tenant slot shares
 };
 
 /// Task-attempt lifecycle events checked against the transition table.

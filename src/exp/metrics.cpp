@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/stats.h"
 
 namespace eant::exp {
 
@@ -33,6 +34,13 @@ const TypeMetrics& RunMetrics::type(const std::string& name) const {
   throw PreconditionError("no metrics for machine type " + name);
 }
 
+const TenantMetrics& RunMetrics::tenant(workload::TenantId id) const {
+  for (const auto& t : by_tenant) {
+    if (t.tenant == id) return t;
+  }
+  throw PreconditionError("no metrics for tenant " + std::to_string(id));
+}
+
 MetricsCollector::MetricsCollector(cluster::Cluster& cluster,
                                    mr::JobTracker& jt)
     : cluster_(cluster),
@@ -45,6 +53,9 @@ void MetricsCollector::install() {
     const auto& js = jt_.job(r.spec.job);
     ++tasks_by_type_app_[type_name][workload::app_name(js.spec().app)];
     ++total_tasks_;
+    // Per-tenant SLO accounting: completed task-seconds and Eq. 2 energy.
+    tenant_slot_seconds_[js.spec().tenant] += r.duration();
+    tenant_energy_[js.spec().tenant] += model_.estimate(r);
     if (r.spec.kind == mr::TaskKind::kMap) {
       ++maps_by_type_[type_name];
       ++total_maps_;
@@ -59,8 +70,12 @@ void MetricsCollector::install() {
     JobMetrics jm;
     jm.id = js.id();
     jm.class_name = js.spec().class_key();
+    jm.tenant = js.spec().tenant;
     jm.submit_time = js.submit_time();
     jm.completion_time = js.completion_time();
+    jm.deadline = js.spec().deadline;
+    jm.missed_deadline = js.spec().has_deadline() &&
+                         (js.failed() || js.spec().deadline < js.finish_time());
     jm.maps = js.num_maps();
     jm.reduces = js.num_reduces();
     jm.map_task_seconds = js.map_task_seconds();
@@ -75,8 +90,11 @@ void MetricsCollector::install() {
   // so "energy spent on discarded attempts" is directly comparable to the
   // per-task energies the scheduler learned from.
   jt_.set_waste_listener(
-      [this](const mr::TaskReport& r, mr::WasteReason /*reason*/) {
+      [this](const mr::TaskReport& r, mr::WasteReason reason) {
         wasted_energy_ += model_.estimate(r);
+        if (reason == mr::WasteReason::kPreempted) {
+          ++tenant_preemptions_[jt_.job(r.spec.job).spec().tenant];
+        }
       });
 }
 
@@ -96,6 +114,41 @@ RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
   rm.wasted_task_seconds = jt_.wasted_task_seconds();
   rm.wasted_energy = wasted_energy_;
   rm.recovery_times = jt_.recovery_times();
+  rm.preempted_attempts = jt_.preempted_attempts();
+
+  // Per-tenant SLO aggregates (std::map: by_tenant sorted by tenant id).
+  std::map<workload::TenantId, TenantMetrics> tenants;
+  std::map<workload::TenantId, std::vector<double>> latencies;
+  for (const auto& j : rm.jobs) {
+    TenantMetrics& t = tenants[j.tenant];
+    t.tenant = j.tenant;
+    ++t.jobs;
+    if (j.failed) {
+      ++t.jobs_failed;
+    } else {
+      latencies[j.tenant].push_back(j.completion_time);
+    }
+    if (j.deadline >= 0.0) {
+      ++t.deadline_jobs;
+      if (j.missed_deadline) {
+        ++t.deadline_misses;
+        ++rm.deadline_misses;
+      }
+    }
+  }
+  for (auto& [tenant_id, t] : tenants) {
+    const auto& lat = latencies[tenant_id];
+    if (!lat.empty()) {
+      t.latency_p50 = percentile(lat, 50.0);
+      t.latency_p95 = percentile(lat, 95.0);
+      t.latency_p99 = percentile(lat, 99.0);
+      t.mean_latency = mean_of(lat);
+    }
+    t.energy = tenant_energy_[tenant_id];
+    t.slot_seconds = tenant_slot_seconds_[tenant_id];
+    t.preemptions = tenant_preemptions_[tenant_id];
+    rm.by_tenant.push_back(t);
+  }
 
   rm.fetch_failures = jt_.fetch_failures();
   rm.fetch_reexecuted_maps = jt_.fetch_reexecuted_maps();

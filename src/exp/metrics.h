@@ -34,14 +34,42 @@ struct TypeMetrics {
 struct JobMetrics {
   mr::JobId id = 0;
   std::string class_name;  ///< e.g. "Wordcount-S"
+  workload::TenantId tenant = 0;
   Seconds submit_time = 0.0;
   Seconds completion_time = 0.0;  ///< finish - submit
+  Seconds deadline = -1.0;        ///< absolute deadline; < 0 = none
+  bool missed_deadline = false;   ///< had a deadline and blew (or failed) it
   std::size_t maps = 0;
   std::size_t reduces = 0;
   double map_task_seconds = 0.0;
   double shuffle_seconds = 0.0;
   double reduce_task_seconds = 0.0;
   bool failed = false;  ///< ran out of task attempts; excluded from means
+};
+
+/// Per-tenant SLO aggregates over one run (the continuous-traffic bench's
+/// reporting unit).  Latency percentiles are over completed jobs only.
+struct TenantMetrics {
+  workload::TenantId tenant = 0;
+  std::size_t jobs = 0;         ///< finished jobs (completed + failed)
+  std::size_t jobs_failed = 0;
+  Seconds latency_p50 = 0.0;
+  Seconds latency_p95 = 0.0;
+  Seconds latency_p99 = 0.0;
+  Seconds mean_latency = 0.0;
+  Joules energy = 0.0;          ///< Eq. 2 estimate over completed tasks
+  double slot_seconds = 0.0;    ///< completed task-seconds
+  std::size_t preemptions = 0;  ///< attempts preempted from this tenant
+  std::size_t deadline_jobs = 0;
+  std::size_t deadline_misses = 0;
+
+  /// Mean Eq. 2 task energy per completed job, in kJ (0 when none).
+  double energy_per_job_kj() const {
+    const std::size_t completed = jobs - jobs_failed;
+    return completed == 0
+               ? 0.0
+               : energy / kJoulesPerKilojoule / static_cast<double>(completed);
+  }
 };
 
 /// Everything measured over one experiment run.
@@ -51,6 +79,9 @@ struct RunMetrics {
   Joules total_energy = 0.0;
   std::vector<TypeMetrics> by_type;
   std::vector<JobMetrics> jobs;
+  std::vector<TenantMetrics> by_tenant;  ///< sorted by tenant id
+  std::size_t preempted_attempts = 0;    ///< scheduler-preempted attempts
+  std::size_t deadline_misses = 0;       ///< over all tenants
   std::size_t total_tasks = 0;
   std::size_t local_maps = 0;       ///< node-local maps
   std::size_t rack_local_maps = 0;  ///< fed from a same-rack replica
@@ -130,6 +161,7 @@ struct RunMetrics {
   double total_energy_kj() const { return total_energy / kJoulesPerKilojoule; }
 
   const TypeMetrics& type(const std::string& name) const;
+  const TenantMetrics& tenant(workload::TenantId id) const;
 };
 
 /// Collects reports/energies during a run; owned by the Run harness.
@@ -148,6 +180,9 @@ class MetricsCollector {
   mr::JobTracker& jt_;
   core::EnergyModel model_;  ///< Eq. 2 estimator for wasted-work energy
   Joules wasted_energy_ = 0.0;
+  std::map<workload::TenantId, Joules> tenant_energy_;
+  std::map<workload::TenantId, double> tenant_slot_seconds_;
+  std::map<workload::TenantId, std::size_t> tenant_preemptions_;
   std::map<std::string, std::map<std::string, std::size_t>> tasks_by_type_app_;
   std::map<std::string, std::size_t> maps_by_type_;
   std::map<std::string, std::size_t> reduces_by_type_;

@@ -39,7 +39,9 @@ std::unique_ptr<mr::Scheduler> make_scheduler(SchedulerKind kind,
     case SchedulerKind::kFair:
       return std::make_unique<sched::FairScheduler>();
     case SchedulerKind::kCapacity:
-      return std::make_unique<sched::CapacityScheduler>();
+      return config.tenancy
+                 ? std::make_unique<sched::CapacityScheduler>(*config.tenancy)
+                 : std::make_unique<sched::CapacityScheduler>();
     case SchedulerKind::kTarazu:
       return std::make_unique<sched::TarazuScheduler>();
     case SchedulerKind::kLate:

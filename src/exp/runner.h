@@ -17,6 +17,7 @@
 #include "mapreduce/job_tracker.h"
 #include "mapreduce/noise.h"
 #include "net/fabric.h"
+#include "sched/capacity.h"
 #include "sim/fault_injector.h"
 #include "sim/simulator.h"
 
@@ -33,6 +34,10 @@ struct RunConfig {
   mr::NoiseConfig noise = mr::NoiseConfig::none();
   mr::JobTrackerConfig job_tracker;
   core::EAntConfig eant;       ///< used when scheduler == kEAnt
+  /// When set, kCapacity runs in tenant mode: per-tenant weighted-share
+  /// queues, EDF deadline boost and share-rebalancing preemption.  Unset =
+  /// the digest-frozen legacy fixed-fraction queues.
+  std::optional<sched::TenantShareConfig> tenancy;
   sim::FaultPlan faults;       ///< machine/task fault injection (off by default)
   Seconds time_limit = 14.0 * 24 * 3600;  ///< safety stop (sim time)
 

@@ -1,6 +1,7 @@
 #include "mapreduce/job_tracker.h"
 
 #include <algorithm>
+#include <chrono>  // lint-ok: wall-clock (scheduler-cost attribution only)
 #include <cmath>
 #include <cstdio>
 
@@ -211,6 +212,7 @@ void JobTracker::handle_heartbeat(TaskTracker& tracker) {
     }
     reregister_tracker(tracker);
   }
+  ++heartbeats_;
   TrackerState& ts = tracker_states_[m];
   ts.last_heartbeat = sim_.now();
   if (ts.lost) {
@@ -494,10 +496,26 @@ void JobTracker::try_speculate(TaskTracker& tracker, TaskKind kind) {
   if (found) start_speculative(best_job, kind, best_index, tracker);
 }
 
+std::optional<JobId> JobTracker::timed_select_job(cluster::MachineId machine,
+                                                 TaskKind kind) {
+  ++select_job_calls_;
+  if (!config_.measure_scheduler_time) {
+    return scheduler_.select_job(machine, kind);
+  }
+  // Wall-clock is fine here: the measurement is pure observation (it feeds
+  // bench/perf_smoke's scheduler-work attribution) and never influences any
+  // simulation decision, so determinism is untouched.
+  const auto t0 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+  const auto choice = scheduler_.select_job(machine, kind);
+  const auto t1 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+  select_job_wall_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+  return choice;
+}
+
 void JobTracker::try_assign(TaskTracker& tracker, TaskKind kind) {
   const cluster::MachineId m = tracker.machine_id();
   while (tracker.free_slots(kind) > 0) {
-    const auto choice = scheduler_.select_job(m, kind);
+    const auto choice = timed_select_job(m, kind);
     if (!choice) {
       if (config_.speculative_execution) try_speculate(tracker, kind);
       return;
@@ -1372,6 +1390,44 @@ bool JobTracker::start_speculative(JobId job, TaskKind kind, TaskIndex index,
   js.mark_speculative(kind, index);
   launch(js, kind, index, tracker, locality);
   return true;
+}
+
+std::size_t JobTracker::preempt_attempt(JobId job, TaskKind kind,
+                                        TaskIndex index) {
+  if (!master_up_) return 0;
+  JobState& js = job_mutable(job);
+  if (js.failed() || js.complete()) return 0;
+  if (js.status(kind, index) != TaskStatus::kRunning) return 0;
+
+  std::size_t preempted = 0;
+  cluster::MachineId last_machine = 0;
+  for (auto& t : trackers_) {
+    if (!t->is_running(job, kind, index)) continue;
+    const cluster::MachineId m = t->machine_id();
+    const auto report = t->preempt_task(job, kind, index);
+    if (!report) continue;
+    // An attempt still in its transfer phase held fabric flows; its abort
+    // callback already fired, this drains the transfer bookkeeping.
+    abort_transfers(TransferKey{job, kind, index, m});
+    ++preempted;
+    ++killed_attempts_;
+    ++preempted_attempts_;
+    last_machine = m;
+    report_waste(*report, WasteReason::kPreempted);
+    if (auditor_) {
+      auditor_->record(audit::Record::kPreempt,
+                       (static_cast<std::uint64_t>(job) << 32) ^
+                           (static_cast<std::uint64_t>(index) << 1) ^
+                           (kind == TaskKind::kReduce ? 1u : 0u));
+    }
+  }
+  if (preempted == 0) return 0;
+  // Every live attempt (original + any speculative twin) is now dead: the
+  // task re-queues cleanly for a later slot, exactly like a node-loss requeue
+  // (KILLED, not FAILED — no attempt budget charged).
+  js.clear_speculative(kind, index);
+  js.unclaim(kind, index, last_machine);
+  return preempted;
 }
 
 void JobTracker::handle_completion(TaskReport report) {

@@ -213,6 +213,14 @@ struct JobTrackerConfig {
   /// master from absorbing every tracker's status report in one instant.
   /// Heartbeats arriving before a tracker's gate are fenced as stale.
   Seconds reregistration_window = 30.0;
+
+  // --- scheduler-cost attribution ----------------------------------------------
+
+  /// Measure wall-clock time spent inside Scheduler::select_job (the
+  /// per-heartbeat scheduler-work attribution emitted by bench/perf_smoke).
+  /// Off by default: the flag never changes simulation results, but the
+  /// timing calls cost a few nanoseconds per slot offer.
+  bool measure_scheduler_time = false;
 };
 
 /// Why a piece of completed-or-partial work was thrown away — tags the
@@ -224,6 +232,7 @@ enum class WasteReason {
   kJobFailed,      ///< attempts killed when their job ran out of retries
   kFetchFailed,    ///< completed map re-run because its output was unreachable
   kOrphaned,       ///< work discarded because the restarted master forgot it
+  kPreempted,      ///< attempt killed to rebalance tenant slot shares
 };
 
 /// Master node: job admission, heartbeat-driven assignment, lifecycle.
@@ -301,6 +310,14 @@ class JobTracker {
   bool start_speculative(JobId job, TaskKind kind, TaskIndex index,
                          TaskTracker& tracker);
 
+  /// Scheduler-requested preemption of a Running task: every live attempt
+  /// (original + speculative twin) is killed — KILLED, not FAILED, so no
+  /// attempt budget is charged — its partial work reported as
+  /// WasteReason::kPreempted, and the task re-queued for a later slot (the
+  /// PR-1 re-queue machinery).  Returns the number of attempts killed
+  /// (0 when the task was not running or the master is down).
+  std::size_t preempt_attempt(JobId job, TaskKind kind, TaskIndex index);
+
   // --- queries (schedulers, experiments, tests) --------------------------------
 
   const JobState& job(JobId id) const;
@@ -359,6 +376,21 @@ class JobTracker {
   /// Attempts killed by machine crashes / transient failures so far.
   std::size_t killed_attempts() const { return killed_attempts_; }
   std::size_t failed_attempts() const { return failed_attempts_; }
+
+  /// Attempts killed by scheduler preemption (subset of killed_attempts).
+  std::size_t preempted_attempts() const { return preempted_attempts_; }
+
+  // --- scheduler-cost attribution ----------------------------------------------
+
+  /// Heartbeats processed live (fenced ones excluded).
+  std::uint64_t heartbeats() const { return heartbeats_; }
+
+  /// Scheduler::select_job invocations (one per slot offer).
+  std::uint64_t select_job_calls() const { return select_job_calls_; }
+
+  /// Wall-clock seconds spent inside Scheduler::select_job; 0 unless
+  /// JobTrackerConfig::measure_scheduler_time is set.
+  double select_job_wall_seconds() const { return select_job_wall_seconds_; }
 
   /// Completed maps re-executed because their output died with a node.
   std::size_t lost_map_outputs() const { return lost_map_outputs_; }
@@ -583,6 +615,10 @@ class JobTracker {
 
   JobState& job_mutable(JobId id);
   void try_assign(TaskTracker& tracker, TaskKind kind);
+  /// select_job with the scheduler-cost attribution wrapped around it (the
+  /// call counter always; the wall-clock timer only when configured).
+  std::optional<JobId> timed_select_job(cluster::MachineId machine,
+                                        TaskKind kind);
   void try_speculate(TaskTracker& tracker, TaskKind kind);
   Seconds base_duration(const TaskSpec& spec, const cluster::Machine& machine,
                         Locality locality) const;
@@ -687,6 +723,10 @@ class JobTracker {
   std::vector<Seconds> recovery_times_;
   std::size_t killed_attempts_ = 0;
   std::size_t failed_attempts_ = 0;
+  std::size_t preempted_attempts_ = 0;
+  std::uint64_t heartbeats_ = 0;
+  std::uint64_t select_job_calls_ = 0;
+  double select_job_wall_seconds_ = 0.0;
   std::size_t lost_map_outputs_ = 0;
   double wasted_task_seconds_ = 0.0;
   std::size_t quarantine_episodes_ = 0;

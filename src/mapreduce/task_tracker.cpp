@@ -384,6 +384,24 @@ bool TaskTracker::cancel_task(JobId job, TaskKind kind, TaskIndex index) {
   return true;
 }
 
+std::optional<TaskReport> TaskTracker::preempt_task(JobId job, TaskKind kind,
+                                                    TaskIndex index) {
+  const std::uint64_t attempt = find_attempt(job, kind, index);
+  if (attempt == 0) return std::nullopt;
+  auto it = running_.find(attempt);
+  Running& r = it->second;
+  abort_transfer_if_fetching(r);
+  sim_.cancel(r.completion_event);
+  close_sample_window(r);
+  machine_.adjust_demand(-r.current_demand);
+  TaskReport report = make_report(r);
+  release_slot(kind);
+  audit_transition(job_tracker_, r.spec, machine_.id(),
+                   audit::TaskEvent::kKill);
+  running_.erase(it);
+  return report;
+}
+
 std::vector<TaskReport> TaskTracker::cancel_job(JobId job) {
   std::vector<TaskReport> killed;
   for (auto it = running_.begin(); it != running_.end();) {

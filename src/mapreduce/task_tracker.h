@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "cluster/machine.h"
@@ -85,6 +86,13 @@ class TaskTracker {
   /// Kills a running attempt (speculative-execution support).  Returns
   /// false if the attempt already finished.  No report is produced.
   bool cancel_task(JobId job, TaskKind kind, TaskIndex index);
+
+  /// Kills a running attempt for scheduler preemption and returns its
+  /// partial-work report (the wasted-work/energy accounting input).  Same
+  /// teardown as cancel_task — KILLED, not FAILED: no attempt budget is
+  /// charged.  Returns nothing if the attempt is not running here.
+  std::optional<TaskReport> preempt_task(JobId job, TaskKind kind,
+                                         TaskIndex index);
 
   /// Kills every running attempt of the job (job-failure cleanup); returns
   /// the partial-work reports of the killed attempts.

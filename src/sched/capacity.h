@@ -1,45 +1,122 @@
 // Hadoop Capacity Scheduler (referenced in the paper's related work,
-// Sec. VII): the cluster is divided into queues, each guaranteed a fraction
-// of the slots; within a queue jobs run FIFO, and idle capacity spills over
-// to the busiest queues.  Jobs are mapped to queues round-robin at
-// submission (a stand-in for per-user queue assignment).
+// Sec. VII) in two modes:
+//
+//  * LEGACY (default): the cluster is divided into fixed-fraction queues;
+//    jobs map to queues round-robin at submission (a stand-in for per-user
+//    queue assignment), within a queue jobs run FIFO, and idle capacity
+//    spills over to the busiest queues.  This mode's decision sequence is
+//    digest-frozen — fig6b depends on it bit-for-bit.
+//
+//  * TENANT (TenantShareConfig ctor): the multi-tenant scheduler behind
+//    bench/continuous_traffic.  Each tenant owns a queue with a weighted
+//    slot share; queues are ranked by occupancy-per-weight (weighted
+//    max-min, spill-over automatic), jobs carrying deadlines run EDF ahead
+//    of their queue's FIFO backlog, a queue whose earliest deadline is
+//    inside deadline_boost_window jumps the ranking entirely, and a
+//    periodic sweep preempts the youngest attempts of over-share tenants
+//    when an under-share tenant is starving (JobTracker::preempt_attempt —
+//    KILLED, not FAILED, wasted work accounted).
+//
+// Both modes rebuild their job->queue map from the replayed job table at
+// master failover (on_master_recovered): the map lived in the dead master's
+// memory.
 
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "mapreduce/job_tracker.h"
 #include "mapreduce/scheduler.h"
+#include "workload/job_spec.h"
 
 namespace eant::sched {
 
-/// Multi-queue capacity scheduling.
+/// One tenant's queue in tenant mode.
+struct TenantQueue {
+  workload::TenantId tenant = 0;
+  std::string name;
+  double weight = 1.0;  ///< relative slot share (weighted max-min)
+};
+
+/// Tenant-mode configuration.
+struct TenantShareConfig {
+  std::vector<TenantQueue> tenants;
+
+  /// Preempt over-share tenants' attempts when an under-share tenant
+  /// starves (off = shares converge only as tasks finish naturally).
+  bool preemption = true;
+
+  /// Period of the preemption sweep.
+  Seconds preemption_interval = 30.0;
+
+  /// Attempts killed per sweep and kind, fleet-wide — bounds wasted work
+  /// per rebalancing round.
+  int max_preemptions_per_round = 2;
+
+  /// A queue whose earliest runnable deadline is closer than this jumps
+  /// ahead of every non-urgent queue regardless of its share.
+  Seconds deadline_boost_window = 120.0;
+};
+
+/// Multi-queue capacity scheduling (legacy fixed fractions or per-tenant
+/// weighted shares — see the file comment).
 class CapacityScheduler final : public mr::Scheduler {
  public:
-  /// `capacities` are the queues' guaranteed slot fractions; they must be
-  /// positive and sum to 1 (within a small tolerance).
+  /// Legacy mode: `capacities` are the queues' guaranteed slot fractions;
+  /// they must be positive and sum to 1 (within a small tolerance).
   explicit CapacityScheduler(std::vector<double> capacities = {0.5, 0.3,
                                                                0.2});
 
-  void attach(mr::JobTracker& job_tracker) override { jt_ = &job_tracker; }
+  /// Tenant mode: one queue per configured tenant; jobs map to queues by
+  /// JobSpec::tenant.  An unknown tenant gets a weight-1.0 queue on first
+  /// sight (first-seen order, deterministic).
+  explicit CapacityScheduler(TenantShareConfig config);
+
+  void attach(mr::JobTracker& job_tracker) override;
   void on_job_submitted(mr::JobId job) override;
+  void on_master_recovered(std::uint64_t epoch) override;
   std::optional<mr::JobId> select_job(cluster::MachineId machine,
                                       mr::TaskKind kind) override;
   std::string name() const override { return "Capacity"; }
 
-  std::size_t num_queues() const { return capacities_.size(); }
+  bool tenant_mode() const { return tenant_mode_; }
+  std::size_t num_queues() const {
+    return tenant_mode_ ? queues_.size() : capacities_.size();
+  }
 
   /// Queue a job was assigned to (for tests/observability).
   std::size_t queue_of(mr::JobId job) const;
 
- private:
-  /// Slots currently occupied by a queue's jobs.
-  int queue_occupancy(std::size_t queue) const;
+  /// Successful preemptions this scheduler initiated (tenant mode only).
+  std::size_t preemptions() const { return preemptions_; }
 
+ private:
+  /// Slots currently occupied by each queue's jobs, in one pass over the
+  /// active jobs (select_job used to recount per comparator evaluation —
+  /// quadratic in jobs for no change in ranking).
+  std::vector<int> occupancy_by_queue() const;
+
+  std::optional<mr::JobId> select_legacy(const std::vector<mr::JobId>& runnable);
+  std::optional<mr::JobId> select_tenant(const std::vector<mr::JobId>& runnable,
+                                         mr::TaskKind kind);
+  std::size_t queue_for_tenant(workload::TenantId tenant);
+  void preemption_sweep();
+  void rebalance_kind(mr::TaskKind kind);
+
+  // Legacy mode.
   std::vector<double> capacities_;
-  std::map<mr::JobId, std::size_t> job_queue_;
   std::size_t next_queue_ = 0;
+
+  // Tenant mode.
+  bool tenant_mode_ = false;
+  TenantShareConfig share_;
+  std::vector<TenantQueue> queues_;
+  std::map<workload::TenantId, std::size_t> tenant_queue_;
+  std::size_t preemptions_ = 0;
+
+  std::map<mr::JobId, std::size_t> job_queue_;
   mr::JobTracker* jt_ = nullptr;
 };
 

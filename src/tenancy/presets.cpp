@@ -1,0 +1,66 @@
+#include "tenancy/presets.h"
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace eant::tenancy::presets {
+
+TrafficConfig three_tenant_mix(Seconds horizon, double rate_scale) {
+  EANT_CHECK(rate_scale > 0.0, "rate scale must be positive");
+  TrafficConfig cfg;
+  cfg.horizon = horizon;
+
+  // Tenant 0: the batch organisation — shuffle-heavy apps following the
+  // office day (peak mid-period, trough at night), no deadlines.
+  TenantTraffic batch;
+  batch.profile.tenant = 0;
+  batch.profile.name = "batch";
+  batch.profile.weight = 2.0;
+  batch.profile.apps = {{workload::AppKind::kTerasort, 2.0},
+                        {workload::AppKind::kGrep, 1.0}};
+  batch.profile.small = SizeBand{0.5, 128.0, 512.0, 1, 4};
+  batch.profile.medium = SizeBand{0.5, 512.0, 1536.0, 2, 6};
+  batch.profile.large = SizeBand{0.0};
+  batch.arrivals = std::make_unique<workload::DiurnalArrivals>(
+      /*base_per_minute=*/0.18 * rate_scale, /*amplitude=*/0.8);
+  cfg.tenants.push_back(std::move(batch));
+
+  // Tenant 1: interactive analysts — bursts of small jobs, every one with a
+  // completion deadline (the SLO tenant).
+  TenantTraffic interactive;
+  interactive.profile.tenant = 1;
+  interactive.profile.name = "interactive";
+  interactive.profile.weight = 3.0;
+  interactive.profile.apps = {{workload::AppKind::kWordcount, 2.0},
+                              {workload::AppKind::kGrep, 1.0}};
+  interactive.profile.small = SizeBand{1.0, 64.0, 384.0, 1, 2};
+  interactive.profile.medium = SizeBand{0.0};
+  interactive.profile.large = SizeBand{0.0};
+  interactive.profile.deadline_fraction = 1.0;
+  interactive.profile.deadline_base = 900.0;
+  interactive.profile.deadline_per_gb = 1200.0;
+  interactive.arrivals = std::make_unique<workload::BurstyArrivals>(
+      /*base_per_minute=*/0.12 * rate_scale, /*burst_multiplier=*/4.0,
+      /*mean_calm=*/2400.0, /*mean_burst=*/300.0);
+  cfg.tenants.push_back(std::move(interactive));
+
+  // Tenant 2: background maintenance — a flat trickle of mixed work.
+  TenantTraffic background;
+  background.profile.tenant = 2;
+  background.profile.name = "background";
+  background.profile.weight = 1.0;
+  background.profile.apps = {{workload::AppKind::kWordcount, 1.0},
+                             {workload::AppKind::kTerasort, 1.0},
+                             {workload::AppKind::kGrep, 1.0}};
+  background.profile.small = SizeBand{0.7, 128.0, 512.0, 1, 4};
+  background.profile.medium = SizeBand{0.3, 512.0, 1024.0, 2, 4};
+  background.profile.large = SizeBand{0.0};
+  background.arrivals = std::make_unique<workload::PoissonArrivals>(
+      /*rate_per_minute=*/0.08 * rate_scale);
+  cfg.tenants.push_back(std::move(background));
+
+  return cfg;
+}
+
+}  // namespace eant::tenancy::presets

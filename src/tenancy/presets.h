@@ -1,0 +1,23 @@
+// Canonical tenant mixes shared by bench/continuous_traffic, the CI smoke
+// run and the tenancy test suite, so "the three-tenant diurnal mix" means
+// the same trace everywhere.
+
+#pragma once
+
+#include "tenancy/traffic.h"
+
+namespace eant::tenancy::presets {
+
+/// The headline continuous-traffic mix on the paper's 16-node fleet:
+///
+///   tenant 0 "batch"        weight 2, diurnal Terasort/Grep, medium inputs;
+///   tenant 1 "interactive"  weight 3, bursty small Wordcount/Grep jobs, all
+///                           carrying deadlines;
+///   tenant 2 "background"   weight 1, flat low-rate mixed filler.
+///
+/// `rate_scale` multiplies every tenant's arrival rate (1.0 ≈ 25 jobs/hour
+/// fleet-wide — ~1200 jobs over the default two-day horizon).
+TrafficConfig three_tenant_mix(Seconds horizon = 2.0 * 86400.0,
+                               double rate_scale = 1.0);
+
+}  // namespace eant::tenancy::presets

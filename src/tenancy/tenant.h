@@ -1,0 +1,68 @@
+// Tenant model for the multi-tenant continuous-traffic subsystem.
+//
+// A tenant is a paying user of the shared cluster: it owns a weighted share
+// of the slot pool (consumed by the capacity scheduler's tenant mode), an
+// application/size mix describing what it submits, and an optional deadline
+// policy attached to its jobs.  Job-level multi-tenant scheduling follows
+// the framing of "Hybrid Job-driven Scheduling for Virtual MapReduce
+// Clusters" (arXiv 1808.08040); deadlines connect to "Energy Efficient
+// Scheduling of MapReduce Jobs" (arXiv 1402.2810).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/apps.h"
+#include "workload/job_spec.h"
+
+namespace eant::tenancy {
+
+/// One entry of a tenant's application mix: the app and its sampling weight.
+struct AppShare {
+  workload::AppKind app = workload::AppKind::kWordcount;
+  double weight = 1.0;
+};
+
+/// Input-size sampling range of one size class (already at simulation scale,
+/// cf. MsdConfig::input_scale) plus its reduce-count range.
+struct SizeBand {
+  double weight = 0.0;  ///< sampling weight of the class; 0 disables it
+  Megabytes min_mb = 64.0;
+  Megabytes max_mb = 512.0;
+  int min_reduces = 1;
+  int max_reduces = 4;
+};
+
+/// Static description of one tenant: identity, share weight, workload mix
+/// and deadline policy.  The traffic generator samples jobs from it; the
+/// capacity scheduler's tenant mode consumes (id, weight).
+struct TenantProfile {
+  workload::TenantId tenant = 0;
+  std::string name;
+
+  /// Weighted slot share relative to the other tenants (2.0 vs 1.0 entitles
+  /// this tenant to twice the slots when both are backlogged).
+  double weight = 1.0;
+
+  /// Application sampling mix; must be non-empty with positive weights.
+  std::vector<AppShare> apps = {{workload::AppKind::kWordcount, 1.0}};
+
+  /// Size-class sampling bands (Small/Medium/Large); at least one must have
+  /// positive weight.
+  SizeBand small{0.7, 64.0, 512.0, 1, 4};
+  SizeBand medium{0.3, 512.0, 2048.0, 2, 8};
+  SizeBand large{0.0, 2048.0, 8192.0, 4, 16};
+
+  /// Fraction of this tenant's jobs that carry a completion deadline.
+  double deadline_fraction = 0.0;
+
+  /// Deadline = submit + deadline_base + deadline_per_gb * input_gb: a flat
+  /// grace plus a size-proportional allowance, so small interactive jobs get
+  /// tight budgets and bigger ones proportionally more.
+  Seconds deadline_base = 600.0;
+  Seconds deadline_per_gb = 600.0;
+};
+
+}  // namespace eant::tenancy

@@ -1,0 +1,89 @@
+#include "tenancy/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eant::tenancy {
+
+namespace {
+
+constexpr std::uint64_t kTenantStreamBase = 0x7e00;
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config)
+    : config_(std::move(config)) {
+  EANT_CHECK(config_.horizon > 0.0, "traffic horizon must be positive");
+  EANT_CHECK(!config_.tenants.empty(), "traffic needs at least one tenant");
+  for (const auto& t : config_.tenants) {
+    EANT_CHECK(t.arrivals != nullptr, "every tenant needs an arrival process");
+    EANT_CHECK(t.profile.weight > 0.0, "tenant weight must be positive");
+    EANT_CHECK(!t.profile.apps.empty(), "tenant app mix must be non-empty");
+    const double band_weight = t.profile.small.weight +
+                               t.profile.medium.weight +
+                               t.profile.large.weight;
+    EANT_CHECK(band_weight > 0.0, "tenant needs a positive size-band weight");
+    EANT_CHECK(t.profile.deadline_fraction >= 0.0 &&
+                   t.profile.deadline_fraction <= 1.0,
+               "deadline fraction out of range");
+  }
+}
+
+workload::JobSpec TrafficGenerator::sample_job(const TenantProfile& tenant,
+                                               Seconds submit,
+                                               Rng& rng) const {
+  workload::JobSpec job;
+  job.tenant = tenant.tenant;
+  job.submit_time = submit;
+
+  std::vector<double> app_weights;
+  app_weights.reserve(tenant.apps.size());
+  for (const auto& a : tenant.apps) app_weights.push_back(a.weight);
+  job.app = tenant.apps[rng.weighted_index(app_weights)].app;
+
+  const std::size_t band_index = rng.weighted_index(
+      {tenant.small.weight, tenant.medium.weight, tenant.large.weight});
+  const SizeBand* bands[] = {&tenant.small, &tenant.medium, &tenant.large};
+  const SizeBand& band = *bands[band_index];
+  job.size_class = band_index == 0   ? workload::SizeClass::kSmall
+                   : band_index == 1 ? workload::SizeClass::kMedium
+                                     : workload::SizeClass::kLarge;
+  // Log-uniform within the band, like production job-size distributions
+  // (and MsdGenerator).
+  job.input_mb = std::exp(rng.uniform(std::log(band.min_mb),
+                                      std::log(band.max_mb)));
+  job.num_reduces = static_cast<int>(
+      rng.uniform_int(band.min_reduces, band.max_reduces));
+
+  if (tenant.deadline_fraction > 0.0 &&
+      rng.bernoulli(tenant.deadline_fraction)) {
+    job.deadline = submit + tenant.deadline_base +
+                   tenant.deadline_per_gb * job.input_mb / 1024.0;
+  }
+  return job;
+}
+
+std::vector<workload::JobSpec> TrafficGenerator::generate(Rng& rng) const {
+  std::vector<workload::JobSpec> jobs;
+  for (const auto& t : config_.tenants) {
+    // One forked stream per tenant: its trace is a pure function of the root
+    // seed and its own id, independent of the other tenants' configuration.
+    Rng tenant_rng = rng.fork(kTenantStreamBase + t.profile.tenant);
+    const auto times = t.arrivals->arrivals(config_.horizon, tenant_rng);
+    jobs.reserve(jobs.size() + times.size());
+    for (Seconds at : times) {
+      jobs.push_back(sample_job(t.profile, at, tenant_rng));
+    }
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const workload::JobSpec& a, const workload::JobSpec& b) {
+                     if (a.submit_time < b.submit_time) return true;
+                     if (b.submit_time < a.submit_time) return false;
+                     return a.tenant < b.tenant;
+                   });
+  return jobs;
+}
+
+}  // namespace eant::tenancy

@@ -1,0 +1,55 @@
+// Open-loop continuous-traffic generator: turns per-tenant rate profiles
+// (flat Poisson, diurnal sinusoid, bursty MMPP — workload/arrival.h) into a
+// merged, submit-time-sorted JobSpec stream spanning simulated days.
+//
+// Unlike the 87-job MSD batch (workload/msd.h), the stream is open-loop:
+// arrivals do not wait for completions, so the cluster sees genuine queueing
+// under load peaks — the regime per-tenant SLO metrics are measured in.
+//
+// Determinism: each tenant samples from its own forked RNG stream keyed by
+// tenant id, so adding or editing one tenant never perturbs another's trace.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tenancy/tenant.h"
+#include "workload/arrival.h"
+#include "workload/job_spec.h"
+
+namespace eant::tenancy {
+
+/// One tenant's traffic: its profile plus the arrival process shaping its
+/// submit-rate over time.
+struct TenantTraffic {
+  TenantProfile profile;
+  std::unique_ptr<workload::ArrivalProcess> arrivals;
+};
+
+/// Configuration of one generated trace.
+struct TrafficConfig {
+  Seconds horizon = 2.0 * 86400.0;  ///< trace length (default: two days)
+  std::vector<TenantTraffic> tenants;
+};
+
+/// Samples the full multi-tenant job stream.
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(TrafficConfig config);
+
+  /// Jobs from every tenant, merged and sorted by submit time (ties broken
+  /// by tenant id, so the merge order is total and deterministic).
+  std::vector<workload::JobSpec> generate(Rng& rng) const;
+
+  const TrafficConfig& config() const { return config_; }
+
+ private:
+  workload::JobSpec sample_job(const TenantProfile& tenant, Seconds submit,
+                               Rng& rng) const;
+
+  TrafficConfig config_;
+};
+
+}  // namespace eant::tenancy

@@ -16,6 +16,10 @@ enum class SizeClass { kSmall, kMedium, kLarge };
 /// "S", "M" or "L".
 std::string size_class_suffix(SizeClass c);
 
+/// Identifies the tenant (user / organisation / queue owner) a job belongs
+/// to.  Single-tenant workloads leave every job on the default tenant 0.
+using TenantId = std::size_t;
+
 /// A MapReduce job submission.
 struct JobSpec {
   AppKind app = AppKind::kWordcount;
@@ -23,6 +27,14 @@ struct JobSpec {
   Megabytes input_mb = 64.0;
   int num_reduces = 1;
   Seconds submit_time = 0.0;
+
+  /// Owning tenant; drives queue assignment under multi-tenant scheduling.
+  TenantId tenant = 0;
+
+  /// Absolute completion deadline (sim time); negative = no deadline.
+  Seconds deadline = -1.0;
+
+  bool has_deadline() const { return deadline >= 0.0; }
 
   /// Display name, e.g. "Wordcount-S" (the Fig. 8(c) class labels).
   std::string display_name() const {

@@ -12,6 +12,7 @@
 
 #include "exp/builders.h"
 #include "exp/runner.h"
+#include "sched/capacity.h"
 #include "hdfs/namenode.h"
 #include "mapreduce/job_tracker.h"
 #include "net/topology.h"
@@ -403,6 +404,74 @@ TEST(Failover, CorrelatedMasterOutageIsDeterministic) {
     return m.determinism_digest;
   };
   EXPECT_EQ(digest(), digest());
+}
+
+TEST(Failover, CapacityRebuildsQueueMapAfterFailover) {
+  // The Capacity scheduler's job->queue map lives in the master's memory;
+  // after a crash it must be rebuilt from the replayed job table
+  // (on_master_recovered), or replayed jobs would be unroutable.
+  exp::RunConfig cfg;
+  cfg.seed = 11;
+  cfg.audit.enabled = true;
+  cfg.job_tracker.checkpoint_interval = 20.0;
+  cfg.job_tracker.checkpoint_write_cost = 1.0;
+  cfg.job_tracker.reregistration_window = 2.0;
+  cfg.faults.crash_jobtracker_for(60.0, 90.0);
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kCapacity, cfg);
+  run.submit(busy_workload(6));
+  auto* cap = dynamic_cast<sched::CapacityScheduler*>(&run.scheduler());
+  ASSERT_NE(cap, nullptr);
+  EXPECT_FALSE(cap->tenant_mode());
+
+  // Step to just past recovery (crash at 60 s, back at 150 s): the rebuilt
+  // map must cover every replayed job with a valid queue.
+  while (run.simulator().now() < 155.0 && !run.job_tracker().all_done()) {
+    ASSERT_TRUE(run.simulator().step());
+  }
+  EXPECT_EQ(run.job_tracker().master_crashes(), 1u);
+  EXPECT_TRUE(run.job_tracker().master_up());
+  const auto active = run.job_tracker().active_jobs();
+  EXPECT_FALSE(active.empty());
+  for (const mr::JobId id : active) {
+    EXPECT_LT(cap->queue_of(id), cap->num_queues());
+  }
+
+  run.execute();
+  const exp::RunMetrics m = run.metrics();
+  EXPECT_EQ(m.jobs_failed, 0u);
+  EXPECT_EQ(m.checkpoint_replays, 1u);
+  EXPECT_TRUE(m.audit.clean());
+}
+
+TEST(Failover, TenantCapacitySurvivesFailover) {
+  // Tenant mode across an outage: tenant-keyed queues are rebuilt from the
+  // replayed specs and the preemption sweep keeps ticking afterwards.
+  exp::RunConfig cfg;
+  cfg.seed = 12;
+  cfg.audit.enabled = true;
+  cfg.job_tracker.checkpoint_interval = 20.0;
+  cfg.job_tracker.checkpoint_write_cost = 1.0;
+  cfg.job_tracker.reregistration_window = 2.0;
+  cfg.faults.crash_jobtracker_for(60.0, 90.0);
+  sched::TenantShareConfig share;
+  share.tenants = {{0, "alpha", 2.0}, {1, "beta", 1.0}};
+  cfg.tenancy = share;
+
+  exp::Run run(exp::paper_fleet(), exp::SchedulerKind::kCapacity, cfg);
+  std::vector<workload::JobSpec> jobs = busy_workload(6);
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].tenant = i % 2;
+  run.submit(jobs);
+  auto* cap = dynamic_cast<sched::CapacityScheduler*>(&run.scheduler());
+  ASSERT_NE(cap, nullptr);
+  EXPECT_TRUE(cap->tenant_mode());
+  run.execute();
+
+  const exp::RunMetrics m = run.metrics();
+  EXPECT_EQ(m.jobs_failed, 0u);
+  EXPECT_EQ(m.master_crashes, 1u);
+  EXPECT_TRUE(m.audit.clean());
+  ASSERT_EQ(m.by_tenant.size(), 2u);
+  EXPECT_EQ(m.tenant(0).jobs + m.tenant(1).jobs, 6u);
 }
 
 }  // namespace

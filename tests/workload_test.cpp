@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "workload/apps.h"
 #include "workload/arrival.h"
 #include "workload/job_spec.h"
@@ -202,6 +203,137 @@ TEST(Arrival, RejectsBadInput) {
   PoissonArrivals p(1.0);
   Rng rng(10);
   EXPECT_THROW(p.arrivals(0.0, rng), PreconditionError);
+}
+
+TEST(Arrival, PoissonDeterministicGivenSeed) {
+  const PoissonArrivals p(12.0);
+  Rng r1(11), r2(11), r3(12);
+  const auto a = p.arrivals(7200.0, r1);
+  const auto b = p.arrivals(7200.0, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  const auto c = p.arrivals(7200.0, r3);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i] < c[i] || c[i] < a[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Arrival, DiurnalMeanRateMatchesBaseOverFullPeriods) {
+  // The sinusoid integrates to zero over whole periods, so the expected
+  // count over exactly two days is base * minutes.
+  const DiurnalArrivals d(6.0, 0.8);
+  Rng rng(13);
+  const Seconds horizon = 2.0 * 86400.0;
+  const auto times = d.arrivals(horizon, rng);
+  const double expected = 6.0 * horizon / 60.0;
+  EXPECT_NEAR(static_cast<double>(times.size()), expected, 0.1 * expected);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_GE(times[i], 0.0);
+    EXPECT_LT(times[i], horizon);
+    if (i > 0) {
+      EXPECT_GE(times[i], times[i - 1]);
+    }
+  }
+}
+
+TEST(Arrival, DiurnalPeakOutweighsTrough) {
+  // rate(t) peaks at period/4 and bottoms at 3*period/4: a window around
+  // the peak must collect several times the arrivals of the trough window.
+  const DiurnalArrivals d(6.0, 0.8);
+  EXPECT_GT(d.rate_at(86400.0 / 4.0), d.rate_at(3.0 * 86400.0 / 4.0));
+  Rng rng(14);
+  const auto times = d.arrivals(86400.0, rng);
+  const auto count_in = [&](Seconds lo, Seconds hi) {
+    std::size_t n = 0;
+    for (const Seconds t : times) {
+      if (lo <= t && t < hi) ++n;
+    }
+    return n;
+  };
+  const std::size_t peak = count_in(86400.0 / 4.0 - 3600.0,
+                                    86400.0 / 4.0 + 3600.0);
+  const std::size_t trough = count_in(3.0 * 86400.0 / 4.0 - 3600.0,
+                                      3.0 * 86400.0 / 4.0 + 3600.0);
+  EXPECT_GT(peak, 3 * trough);
+}
+
+TEST(Arrival, DiurnalZeroAmplitudeDegeneratesToFlatPoisson) {
+  const DiurnalArrivals flat(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(flat.rate_at(0.0), flat.rate_at(86400.0 / 4.0));
+  Rng rng(15);
+  const auto times = flat.arrivals(6.0 * 3600.0, rng);
+  const double expected = 10.0 * 6.0 * 60.0;
+  EXPECT_NEAR(static_cast<double>(times.size()), expected, 0.15 * expected);
+}
+
+TEST(Arrival, BurstyMeanRateMatchesTwoStateAverage) {
+  const BurstyArrivals b(6.0, 4.0, 1800.0, 600.0);
+  // Long-run mean: (calm*base + burst*mult*base) / (calm + burst).
+  EXPECT_NEAR(b.mean_rate_per_minute(),
+              (1800.0 * 6.0 + 600.0 * 24.0) / 2400.0, 1e-9);
+  Rng rng(16);
+  const Seconds horizon = 4.0 * 86400.0;
+  const auto times = b.arrivals(horizon, rng);
+  const double expected = b.mean_rate_per_minute() * horizon / 60.0;
+  EXPECT_NEAR(static_cast<double>(times.size()), expected, 0.15 * expected);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_GE(times[i], 0.0);
+    EXPECT_LT(times[i], horizon);
+    if (i > 0) {
+      EXPECT_GE(times[i], times[i - 1]);
+    }
+  }
+}
+
+TEST(Arrival, BurstyIsBurstierThanPoisson) {
+  // Dispersion test: per-10-minute bin counts of an MMPP with a 6x burst
+  // state must have a variance-to-mean ratio well above the Poisson's ~1.
+  const auto dispersion = [](const std::vector<Seconds>& times,
+                             Seconds horizon) {
+    const Seconds bin = 600.0;
+    std::vector<double> counts(static_cast<std::size_t>(horizon / bin), 0.0);
+    for (const Seconds t : times) {
+      counts[static_cast<std::size_t>(t / bin)] += 1.0;
+    }
+    return variance_of(counts) / mean_of(counts);
+  };
+  const Seconds horizon = 2.0 * 86400.0;
+  Rng r1(17), r2(18);
+  const auto bursty =
+      BurstyArrivals(6.0, 6.0, 1800.0, 600.0).arrivals(horizon, r1);
+  const auto flat = PoissonArrivals(6.0).arrivals(horizon, r2);
+  EXPECT_GT(dispersion(bursty, horizon), 2.0 * dispersion(flat, horizon));
+}
+
+TEST(Arrival, ProfilesDeterministicGivenSeed) {
+  const DiurnalArrivals d(6.0, 0.8);
+  const BurstyArrivals b(6.0, 4.0);
+  Rng d1(19), d2(19), b1(20), b2(20);
+  const auto da = d.arrivals(86400.0, d1);
+  const auto db = d.arrivals(86400.0, d2);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) EXPECT_DOUBLE_EQ(da[i], db[i]);
+  const auto ba = b.arrivals(86400.0, b1);
+  const auto bb = b.arrivals(86400.0, b2);
+  ASSERT_EQ(ba.size(), bb.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) EXPECT_DOUBLE_EQ(ba[i], bb[i]);
+}
+
+TEST(Arrival, ProfilesRejectBadInput) {
+  EXPECT_THROW(DiurnalArrivals(0.0, 0.5), PreconditionError);
+  EXPECT_THROW(DiurnalArrivals(6.0, -0.1), PreconditionError);
+  EXPECT_THROW(DiurnalArrivals(6.0, 1.0), PreconditionError);
+  EXPECT_THROW(DiurnalArrivals(6.0, 0.5, 0.0), PreconditionError);
+  EXPECT_THROW(BurstyArrivals(0.0, 4.0), PreconditionError);
+  EXPECT_THROW(BurstyArrivals(6.0, 0.5), PreconditionError);
+  EXPECT_THROW(BurstyArrivals(6.0, 4.0, 0.0, 300.0), PreconditionError);
+  DiurnalArrivals d(6.0, 0.5);
+  BurstyArrivals b(6.0, 4.0);
+  Rng rng(21);
+  EXPECT_THROW(d.arrivals(-1.0, rng), PreconditionError);
+  EXPECT_THROW(b.arrivals(0.0, rng), PreconditionError);
 }
 
 }  // namespace
