@@ -13,11 +13,16 @@
 // re-run and must reproduce its determinism digest bit-for-bit.  The binary
 // exits non-zero if any cell fails, so CI can use it as a smoke gate.
 //
-// Usage: chaos_campaign [num_seeds] [quick]
+// Usage: chaos_campaign [num_seeds] [quick] [threads]
 //   num_seeds: seeds per mix (default 4 -> 10 mixes x 4 seeds = 40 cells)
 //   quick:     replace the full MSD workload with a small Terasort batch —
 //              the CI smoke configuration (every fault path still fires;
 //              the scripted fault times scale with the probed horizon)
+//   threads:   worker threads for the (seed x mix) matrix (default 1 =
+//              serial; 0 = one per hardware thread).  Each cell is an
+//              independent single-threaded Run, so the table and every
+//              digest are bit-identical at any thread count — the TSan CI
+//              lane runs this binary parallel to prove it race-free.
 
 #include <cstdio>
 
@@ -29,10 +34,11 @@
 using namespace eant;
 
 int main(int argc, char** argv) {
-  exp::Cli cli(argc, argv, "chaos_campaign [num_seeds] [quick]");
+  exp::Cli cli(argc, argv, "chaos_campaign [num_seeds] [quick] [threads]");
   const auto num_seeds =
       static_cast<std::size_t>(cli.int_arg("num_seeds", 4, 1, 64));
   const bool quick = cli.keyword_arg("quick");
+  const auto threads = static_cast<unsigned>(cli.int_arg("threads", 1, 0, 64));
   cli.done();
 
   // Base configuration: the canonical workload on the oversubscribed fabric.
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = 1; s <= num_seeds; ++s) cc.seeds.push_back(s);
   cc.horizon = horizon;
   cc.verify_determinism = true;
+  cc.threads = threads;
 
   const std::vector<exp::ChaosOutcome> outcomes =
       exp::run_chaos_campaign(exp::paper_fleet(), exp::SchedulerKind::kEAnt,

@@ -9,12 +9,16 @@
 // so tenant interference, share enforcement and deadline pressure are
 // visible instead of averaged away.
 //
-// Usage: continuous_traffic [hours] [seed] [rate-scale]
+// Usage: continuous_traffic [hours] [seed] [rate-scale] [seeds] [threads]
 // (default: 48-hour horizon, seed 42, 1x arrival rates — ~25 jobs/hour;
 // rate-scale multiplies every tenant's arrival rate, pushing the diurnal
-// peaks into saturation where share enforcement and preemption engage)
+// peaks into saturation where share enforcement and preemption engage;
+// seeds > 1 sweeps consecutive seeds — each with its own generated arrival
+// trace — through the thread-per-seed driver and appends a cross-seed
+// aggregate per scheduler; threads sizes the worker pool, 0 = hardware)
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -22,6 +26,7 @@
 
 #include "bench_common.h"
 #include "exp/cli.h"
+#include "exp/parallel_for.h"
 #include "exp/runner.h"
 #include "tenancy/presets.h"
 #include "tenancy/traffic.h"
@@ -62,11 +67,16 @@ std::map<std::string, Seconds> calibrate_standalone(
 }  // namespace
 
 int main(int argc, char** argv) {
-  exp::Cli cli(argc, argv, "continuous_traffic [hours] [seed] [rate-scale]");
+  exp::Cli cli(argc, argv,
+               "continuous_traffic [hours] [seed] [rate-scale] [seeds] "
+               "[threads]");
   const int hours = static_cast<int>(cli.int_arg("hours", 48, 1, 24 * 10));
   const auto seed =
       static_cast<std::uint64_t>(cli.int_arg("seed", 42, 1, 1 << 30));
   const int rate_scale = static_cast<int>(cli.int_arg("rate-scale", 1, 1, 50));
+  const auto num_seeds =
+      static_cast<std::size_t>(cli.int_arg("seeds", 1, 1, 64));
+  const auto threads = static_cast<unsigned>(cli.int_arg("threads", 1, 0, 64));
   cli.done();
 
   auto mix = tenancy::presets::three_tenant_mix(
@@ -77,8 +87,16 @@ int main(int argc, char** argv) {
     tenant_names[t.profile.tenant] = t.profile.name;
   }
   const tenancy::TrafficGenerator generator(std::move(mix));
-  Rng rng(seed);
-  const std::vector<workload::JobSpec> jobs = generator.generate(rng);
+
+  // One arrival trace per sweep seed: the trace is a function of the seed,
+  // so every cell gets its own job list (generated up front — the cells
+  // themselves must only read shared state).
+  std::vector<std::vector<workload::JobSpec>> jobs_by_seed(num_seeds);
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    Rng rng(seed + i);
+    jobs_by_seed[i] = generator.generate(rng);
+  }
+  const std::vector<workload::JobSpec>& jobs = jobs_by_seed.front();
 
   std::printf("== continuous traffic: %zu jobs over %d h, %zu tenants ==\n",
               jobs.size(), hours, shares.tenants.size());
@@ -93,12 +111,20 @@ int main(int argc, char** argv) {
   for (const exp::SchedulerKind kind :
        {exp::SchedulerKind::kFair, exp::SchedulerKind::kCapacity,
         exp::SchedulerKind::kEAnt}) {
-    exp::RunConfig cfg = base_cfg;
-    if (kind == exp::SchedulerKind::kCapacity) cfg.tenancy = shares;
-    exp::Run run(exp::paper_fleet(), kind, cfg);
-    run.submit(jobs);
-    run.execute();
-    const exp::RunMetrics m = run.metrics();
+    // Thread-per-seed sweep (exp/parallel_for.h): cell i runs seed + i on
+    // its own single-threaded simulator stack against its own trace.  The
+    // detailed tenant table below reads cell 0, which is bit-identical to
+    // the pre-sweep single-run output at any thread count.
+    std::vector<exp::RunMetrics> results(num_seeds);
+    exp::parallel_for(num_seeds, threads, [&](std::size_t i) {
+      exp::RunConfig cfg = bench::run_config(seed + i);
+      if (kind == exp::SchedulerKind::kCapacity) cfg.tenancy = shares;
+      exp::Run run(exp::paper_fleet(), kind, cfg);
+      run.submit(jobs_by_seed[i]);
+      run.execute();
+      results[i] = run.metrics();
+    });
+    const exp::RunMetrics& m = results.front();
 
     // Mean slowdown per tenant over completed jobs.
     std::map<workload::TenantId, double> slowdown_sum;
@@ -123,10 +149,34 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "%-9s %-12s makespan %.1f h  energy %.0f kJ  preemptions %zu  "
-        "deadline misses %zu  jobs failed %zu\n\n",
+        "deadline misses %zu  jobs failed %zu\n",
         m.scheduler_name.c_str(), "(total)", m.makespan / 3600.0,
         m.total_energy_kj(), m.preempted_attempts, m.deadline_misses,
         m.jobs_failed);
+    if (num_seeds > 1) {
+      // Cross-seed aggregate: mean +/- population stddev over the sweep.
+      double sum_mk = 0.0, sq_mk = 0.0, sum_kj = 0.0;
+      std::size_t misses = 0, preempts = 0, failed = 0;
+      for (const auto& r : results) {
+        const double h_mk = r.makespan / 3600.0;
+        sum_mk += h_mk;
+        sq_mk += h_mk * h_mk;
+        sum_kj += r.total_energy_kj();
+        misses += r.deadline_misses;
+        preempts += r.preempted_attempts;
+        failed += r.jobs_failed;
+      }
+      const double n = static_cast<double>(num_seeds);
+      const double mean_mk = sum_mk / n;
+      const double var_mk = std::max(0.0, sq_mk / n - mean_mk * mean_mk);
+      std::printf(
+          "%-9s %-12s makespan %.1f +/- %.1f h  energy %.0f kJ/seed  "
+          "preemptions %zu  deadline misses %zu  jobs failed %zu  "
+          "(%zu seeds)\n",
+          m.scheduler_name.c_str(), "(sweep)", mean_mk, std::sqrt(var_mk),
+          sum_kj / n, preempts, misses, failed, num_seeds);
+    }
+    std::printf("\n");
   }
   return 0;
 }

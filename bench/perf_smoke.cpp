@@ -9,6 +9,12 @@
 // the shape (events/sec should stay roughly flat as the fleet grows, and
 // select_job time per heartbeat should not blow up with job count) is not.
 //
+// It also times the thread-per-seed sweep driver (exp/sweep.h): an 8-seed
+// audited sweep of a 16-node Terasort batch at 4 workers vs serial, emitted
+// as seeds/min — the wall-clock win every multi-seed bench (chaos_campaign,
+// continuous_traffic) inherits.  On a single-core runner the speedup is ~1;
+// the field still tracks driver overhead.
+//
 // Usage: perf_smoke [out.json]   (default BENCH_perf_smoke.json)
 
 #include <sys/resource.h>
@@ -22,6 +28,7 @@
 #include "exp/builders.h"
 #include "exp/cli.h"
 #include "exp/runner.h"
+#include "exp/sweep.h"
 
 using namespace eant;
 
@@ -89,6 +96,50 @@ Row measure(exp::SchedulerKind kind, std::size_t nodes) {
   return r;
 }
 
+struct SweepRow {
+  std::size_t seeds = 0;
+  unsigned threads = 0;
+  double wall_parallel_s = 0.0;
+  double wall_serial_s = 0.0;
+  double seeds_per_min = 0.0;  ///< at `threads` workers
+  double speedup = 0.0;        ///< serial wall / parallel wall
+};
+
+SweepRow measure_sweep() {
+  constexpr std::size_t kSeeds = 8;
+  constexpr unsigned kThreads = 4;
+  exp::RunConfig cfg;
+  cfg.audit.enabled = true;  // digest on: the production sweep configuration
+  const auto jobs = exp::job_batch(workload::AppKind::kTerasort, 3000.0, 8, 3);
+  const auto fleet = exp::homogeneous(cluster::catalog::xeon_e5(), 16);
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= kSeeds; ++s) seeds.push_back(s);
+
+  exp::SweepConfig sweep;
+  SweepRow r;
+  r.seeds = kSeeds;
+  r.threads = kThreads;
+
+  sweep.threads = kThreads;
+  auto t0 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+  exp::sweep_seeds(fleet, exp::SchedulerKind::kEAnt, cfg, jobs, seeds, sweep);
+  auto t1 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+  r.wall_parallel_s = std::chrono::duration<double>(t1 - t0).count();
+
+  sweep.threads = 1;
+  t0 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+  exp::sweep_seeds(fleet, exp::SchedulerKind::kEAnt, cfg, jobs, seeds, sweep);
+  t1 = std::chrono::steady_clock::now();  // lint-ok: wall-clock
+  r.wall_serial_s = std::chrono::duration<double>(t1 - t0).count();
+
+  r.seeds_per_min = r.wall_parallel_s > 0.0
+                        ? 60.0 * static_cast<double>(kSeeds) / r.wall_parallel_s
+                        : 0.0;
+  r.speedup =
+      r.wall_parallel_s > 0.0 ? r.wall_serial_s / r.wall_parallel_s : 0.0;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +161,13 @@ int main(int argc, char** argv) {
           r.events_per_sec, r.peak_rss_mib, r.select_us_per_heartbeat);
     }
   }
+
+  const SweepRow sweep = measure_sweep();
+  std::printf(
+      "sweep    seeds=%3zu threads=%u wall=%6.2fs serial=%6.2fs "
+      "seeds/min=%6.1f speedup=%4.2fx\n",
+      sweep.seeds, sweep.threads, sweep.wall_parallel_s, sweep.wall_serial_s,
+      sweep.seeds_per_min, sweep.speedup);
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -136,7 +194,13 @@ int main(int argc, char** argv) {
                  r.select_job_wall_s, r.select_us_per_heartbeat,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out,
+               "  ],\n  \"sweep\": {\"seeds\": %zu, \"threads\": %u, "
+               "\"wall_s\": %.3f, \"serial_wall_s\": %.3f, "
+               "\"seeds_per_min_4t\": %.2f, \"speedup\": %.2f}\n",
+               sweep.seeds, sweep.threads, sweep.wall_parallel_s,
+               sweep.wall_serial_s, sweep.seeds_per_min, sweep.speedup);
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -1,6 +1,7 @@
 #include "exp/chaos.h"
 
 #include "common/error.h"
+#include "exp/parallel_for.h"
 
 namespace eant::exp {
 
@@ -214,24 +215,29 @@ std::vector<ChaosOutcome> run_chaos_campaign(
   }
   const std::size_t racks = base.topology ? base.topology->racks : 1;
 
-  std::vector<ChaosOutcome> out;
-  for (const auto& mix : mixes) {
-    for (std::uint64_t seed : cc.seeds) {
-      RunConfig cfg = base;
-      cfg.seed = seed;
-      cfg.audit.enabled = true;  // the campaign's oracle is non-negotiable
-      mix.apply(cfg, machines, racks, cc.horizon, seed);
-      ChaosOutcome o =
+  // Flatten the (mix-major, seed-minor) matrix into independent cells and
+  // run them through the thread-per-seed driver: every cell builds its own
+  // simulator stack, so cells share nothing but immutable inputs, and the
+  // pre-allocated result slots keep the output order identical to the old
+  // serial loop no matter which cell finishes first.
+  std::vector<ChaosOutcome> out(mixes.size() * cc.seeds.size());
+  parallel_for(out.size(), cc.threads, [&](std::size_t i) {
+    const ChaosMix& mix = mixes[i / cc.seeds.size()];
+    const std::uint64_t seed = cc.seeds[i % cc.seeds.size()];
+    RunConfig cfg = base;
+    cfg.seed = seed;
+    cfg.audit.enabled = true;  // the campaign's oracle is non-negotiable
+    mix.apply(cfg, machines, racks, cc.horizon, seed);
+    ChaosOutcome o =
+        run_cell(build_cluster, scheduler, cfg, jobs, mix.name, seed);
+    if (cc.verify_determinism && seed == cc.seeds.front()) {
+      const ChaosOutcome again =
           run_cell(build_cluster, scheduler, cfg, jobs, mix.name, seed);
-      if (cc.verify_determinism && seed == cc.seeds.front()) {
-        const ChaosOutcome again =
-            run_cell(build_cluster, scheduler, cfg, jobs, mix.name, seed);
-        o.deterministic = again.metrics.determinism_digest ==
-                          o.metrics.determinism_digest;
-      }
-      out.push_back(std::move(o));
+      o.deterministic =
+          again.metrics.determinism_digest == o.metrics.determinism_digest;
     }
-  }
+    out[i] = std::move(o);
+  });
   return out;
 }
 

@@ -53,6 +53,10 @@ struct ChaosConfig {
   Seconds horizon = 3600.0;
   /// Re-run the first seed of every mix and compare digests.
   bool verify_determinism = true;
+  /// Worker threads for the (seed x mix) matrix — each cell is one fully
+  /// independent single-threaded Run (see exp/sweep.h).  1 = serial,
+  /// 0 = one per hardware thread.  Cell order in the result is unaffected.
+  unsigned threads = 1;
 };
 
 /// The default gauntlet: machine crashes, link flaps, a rack partition, a

@@ -1,0 +1,77 @@
+// Minimal thread-pool parallel_for for embarrassingly parallel sweeps.
+//
+// Workers claim indices from a shared atomic counter and invoke fn(index);
+// the call returns once every index completed.  The first exception thrown
+// by any fn is captured and rethrown in the caller after the pool joined
+// (remaining unclaimed indices are abandoned).
+//
+// Concurrency contract: fn must confine itself to state owned by its index —
+// the intended use is one fully independent, *single-threaded* simulation
+// per index writing into its own pre-allocated result slot, which keeps
+// result ordering deterministic regardless of completion order.  The
+// simulator itself stays single-threaded; only whole runs parallelise.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eant::exp {
+
+/// Worker count actually used for `n` items when `requested` are asked for
+/// (0 = one per hardware thread); clamped to [1, n] for n > 0.
+inline unsigned parallel_workers(std::size_t n, unsigned requested) {
+  unsigned t = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (t == 0) t = 1;  // hardware_concurrency may report 0
+  if (n > 0 && n < static_cast<std::size_t>(t)) t = static_cast<unsigned>(n);
+  return t;
+}
+
+/// Runs fn(i) for every i in [0, n) across up to `threads` workers
+/// (0 = hardware concurrency).  threads <= 1 degenerates to a plain serial
+/// loop on the calling thread — the fallback that keeps single-threaded
+/// callers free of any pool overhead.
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned threads, Fn&& fn) {
+  if (n == 0) return;
+  const unsigned workers = parallel_workers(n, threads);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace eant::exp

@@ -1,0 +1,53 @@
+#include "exp/sweep.h"
+
+#include "common/error.h"
+#include "exp/parallel_for.h"
+
+namespace eant::exp {
+
+namespace {
+
+SeedOutcome run_cell(const ClusterBuilder& build_cluster,
+                     SchedulerKind scheduler, const RunConfig& base,
+                     const std::vector<workload::JobSpec>& jobs,
+                     std::uint64_t seed, bool verify) {
+  RunConfig cfg = base;
+  cfg.seed = seed;
+  if (verify) cfg.audit.enabled = true;  // digests need the auditor
+
+  SeedOutcome o;
+  o.seed = seed;
+  {
+    Run run(build_cluster, scheduler, cfg);
+    run.submit(jobs);
+    run.execute();
+    o.metrics = run.metrics();
+  }
+  if (verify) {
+    Run again(build_cluster, scheduler, cfg);
+    again.submit(jobs);
+    again.execute();
+    o.deterministic =
+        again.metrics().determinism_digest == o.metrics.determinism_digest;
+  }
+  return o;
+}
+
+}  // namespace
+
+std::vector<SeedOutcome> sweep_seeds(const ClusterBuilder& build_cluster,
+                                     SchedulerKind scheduler,
+                                     const RunConfig& base,
+                                     const std::vector<workload::JobSpec>& jobs,
+                                     const std::vector<std::uint64_t>& seeds,
+                                     const SweepConfig& sc) {
+  EANT_CHECK(!seeds.empty(), "sweep needs at least one seed");
+  std::vector<SeedOutcome> out(seeds.size());
+  parallel_for(seeds.size(), sc.threads, [&](std::size_t i) {
+    out[i] = run_cell(build_cluster, scheduler, base, jobs, seeds[i],
+                      sc.verify_determinism);
+  });
+  return out;
+}
+
+}  // namespace eant::exp

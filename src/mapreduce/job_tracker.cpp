@@ -1,6 +1,7 @@
 #include "mapreduce/job_tracker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>  // lint-ok: wall-clock (scheduler-cost attribution only)
 #include <cmath>
 #include <cstdio>
@@ -1255,9 +1256,10 @@ void JobTracker::note_legacy_network() {
   legacy_network_noted_ = true;
   // One note per process, not per Run: benches execute dozens of legacy
   // runs and the point is just to flag which model produced the numbers.
-  static bool printed = false;
-  if (!printed) {
-    printed = true;
+  // Atomic because the parallel sweep driver constructs Runs concurrently;
+  // exchange() lets exactly one thread print.
+  static std::atomic<bool> printed{false};  // lint-ok: global-state
+  if (!printed.exchange(true)) {
     std::fprintf(stderr,
                  "[eant] note: no network topology configured; network costs "
                  "use the legacy scalar bandwidths (shuffle %.1f MB/s, "

@@ -72,7 +72,8 @@ USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 # Declaring one of these as a member is flagged in the listed subsystems;
 # deterministic alternatives are std::map / std::set / sorted vectors.
 UNORDERED_MEMBER = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
-ORDER_SENSITIVE_DIRS = ("src/mapreduce", "src/sched", "src/core", "src/sim")
+ORDER_SENSITIVE_DIRS = ("src/mapreduce", "src/sched", "src/core", "src/sim",
+                        "src/net", "src/hdfs", "src/tenancy", "src/audit")
 # Members where hash ordering is provably harmless: lookups only, never
 # iterated where order can leak into decisions or RNG consumption.
 UNORDERED_ALLOWLIST: set[tuple[str, str]] = {

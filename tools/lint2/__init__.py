@@ -1,0 +1,49 @@
+"""eant-lint v2: concurrency-grade static analysis for the e-ant simulator.
+
+Grown from the regex pass in tools/lint.py for the pre-parallelism hardening
+of the simulator core: before the thread-per-seed sweep driver (exp/sweep.h)
+instantiates one Run per thread, these checks prove — at the AST level when
+libclang is available, via a structured textual fallback otherwise — that the
+core has no shared mutable state and no RNG-discipline violations the regex
+lint structurally cannot see.
+
+Rules (suppress a line with `// lint-ok: <rule>`; file-level exemptions live
+in tools/lint2/allowlist.py and each carries a written justification):
+
+  global-state     any namespace-scope or function-local `static` mutable
+                   variable in src/ — thread-hostile for per-thread
+                   simulators, and a determinism leak across Runs even
+                   single-threaded.
+  rng-discipline   eant::Rng must be constructed from a seed or fork(),
+                   never copied or default-constructed mid-run (a copy
+                   silently replays a stream; sink-style by-value
+                   constructor parameters consuming a fork are the one
+                   blessed pattern), and no RNG draw may execute inside a
+                   loop over a hash-ordered container (the draw order would
+                   follow the hash seed, not the config).
+  unordered-iter   actual iteration sites (range-for, structured bindings,
+                   .begin()/.cbegin() loops) over unordered_* containers in
+                   order-sensitive subsystems — the v1 rule only saw member
+                   *declarations*; this one sees the loops, including over
+                   locals.
+  observer-completeness
+                   every task-attempt lifecycle emission point must pass
+                   through the audit tap: TaskTracker functions that mutate
+                   the running-slot bookkeeping must call audit_transition /
+                   on_task_transition, and every JobTracker revert_done_map
+                   site must have the kRevertDone tap beside it.  (Job-level
+                   mirrors — mark_started/mark_done/unclaim — are excluded:
+                   their attempt-level taps fire in the TaskTracker paths.)
+
+Modes: `--ast` forces libclang (error if unavailable), `--no-ast` forces the
+textual fallback, default auto-detects.  The AST mode is driven by
+compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level
+CMakeLists); pass `--compile-commands build/compile_commands.json`.
+"""
+
+RULES = (
+    "global-state",
+    "rng-discipline",
+    "unordered-iter",
+    "observer-completeness",
+)

@@ -1,0 +1,20 @@
+"""Entry point: `python3 tools/lint2` or `python3 -m tools.lint2`.
+
+Both invocation styles must work from the repo root (CI uses the first).
+When run as a directory argument, Python puts tools/lint2 itself on
+sys.path with no package context, so the repo root is inserted explicitly
+and all intra-package imports are absolute (`tools.lint2.*`); `tools` is a
+PEP 420 namespace package — no __init__.py required in tools/.
+"""
+
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent.parent
+if str(_REPO) not in sys.path:
+    sys.path.insert(0, str(_REPO))
+
+from tools.lint2.engine import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,17 @@
+"""Finding record shared by the text and AST check backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str      # one of tools.lint2.RULES
+    rel: str       # repo-relative posix path
+    line: int      # 1-based
+    symbol: str    # subject for allowlist matching (var/function/container)
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,131 @@
+"""Source model shared by the lint2 checks.
+
+Loads a C++ file once into a `SourceFile`: raw lines, comment/string-stripped
+lines (reusing tools/lint.py's stripper so both linters agree on what counts
+as code), per-line `// lint-ok:` suppressions, and a brace-scope scan that
+classifies every line's enclosing scope chain (namespace / class / function /
+block).  The scope scan is a heuristic, not a parser — it keys off statement
+keywords and the identifier-before-`(` shape of function definition headers —
+but it is exact for the project style (clang-format, 2-space indent,
+definitions at column 0), and the AST mode replaces it wholesale when
+libclang is available.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.lint import SUPPRESS, strip_comments_and_strings
+
+# Scope kinds pushed by the brace scanner.
+NAMESPACE, CLASS, FUNCTION, BLOCK = "namespace", "class", "function", "block"
+
+_CLASS_HEADER = re.compile(r"\b(?:class|struct|union|enum)\b")
+_NAMESPACE_HEADER = re.compile(r"\bnamespace\b")
+# Statement keywords whose parenthesised header must not be mistaken for a
+# function definition.
+_CONTROL = re.compile(r"\b(?:if|for|while|switch|catch|do|else|return)\b")
+
+
+@dataclass
+class Region:
+    """A function definition: [start, end] line range (1-based, inclusive)."""
+
+    name: str
+    start: int
+    end: int
+
+
+@dataclass
+class SourceFile:
+    rel: str                      # repo-relative posix path
+    raw: list[str]                # verbatim lines
+    code: list[str]               # comment/string-stripped, same line count
+    suppressed: list[set[str]]    # per-line `lint-ok:` rules
+    scopes: list[tuple[str, ...]] = field(default_factory=list)  # per line
+    regions: list[Region] = field(default_factory=list)
+
+    def scope_at(self, lineno: int) -> tuple[str, ...]:
+        """Scope chain in effect at the *start* of 1-based line `lineno`."""
+        return self.scopes[lineno - 1]
+
+    def region_at(self, lineno: int) -> Region | None:
+        for r in self.regions:
+            if r.start <= lineno <= r.end:
+                return r
+        return None
+
+
+def load(path: Path, repo: Path) -> SourceFile:
+    rel = path.relative_to(repo).as_posix()
+    raw = path.read_text(encoding="utf-8").splitlines()
+    code: list[str] = []
+    suppressed: list[set[str]] = []
+    in_block = False
+    for line in raw:
+        suppressed.append({m.group(1) for m in SUPPRESS.finditer(line)})
+        stripped, in_block = strip_comments_and_strings(line, in_block)
+        code.append(stripped)
+    sf = SourceFile(rel=rel, raw=raw, code=code, suppressed=suppressed)
+    _scan_scopes(sf)
+    return sf
+
+
+def _classify_open(header: str) -> str:
+    """Classify the scope a `{` opens from the statement text before it."""
+    if _NAMESPACE_HEADER.search(header):
+        return NAMESPACE
+    if _CLASS_HEADER.search(header) and "(" not in header.split("class")[-1]:
+        return CLASS
+    if "(" in header and not _CONTROL.search(header):
+        return FUNCTION
+    return BLOCK
+
+
+_FUNC_NAME = re.compile(r"([\w:~]+)\s*\([^()]*$|([\w:~]+)\s*\(.*\)")
+
+
+def _header_func_name(header: str) -> str:
+    """Best-effort function name from a definition header."""
+    # Last identifier (possibly qualified) directly before a '('.
+    best = ""
+    for m in re.finditer(r"([A-Za-z_~][\w:~]*)\s*\(", header):
+        best = m.group(1)
+    return best
+
+
+def _scan_scopes(sf: SourceFile) -> None:
+    """Populate sf.scopes (chain at start of each line) and sf.regions."""
+    stack: list[tuple[str, str, int]] = []  # (kind, name, open_line)
+    # Text of the statement currently being accumulated before its '{'.
+    header = ""
+    for lineno, line in enumerate(sf.code, start=1):
+        sf.scopes.append(tuple(k for k, _, _ in stack))
+        for ch in line:
+            if ch == "{":
+                kind = _classify_open(header)
+                name = _header_func_name(header) if kind == FUNCTION else ""
+                # A '{' inside a function is a plain block (lambdas inside a
+                # function stay part of the enclosing region).
+                if any(k == FUNCTION for k, _, _ in stack):
+                    kind, name = BLOCK, ""
+                stack.append((kind, name, lineno))
+                header = ""
+            elif ch == "}":
+                if stack:
+                    kind, name, open_line = stack.pop()
+                    if kind == FUNCTION:
+                        sf.regions.append(Region(name, open_line, lineno))
+                header = ""
+            elif ch == ";":
+                header = ""
+            else:
+                header += ch
+        header += " "  # line break separates tokens
+    # Unterminated regions (truncated file): close at EOF.
+    for kind, name, open_line in stack:
+        if kind == FUNCTION:
+            sf.regions.append(Region(name, open_line, len(sf.code)))
+    sf.regions.sort(key=lambda r: r.start)

@@ -1,0 +1,396 @@
+"""Textual (regex + scope-scan) backend for the lint2 rules.
+
+This is the fallback when libclang is unavailable and the reference
+implementation the self-tests pin down: the AST backend must find a superset
+of what these checks find on the project tree.  Each check operates on the
+`SourceFile` model from tools/lint2/source.py — comment/string-stripped
+lines plus the heuristic scope scan — so string literals and comments can
+never produce findings.
+
+Heuristics and their known limits (acceptable for the project style, which
+is clang-formatted with definitions at column 0):
+
+  * Declarations are matched per line; a declaration split across lines is
+    joined with its successor once.
+  * `Rng a(b)` cannot be distinguished from seeding vs copying without
+    types, so copies are flagged only when the initializer *names* an RNG
+    (identifier containing `rng`) — which is every real stream variable in
+    this codebase.  The AST backend removes the naming requirement.
+  * Loops over hash-ordered containers are found via the declared names of
+    unordered_* variables in the same file (members and locals) plus any
+    range expression that textually mentions `unordered`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from tools.lint import ORDER_SENSITIVE_DIRS
+from tools.lint2.findings import Finding
+from tools.lint2.source import CLASS, FUNCTION, SourceFile
+
+# ---------------------------------------------------------------------------
+# global-state
+# ---------------------------------------------------------------------------
+
+_STATIC = re.compile(r"(?<![\w_])static(?![\w_])")
+_CONST_AFTER = re.compile(r"^\s*(?:inline\s+)?(?:const\b|constexpr\b|"
+                          r"consteval\b|constinit\b)")
+_DECL_NAME = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+
+def check_global_state(sf: SourceFile) -> list[Finding]:
+    """Namespace-scope or function-local mutable `static` variables in src/.
+
+    Such a variable is shared across every Run in the process: a thread-race
+    under the parallel sweep driver, and a cross-run determinism leak even
+    single-threaded.  Immutable statics (const/constexpr) and static member
+    declarations are out of scope; static free *functions* (internal
+    linkage) are excluded by requiring the declarator to end in `;`, `=`,
+    `{` or `[` without an intervening `(`.
+    """
+    out: list[Finding] = []
+    if not sf.rel.startswith("src/"):
+        return out
+    for lineno, code in enumerate(sf.code, start=1):
+        m = _STATIC.search(code)
+        if not m:
+            continue
+        rest = code[m.end():]
+        if _CONST_AFTER.match(rest):
+            continue
+        scope = sf.scope_at(lineno)
+        if scope and scope[-1] == CLASS:
+            continue  # static data-member declaration, not namespace scope
+        # Walk the declarator: the first structural token decides whether
+        # this is a variable (terminator before any paren) or a function.
+        stop = len(rest)
+        terminator = ""
+        for i, ch in enumerate(rest):
+            if ch in ";={[(":
+                stop, terminator = i, ch
+                break
+        if terminator in ("(", ""):
+            continue  # function declaration/definition (or spans lines)
+        name_m = _DECL_NAME.search(rest[:stop].rstrip())
+        # Template arguments hide the name behind '>': peel the declarator.
+        if not name_m:
+            peeled = re.sub(r"<[^<>]*>", " ", rest[:stop])
+            name_m = _DECL_NAME.search(peeled.rstrip())
+        name = name_m.group(1) if name_m else "?"
+        where = ("function-local" if any(s == FUNCTION for s in scope)
+                 else "namespace-scope")
+        out.append(Finding(
+            "global-state", sf.rel, lineno, name,
+            f"{where} mutable static `{name}`: shared across every Run in "
+            "the process — a race under thread-per-seed sweeps and a "
+            "cross-run determinism leak; justify via allowlist or "
+            "`lint-ok: global-state` if provably benign"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# rng-discipline
+# ---------------------------------------------------------------------------
+
+_RNG_DEFAULT = re.compile(r"\bRng\s+(\w+)\s*;")
+_RNG_COPY_INIT = re.compile(
+    r"\bRng\s+(\w+)\s*(?:=|\(|\{)\s*(\w*[Rr]ng\w*)\s*[;)}]")
+_AUTO_COPY = re.compile(r"\bauto\s+(\w+)\s*=\s*(\w*[Rr]ng\w*)\s*;")
+_RNG_BYVAL_PARAM = re.compile(r"[(,]\s*(?:eant::)?Rng\s+(\w+)\s*[,)]")
+_IDENT_BEFORE_PAREN = re.compile(r"([A-Za-z_~][\w:~]*)\s*\($")
+_RNG_DRAW = re.compile(
+    r"\b\w*[Rr]ng\w*\s*\.\s*(?:uniform|normal|exponential|lognormal|"
+    r"bernoulli|shuffle|fork)\s*\(")
+
+
+def _owning_callable(sf: SourceFile, lineno: int, col: int) -> str:
+    """Identifier before the innermost '(' enclosing (lineno, col).
+
+    Joins up to three preceding lines so multi-line parameter lists find
+    their function name.  Empty string when none is found.
+    """
+    start = max(1, lineno - 3)
+    joined = " ".join(sf.code[start - 1:lineno - 1])
+    joined += " " + sf.code[lineno - 1][:col]
+    stack: list[int] = []
+    for i, ch in enumerate(joined):
+        if ch == "(":
+            stack.append(i)
+        elif ch == ")" and stack:
+            stack.pop()
+        elif ch == ";":
+            stack.clear()  # a statement boundary ends any param list
+    if not stack:
+        return ""
+    m = _IDENT_BEFORE_PAREN.search(joined[:stack[-1]].rstrip() + "(")
+    return m.group(1) if m else ""
+
+
+def check_rng_discipline(sf: SourceFile) -> list[Finding]:
+    """eant::Rng construction and consumption discipline.
+
+    A Run's randomness is one seeded tree of streams: Rng values enter a
+    component either as a seed (`Rng(seed)`) or as a forked child
+    (`parent.fork(id)`), and by-value Rng parameters are legal only on
+    constructors (the sink idiom — the caller forks, the member consumes).
+    Anything else replays or reorders a stream:
+
+      * default construction — no such ctor exists today; flagging keeps it
+        that way,
+      * copying an existing stream (init or `auto x = rng`) — the copy
+        replays the parent's future draws,
+      * by-value Rng parameter on a non-constructor — a hidden copy per
+        call,
+      * a draw inside a loop over a hash-ordered container — the draw
+        order follows the hash seed, not the RunConfig (reported under
+        this rule *and* located by the unordered-iter machinery).
+    """
+    out: list[Finding] = []
+    if not (sf.rel.startswith("src/") or sf.rel.startswith("bench/")):
+        return out
+    for lineno, code in enumerate(sf.code, start=1):
+        scope = sf.scope_at(lineno)
+        in_class = bool(scope) and scope[-1] == CLASS
+        m = _RNG_DEFAULT.search(code)
+        # A bare `Rng x;` at class scope is a member *declaration* (the
+        # ctor-init-list seeds it); everywhere else it is a default
+        # construction attempt.
+        if m and not in_class:
+            out.append(Finding(
+                "rng-discipline", sf.rel, lineno, m.group(1),
+                f"default-constructed Rng `{m.group(1)}`: every stream must "
+                "derive from the run seed via Rng(seed) or fork()"))
+        for m in _RNG_COPY_INIT.finditer(code):
+            out.append(Finding(
+                "rng-discipline", sf.rel, lineno, m.group(1),
+                f"`{m.group(1)}` copies the stream of `{m.group(2)}`; the "
+                "copy replays the parent's future draws — fork() a child "
+                "stream instead"))
+        for m in _AUTO_COPY.finditer(code):
+            out.append(Finding(
+                "rng-discipline", sf.rel, lineno, m.group(1),
+                f"`auto {m.group(1)} = {m.group(2)}` copies an Rng stream "
+                "(use a reference or fork())"))
+        for m in _RNG_BYVAL_PARAM.finditer(code):
+            owner = _owning_callable(sf, lineno, m.start() + 1)
+            bare = owner.rsplit("::", 1)[-1] if owner else ""
+            if bare[:1].isupper() or bare[:1] == "~":
+                continue  # constructor sink: caller forks, member consumes
+            out.append(Finding(
+                "rng-discipline", sf.rel, lineno, m.group(1),
+                f"by-value Rng parameter `{m.group(1)}`"
+                + (f" on `{owner}`" if owner else "")
+                + ": hidden stream copy per call — pass Rng& or make the "
+                  "consumer a constructor sink"))
+    # Draws inside hash-ordered loops.
+    for lineno, body_end, expr in _unordered_loops(sf):
+        for body_line in range(lineno, body_end + 1):
+            if _RNG_DRAW.search(sf.code[body_line - 1]):
+                out.append(Finding(
+                    "rng-discipline", sf.rel, body_line, expr,
+                    f"RNG draw inside a loop over hash-ordered `{expr}`: "
+                    "draw order follows the hash seed, not the config — "
+                    "iterate a sorted view or hoist the draws"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# unordered-iter (v2: iteration sites, not member declarations)
+# ---------------------------------------------------------------------------
+
+_UNORDERED_DECL = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+_RANGE_FOR = re.compile(r"\bfor\s*\(\s*(?:const\s+)?(?:auto|[\w:<>]+)"
+                        r"[&\s\[\]\w,]*:\s*([^)]+?)\s*\)")
+_BEGIN_CALL = re.compile(r"(\w+)\s*\.\s*c?begin\s*\(")
+
+
+def _unordered_names(sf: SourceFile) -> set[str]:
+    """Names of variables declared as std::unordered_* in this file.
+
+    Members and locals alike; a declaration split across lines is joined
+    with the following line once.
+    """
+    names: set[str] = set()
+    for i, code in enumerate(sf.code):
+        m = _UNORDERED_DECL.search(code)
+        if not m:
+            continue
+        text = code[m.end() - 1:]
+        if i + 1 < len(sf.code):
+            text += " " + sf.code[i + 1]
+        # Skip the balanced template argument list, then take the declared
+        # identifier.
+        depth, j = 0, 0
+        for j, ch in enumerate(text):
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+        name_m = re.match(r"\s*&?\s*([A-Za-z_]\w*)", text[j + 1:])
+        if name_m:
+            names.add(name_m.group(1))
+    return names
+
+
+def _loop_body_end(sf: SourceFile, lineno: int) -> int:
+    """Last line of the loop whose header is at `lineno` (brace scan)."""
+    depth = 0
+    opened = False
+    for ln in range(lineno, len(sf.code) + 1):
+        for ch in sf.code[ln - 1]:
+            if ch == "{":
+                depth += 1
+                opened = True
+            elif ch == "}":
+                depth -= 1
+                if opened and depth == 0:
+                    return ln
+        if not opened and ln > lineno:
+            return ln  # braceless single-statement body
+    return len(sf.code)
+
+
+def _unordered_loops(sf: SourceFile) -> list[tuple[int, int, str]]:
+    """(header_line, body_end_line, container_expr) for every iteration
+    site over a hash-ordered container in this file."""
+    names = _unordered_names(sf)
+    loops: list[tuple[int, int, str]] = []
+    for lineno, code in enumerate(sf.code, start=1):
+        expr = ""
+        m = _RANGE_FOR.search(code)
+        if m:
+            range_expr = m.group(1).strip()
+            idents = set(re.findall(r"[A-Za-z_]\w*", range_expr))
+            if idents & names or "unordered" in range_expr:
+                expr = range_expr
+        if not expr:
+            b = _BEGIN_CALL.search(code)
+            if b and b.group(1) in names:
+                expr = b.group(1)
+        if expr:
+            loops.append((lineno, _loop_body_end(sf, lineno), expr))
+    return loops
+
+
+def check_unordered_iter(sf: SourceFile) -> list[Finding]:
+    """Iteration sites over unordered_* containers in order-sensitive dirs.
+
+    v1 (tools/lint.py) flags member *declarations*; this rule flags the
+    actual loops — range-for (incl. structured bindings), and explicit
+    .begin()/.cbegin() iteration — over members AND locals, plus range
+    expressions that mention `unordered` textually.  Iteration order is
+    hash-seed dependent: any scheduling decision, RNG draw or output
+    ordering derived from it diverges across platforms and libstdc++
+    versions.
+    """
+    out: list[Finding] = []
+    if not sf.rel.startswith(ORDER_SENSITIVE_DIRS):
+        return out
+    for lineno, _, expr in _unordered_loops(sf):
+        out.append(Finding(
+            "unordered-iter", sf.rel, lineno, expr,
+            f"iteration over hash-ordered `{expr}` in an order-sensitive "
+            "subsystem; iterate a sorted snapshot (std::map / sorted "
+            "vector) or justify via allowlist"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# observer-completeness
+# ---------------------------------------------------------------------------
+
+_SLOT_MUTATION = re.compile(
+    r"(?:\+\+|--)\s*running_(?:maps|reduces)_"
+    r"|running_(?:maps|reduces)_\s*(?:\+\+|--|[+\-]?=(?!=))")
+_TAP = re.compile(r"\b(?:audit_transition|on_task_transition)\s*\(")
+_REVERT = re.compile(r"\brevert_done_map\s*\(")
+_ORPHAN_WASTE = re.compile(r"\breport_waste\s*\([^;]*WasteReason::kOrphaned")
+# cancel_task() routes through TaskTracker::cancel_task, which emits the
+# attempt-level kKill tap itself — a blessed delegate for orphan sites.
+_ORPHAN_TAP_OR_DELEGATE = re.compile(
+    r"\bon_task_transition\s*\(|\bcancel_task\s*\(")
+_REVERT_WINDOW = 8
+_ORPHAN_WINDOW = 14
+
+
+def check_observer_completeness(sf: SourceFile) -> list[Finding]:
+    """Every task-attempt lifecycle emission point passes the audit tap.
+
+    Two concrete obligations, derived from the auditor's conservation
+    ledger (audit/auditor.h):
+
+      * task_tracker.cpp — any function that mutates the running-slot
+        counters (running_maps_/running_reduces_) marks an attempt
+        lifecycle edge, so its body must call audit_transition() /
+        on_task_transition() (or be an allowlisted delegate whose callers
+        all emit the tap first).
+      * job_tracker.cpp — every revert_done_map() site is a kRevertDone
+        emission point (tap within +-8 lines), and every orphan
+        write-off (report_waste with WasteReason::kOrphaned) must sit
+        beside its kOrphan* tap or a cancel_task() delegate (within +-14
+        lines).
+
+    Window-based matching keeps the check honest under refactoring: moving
+    the tap away from the transition is exactly the regression this guards
+    against.
+    """
+    out: list[Finding] = []
+    if sf.rel == "src/mapreduce/task_tracker.cpp":
+        for region in sf.regions:
+            body = range(region.start, region.end + 1)
+            mutates = any(_SLOT_MUTATION.search(sf.code[ln - 1]) for ln in body)
+            if not mutates:
+                continue
+            taps = any(_TAP.search(sf.code[ln - 1]) for ln in body)
+            if not taps:
+                out.append(Finding(
+                    "observer-completeness", sf.rel, region.start, region.name,
+                    f"`{region.name}` mutates the running-slot counters "
+                    "without emitting the attempt audit tap "
+                    "(audit_transition/on_task_transition)"))
+    if sf.rel == "src/mapreduce/job_tracker.cpp":
+        for lineno, code in enumerate(sf.code, start=1):
+            if _REVERT.search(code):
+                if not _near(sf, lineno, _TAP, _REVERT_WINDOW):
+                    out.append(Finding(
+                        "observer-completeness", sf.rel, lineno,
+                        "revert_done_map",
+                        "revert_done_map() without a kRevertDone "
+                        f"on_task_transition tap within {_REVERT_WINDOW} "
+                        "lines"))
+            if _ORPHAN_WASTE.search(code):
+                if not _near(sf, lineno, _ORPHAN_TAP_OR_DELEGATE,
+                             _ORPHAN_WINDOW):
+                    out.append(Finding(
+                        "observer-completeness", sf.rel, lineno,
+                        "report_waste",
+                        "orphan write-off without a kOrphan* tap or "
+                        f"cancel_task() delegate within {_ORPHAN_WINDOW} "
+                        "lines"))
+    return out
+
+
+def _near(sf: SourceFile, lineno: int, pat: re.Pattern[str],
+          window: int) -> bool:
+    lo = max(1, lineno - window)
+    hi = min(len(sf.code), lineno + window)
+    return any(pat.search(sf.code[ln - 1]) for ln in range(lo, hi + 1))
+
+
+ALL_CHECKS = (
+    check_global_state,
+    check_rng_discipline,
+    check_unordered_iter,
+    check_observer_completeness,
+)
+
+
+def run_text_checks(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        for check in ALL_CHECKS:
+            findings.extend(check(sf))
+    return findings
