@@ -10,12 +10,15 @@
 // visible instead of averaged away.
 //
 // Usage: continuous_traffic [hours] [seed] [rate-scale] [seeds] [threads]
+//                           [admission]
 // (default: 48-hour horizon, seed 42, 1x arrival rates — ~25 jobs/hour;
 // rate-scale multiplies every tenant's arrival rate, pushing the diurnal
 // peaks into saturation where share enforcement and preemption engage;
 // seeds > 1 sweeps consecutive seeds — each with its own generated arrival
 // trace — through the thread-per-seed driver and appends a cross-seed
-// aggregate per scheduler; threads sizes the worker pool, 0 = hardware)
+// aggregate per scheduler; threads sizes the worker pool, 0 = hardware;
+// the trailing `admission` keyword turns on overload protection — admission
+// control, backpressure and brownout — and appends its per-run accounting)
 
 #include <algorithm>
 #include <cmath>
@@ -69,18 +72,18 @@ std::map<std::string, Seconds> calibrate_standalone(
 int main(int argc, char** argv) {
   exp::Cli cli(argc, argv,
                "continuous_traffic [hours] [seed] [rate-scale] [seeds] "
-               "[threads]");
+               "[threads] [admission]");
   const int hours = static_cast<int>(cli.int_arg("hours", 48, 1, 24 * 10));
   const auto seed =
       static_cast<std::uint64_t>(cli.int_arg("seed", 42, 1, 1 << 30));
-  const int rate_scale = static_cast<int>(cli.int_arg("rate-scale", 1, 1, 50));
+  const double rate_scale = cli.double_arg("rate-scale", 1.0, 0.05, 50.0);
   const auto num_seeds =
       static_cast<std::size_t>(cli.int_arg("seeds", 1, 1, 64));
   const auto threads = static_cast<unsigned>(cli.int_arg("threads", 1, 0, 64));
+  const bool admission = cli.keyword_arg("admission");
   cli.done();
 
-  auto mix = tenancy::presets::three_tenant_mix(
-      hours * 3600.0, static_cast<double>(rate_scale));
+  auto mix = tenancy::presets::three_tenant_mix(hours * 3600.0, rate_scale);
   const sched::TenantShareConfig shares = tenant_shares(mix);
   std::map<workload::TenantId, std::string> tenant_names;
   for (const auto& t : mix.tenants) {
@@ -119,6 +122,13 @@ int main(int argc, char** argv) {
     exp::parallel_for(num_seeds, threads, [&](std::size_t i) {
       exp::RunConfig cfg = bench::run_config(seed + i);
       if (kind == exp::SchedulerKind::kCapacity) cfg.tenancy = shares;
+      if (admission) {
+        cfg.job_tracker.admission.enabled = true;
+        for (const auto& q : shares.tenants) {
+          cfg.job_tracker.admission.tenants.push_back(
+              mr::AdmissionTenantPolicy{q.tenant, q.weight});
+        }
+      }
       exp::Run run(exp::paper_fleet(), kind, cfg);
       run.submit(jobs_by_seed[i]);
       run.execute();
@@ -153,6 +163,16 @@ int main(int argc, char** argv) {
         m.scheduler_name.c_str(), "(total)", m.makespan / 3600.0,
         m.total_energy_kj(), m.preempted_attempts, m.deadline_misses,
         m.jobs_failed);
+    if (m.admission_active) {
+      // Extra line only in admission mode: the default output stays
+      // bit-identical to the pre-admission bench.
+      std::printf(
+          "%-9s %-12s rejected %zu  dropped %zu  retries %zu  "
+          "transitions %zu  saturated %.2f h  critical %.2f h\n",
+          m.scheduler_name.c_str(), "(admission)", m.jobs_rejected,
+          m.jobs_dropped, m.admission_retries, m.overload_transitions,
+          m.time_saturated / 3600.0, m.time_critical / 3600.0);
+    }
     if (num_seeds > 1) {
       // Cross-seed aggregate: mean +/- population stddev over the sweep.
       double sum_mk = 0.0, sq_mk = 0.0, sum_kj = 0.0;

@@ -115,6 +115,11 @@ enum class Record : std::uint32_t {
   kOrphanCommit = 24,  ///< orphaned attempt committed from checkpoint replay
   kOrphanRequeue = 25, ///< orphaned attempt discarded and requeued
   kPreempt = 26,       ///< attempt killed to rebalance tenant slot shares
+  kOverloadState = 27, ///< overload detector transition (entity = new state)
+  kJobReject = 28,     ///< admission rejected a submission
+                       ///< (entity = tenant << 2 | verdict)
+  kJobRetry = 29,      ///< rejected job scheduled a backoff retry
+                       ///< (entity = tenant)
 };
 
 /// Task-attempt lifecycle events checked against the transition table.

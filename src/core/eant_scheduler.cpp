@@ -270,6 +270,9 @@ std::optional<mr::JobId> EAntScheduler::select_job(cluster::MachineId machine,
     const auto choice =
         sample_job(*table_, rng_, candidates, kind, machine, eta, config_.beta);
     EANT_ASSERT(choice.has_value(), "sampler returned nothing for candidates");
+    // Brownout: declining slots to steer energy is shed load we cannot
+    // afford while saturated — take the sampled job and keep the slot busy.
+    if (overload_relaxed_) return choice;
     // A decline is work-conserving in two situations: another runnable job
     // remains to take this very slot (a *trade*: under a deep backlog every
     // slot stays busy either way, but swapping a CPU-heavy task off a

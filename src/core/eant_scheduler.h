@@ -113,6 +113,17 @@ class EAntScheduler final : public mr::Scheduler {
                       cluster::MachineId machine) override;
   void on_master_recovered(std::uint64_t epoch) override;
   void on_fetch_failed(mr::JobId job, cluster::MachineId source) override;
+
+  /// Brownout: under Saturated/Critical overload the decline loop is
+  /// suspended — energy steering by shedding slots is a luxury when the
+  /// backlog is compounding, so select_job accepts the sampled choice
+  /// outright (Hadoop-default behaviour, the paper's saturation limit).
+  /// Only fired when admission is enabled, so the skipped acceptance draw
+  /// cannot perturb a default run's RNG stream.
+  void on_overload_state(mr::OverloadState state) override {
+    overload_relaxed_ = state >= mr::OverloadState::kSaturated;
+  }
+
   std::optional<mr::JobId> select_job(cluster::MachineId machine,
                                       mr::TaskKind kind) override;
   std::string name() const override { return "E-Ant"; }
@@ -155,6 +166,7 @@ class EAntScheduler final : public mr::Scheduler {
   std::map<mr::JobId, std::vector<std::size_t>> interval_counts_;
   std::vector<Joules> estimated_per_machine_;
   std::size_t intervals_ = 0;
+  bool overload_relaxed_ = false;
   /// Trail state persisted at the last control tick (the failover snapshot).
   PheromoneTable::Snapshot tick_snapshot_;
 };

@@ -42,6 +42,27 @@ long Cli::int_arg(const char* name, long def, long lo, long hi) {
   return value;
 }
 
+double Cli::double_arg(const char* name, double def, double lo, double hi) {
+  const char* arg = peek();
+  if (arg == nullptr) return def;
+  if (arg[0] == '-' && !((arg[1] >= '0' && arg[1] <= '9') || arg[1] == '.')) {
+    die(std::string("unknown flag '") + arg + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(arg, &end);
+  if (*arg == '\0' || end == arg || *end != '\0' || errno == ERANGE) {
+    die(std::string("malformed ") + name + " '" + arg + "'");
+  }
+  // Written as a negated conjunction so NaN (all comparisons false) dies.
+  if (!(value >= lo && value <= hi)) {
+    die(std::string(name) + " must lie in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "], got '" + arg + "'");
+  }
+  ++next_;
+  return value;
+}
+
 bool Cli::keyword_arg(const char* word) {
   const char* arg = peek();
   if (arg == nullptr) return false;

@@ -24,6 +24,12 @@ class Cli {
   /// out-of-range values.
   long int_arg(const char* name, long def, long lo, long hi);
 
+  /// Consumes the next positional as a double in [lo, hi]; returns `def`
+  /// when absent.  Rejects partial parses, NaN (which fails every range
+  /// comparison) and infinities — "rate-scale nan" must be a usage error,
+  /// not a degenerate run.
+  double double_arg(const char* name, double def, double lo, double hi);
+
   /// Consumes the next positional iff it equals `word`; returns whether it
   /// did.  An argument in this position that is NOT the keyword is a usage
   /// error (there is nothing else it could legally be).

@@ -117,8 +117,30 @@ RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
   rm.preempted_attempts = jt_.preempted_attempts();
 
   // Per-tenant SLO aggregates (std::map: by_tenant sorted by tenant id).
+  // Admission ledgers merge in first: a tenant whose every arrival was
+  // rejected still gets a row (zero latencies — rejected jobs never ran and
+  // never enter the percentile input, distinctly from deadline misses).
   std::map<workload::TenantId, TenantMetrics> tenants;
   std::map<workload::TenantId, std::vector<double>> latencies;
+  if (const mr::AdmissionControl* adm = jt_.admission()) {
+    rm.admission_active = true;
+    for (const auto& [tenant_id, led] : adm->ledgers()) {
+      TenantMetrics& t = tenants[tenant_id];
+      t.tenant = tenant_id;
+      t.jobs_rejected = led.rejections;
+      t.jobs_dropped = led.dropped;
+      t.retries = led.retries;
+      t.peak_backlog = led.peak_backlog;
+      t.backlog_bound = led.bound;
+      rm.jobs_rejected += led.rejections;
+      rm.jobs_dropped += led.dropped;
+      rm.admission_retries += led.retries;
+    }
+    rm.overload_transitions = adm->transitions();
+    rm.time_elevated = adm->time_in(mr::OverloadState::kElevated);
+    rm.time_saturated = adm->time_in(mr::OverloadState::kSaturated);
+    rm.time_critical = adm->time_in(mr::OverloadState::kCritical);
+  }
   for (const auto& j : rm.jobs) {
     TenantMetrics& t = tenants[j.tenant];
     t.tenant = j.tenant;
@@ -135,6 +157,9 @@ RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
         ++rm.deadline_misses;
       }
     }
+    // Goodput: jobs that completed and met their deadline (non-deadlined
+    // completions count — finishing is their only obligation).
+    if (!j.failed && !j.missed_deadline) ++t.jobs_goodput;
   }
   for (auto& [tenant_id, t] : tenants) {
     const auto& lat = latencies[tenant_id];

@@ -63,6 +63,16 @@ struct TenantMetrics {
   std::size_t deadline_jobs = 0;
   std::size_t deadline_misses = 0;
 
+  // --- admission control (zero unless the overload subsystem is enabled) ------
+  /// Rejections are counted apart from deadline misses: a rejected job never
+  /// ran, so it appears in no latency percentile and no miss count.
+  std::size_t jobs_rejected = 0;  ///< rejection events (retries re-count)
+  std::size_t jobs_dropped = 0;   ///< gave up after the retry budget
+  std::size_t retries = 0;        ///< backpressure retries scheduled
+  std::size_t jobs_goodput = 0;   ///< completed on time (deadlined or not)
+  std::size_t peak_backlog = 0;   ///< max admitted-but-unfinished jobs
+  std::size_t backlog_bound = 0;  ///< configured queue bound (0 = disabled)
+
   /// Mean Eq. 2 task energy per completed job, in kJ (0 when none).
   double energy_per_job_kj() const {
     const std::size_t completed = jobs - jobs_failed;
@@ -114,6 +124,16 @@ struct RunMetrics {
   /// lost nor queued/in-flight for recovery — must be 0 (the "no block falls
   /// through the cracks" invariant).
   std::size_t replication_violations = 0;
+
+  // --- overload protection (zero unless admission is enabled) -----------------
+  bool admission_active = false;    ///< the run had the subsystem enabled
+  std::size_t jobs_rejected = 0;    ///< rejection events across tenants
+  std::size_t jobs_dropped = 0;     ///< jobs dropped after the retry budget
+  std::size_t admission_retries = 0;  ///< backpressure retries scheduled
+  std::size_t overload_transitions = 0;  ///< detector state changes
+  Seconds time_elevated = 0.0;   ///< sim time spent in Elevated
+  Seconds time_saturated = 0.0;  ///< sim time spent in Saturated
+  Seconds time_critical = 0.0;   ///< sim time spent in Critical
 
   // --- control-plane failover accounting --------------------------------------
   std::size_t master_crashes = 0;       ///< JT + NN crash transitions applied

@@ -83,6 +83,12 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
   noise_ = std::make_unique<mr::NoiseModel>(config_.noise, root.fork(2));
   scheduler_ = make_scheduler(scheduler, *cluster_, config_);
   eant_ = dynamic_cast<core::EAntScheduler*>(scheduler_.get());
+  if (config_.job_tracker.admission.enabled &&
+      config_.job_tracker.admission.retry_seed == 0) {
+    // Default the backpressure retry stream to the run seed: deterministic
+    // per run, independent of the namenode/noise/injector forks.
+    config_.job_tracker.admission.retry_seed = config_.seed;
+  }
   jt_ = std::make_unique<mr::JobTracker>(*sim_, *cluster_, *namenode_,
                                          *scheduler_, *noise_,
                                          config_.job_tracker);
@@ -179,6 +185,9 @@ void Run::execute() {
 }
 
 RunMetrics Run::metrics() {
+  // Close the admission ledgers (conservation checks) before the collector
+  // reads them and before the auditor aggregates its report.
+  jt_->finalize_admission();
   RunMetrics rm = collector_->finalize(scheduler_->name());
   if (fabric_) {
     rm.fabric_active = true;

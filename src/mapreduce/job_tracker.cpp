@@ -64,12 +64,30 @@ JobTracker::JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
              "checkpoint parameters must be non-negative");
   EANT_CHECK(config_.reregistration_window >= 0.0,
              "re-registration window must be non-negative");
+  const AdmissionConfig& adm = config_.admission;
+  EANT_CHECK(adm.detector_interval > 0.0,
+             "admission detector interval must be positive");
+  EANT_CHECK(adm.ewma_alpha > 0.0 && adm.ewma_alpha <= 1.0,
+             "admission EWMA weight must lie in (0, 1]");
+  EANT_CHECK(adm.hysteresis > 0.0 && adm.hysteresis <= 1.0,
+             "admission hysteresis must lie in (0, 1]");
+  EANT_CHECK(adm.elevated_backlog <= adm.saturated_backlog &&
+                 adm.saturated_backlog <= adm.critical_backlog,
+             "admission backlog thresholds must be ordered");
+  EANT_CHECK(adm.queue_bound_per_weight > 0.0,
+             "admission queue bound must be positive");
+  EANT_CHECK(adm.max_retries >= 0, "admission retry budget must be >= 0");
+  EANT_CHECK(adm.retry_base > 0.0 && adm.retry_cap >= adm.retry_base,
+             "admission retry backoff must be positive and capped above base");
+  EANT_CHECK(adm.retry_jitter >= 0.0, "admission retry jitter must be >= 0");
+  rerep_limit_ = config_.max_replication_streams;
   scheduler_.attach(*this);
 }
 
 JobTracker::~JobTracker() {
   sim_.cancel(expiry_event_);
   sim_.cancel(checkpoint_event_);
+  sim_.cancel(detector_event_);
 }
 
 void JobTracker::start_trackers() {
@@ -113,6 +131,21 @@ void JobTracker::start_trackers() {
     });
   }
   start_checkpoint_timer();
+  if (config_.admission.enabled) {
+    // Constructed here, not in the ctor, so the Run harness's set_auditor
+    // call has already landed and admission records reach the digest.  The
+    // detector runs on its own timer; while the master is down the tick is
+    // skipped entirely (a dead master classifies nothing), mirroring the
+    // expiry sweep above.  Nothing is scheduled when admission is disabled,
+    // keeping default runs digest-identical.
+    admission_ = std::make_unique<AdmissionControl>(config_.admission, auditor_);
+    detector_event_ =
+        sim_.schedule_periodic(config_.admission.detector_interval, [this] {
+          if (!master_up_) return true;
+          detector_tick();
+          return true;
+        });
+  }
 }
 
 void JobTracker::start_checkpoint_timer() {
@@ -170,30 +203,129 @@ JobId JobTracker::submit_now(workload::JobSpec spec) {
 void JobTracker::submit(workload::JobSpec spec) {
   ++jobs_expected_;
   sim_.schedule_at(spec.submit_time, [this, spec]() mutable {
-    if (!master_up_ || !namenode_up_) {
-      // The client retries until a live master accepts the job; the buffer
-      // preserves arrival order for the replay at recovery.  jobs_expected_
-      // stays counted, so all_done() holds out for the replayed jobs.
-      pending_submissions_.push_back(std::move(spec));
+    // A fresh arrival is counted exactly once, before the master-outage
+    // buffer — a buffered submission replayed later must not re-count.
+    if (admission_) admission_->note_arrival(spec);
+    submit_arrival(std::move(spec), /*attempt=*/0);
+  });
+}
+
+void JobTracker::submit_arrival(workload::JobSpec spec, int attempt) {
+  if (!master_up_ || !namenode_up_) {
+    // The client retries until a live master accepts the job; the buffer
+    // preserves arrival order for the replay at recovery.  jobs_expected_
+    // stays counted, so all_done() holds out for the replayed jobs.
+    pending_submissions_.emplace_back(std::move(spec), attempt);
+    return;
+  }
+  if (admission_) {
+    const AdmissionVerdict verdict =
+        admission_->decide(spec, attempt, total_slots(),
+                           total_pending(TaskKind::kMap) +
+                               total_pending(TaskKind::kReduce),
+                           sim_.now());
+    if (verdict != AdmissionVerdict::kAdmit) {
+      reject_submission(std::move(spec), verdict, attempt);
       return;
     }
-    --jobs_expected_;  // submit_now re-counts it
-    submit_now(std::move(spec));
-  });
+  }
+  --jobs_expected_;  // submit_now re-counts it
+  const workload::JobSpec admitted = spec;
+  const JobId id = submit_now(std::move(spec));
+  if (admission_) admission_->note_admitted(id, admitted, sim_.now());
+}
+
+void JobTracker::reject_submission(workload::JobSpec spec,
+                                   AdmissionVerdict verdict, int attempt) {
+  Seconds delay = 0.0;
+  if (admission_->note_rejection(spec, verdict, attempt, sim_.now(), &delay)) {
+    // Backpressure: the client re-submits after a capped exponential
+    // backoff.  jobs_expected_ stays counted, so the run waits for the
+    // retry to resolve before declaring itself done.
+    sim_.schedule_after(delay, [this, spec, attempt]() mutable {
+      admission_->note_retry_arrival(spec.tenant);
+      submit_arrival(std::move(spec), attempt + 1);
+    });
+    return;
+  }
+  // Retry budget exhausted: the job is dropped without ever getting a
+  // JobId.  It leaves jobs_expected_ so the run can still drain.
+  --jobs_expected_;
+  ++jobs_dropped_;
 }
 
 void JobTracker::replay_pending_submissions() {
   if (pending_submissions_.empty()) return;
-  std::vector<workload::JobSpec> pending = std::move(pending_submissions_);
+  auto pending = std::move(pending_submissions_);
   pending_submissions_.clear();
-  for (auto& spec : pending) {
-    --jobs_expected_;  // submit_now re-counts it
-    submit_now(std::move(spec));
+  for (auto& [spec, attempt] : pending) {
+    submit_arrival(std::move(spec), attempt);
   }
 }
 
 void JobTracker::submit_all(const std::vector<workload::JobSpec>& specs) {
   for (const auto& s : specs) submit(s);
+}
+
+void JobTracker::detector_tick() {
+  const int slots = total_slots();
+  if (slots <= 0) return;
+  const int free_slots =
+      total_free_slots(TaskKind::kMap) + total_free_slots(TaskKind::kReduce);
+  const double occupancy = 1.0 - static_cast<double>(free_slots) /
+                                     static_cast<double>(slots);
+  const std::size_t pending =
+      total_pending(TaskKind::kMap) + total_pending(TaskKind::kReduce);
+  // Demand in task waves per slot: running + queued tasks over capacity.
+  // (See AdmissionConfig — queue bounds cap the queued fraction, so the
+  // saturation signal must include the running wave to discriminate "full"
+  // from "full with a wave waiting".)
+  const double backlog =
+      (static_cast<double>(pending) + static_cast<double>(slots - free_slots)) /
+      static_cast<double>(slots);
+  // Deadline-slack pressure: the fraction of active deadlined jobs whose
+  // estimated queue wait (backlog drained at mean task time across all
+  // slots) already overruns their deadline.
+  std::size_t deadlined = 0;
+  std::size_t pressured = 0;
+  const double est_wait = static_cast<double>(pending) *
+                          admission_->mean_task_seconds() /
+                          static_cast<double>(slots);
+  for (JobId id : active_) {
+    const JobState& js = job(id);
+    if (!js.spec().has_deadline()) continue;
+    ++deadlined;
+    if (sim_.now() + est_wait > js.spec().deadline) ++pressured;
+  }
+  const double slack_pressure =
+      deadlined == 0 ? 0.0
+                     : static_cast<double>(pressured) /
+                           static_cast<double>(deadlined);
+  const OverloadState prev = admission_->state();
+  const OverloadState next =
+      admission_->tick(occupancy, backlog, slack_pressure, sim_.now());
+  if (next != prev) apply_overload_state(next);
+}
+
+void JobTracker::apply_overload_state(OverloadState state) {
+  // Brownout sheds optional work before useful work; recovery restores it
+  // in reverse because the detector decays one level per tick.
+  speculation_suspended_ = state >= OverloadState::kSaturated;
+  const int prev_limit = rerep_limit_;
+  if (state >= OverloadState::kCritical) {
+    rerep_limit_ = 0;
+  } else if (state >= OverloadState::kSaturated) {
+    rerep_limit_ = 1;
+  } else {
+    rerep_limit_ = config_.max_replication_streams;
+  }
+  scheduler_.on_overload_state(state);
+  // A raised throttle may unblock queued block copies immediately.
+  if (rerep_limit_ > prev_limit) pump_rereplication();
+}
+
+void JobTracker::finalize_admission() {
+  if (admission_) admission_->finalize(sim_.now());
 }
 
 void JobTracker::handle_heartbeat(TaskTracker& tracker) {
@@ -518,7 +650,11 @@ void JobTracker::try_assign(TaskTracker& tracker, TaskKind kind) {
   while (tracker.free_slots(kind) > 0) {
     const auto choice = timed_select_job(m, kind);
     if (!choice) {
-      if (config_.speculative_execution) try_speculate(tracker, kind);
+      // Brownout: speculative duplicates are the first work shed under
+      // overload — every clone slot is a slot the backlog needed.
+      if (config_.speculative_execution && !speculation_suspended_) {
+        try_speculate(tracker, kind);
+      }
       return;
     }
     JobState& js = job_mutable(*choice);
@@ -547,6 +683,8 @@ void JobTracker::try_assign(TaskTracker& tracker, TaskKind kind) {
 void JobTracker::launch(JobState& js, TaskKind kind, TaskIndex index,
                         TaskTracker& tracker, Locality locality) {
   const cluster::MachineId mid = tracker.machine_id();
+  // Admitted-then-starved bookkeeping: the job demonstrably reached a slot.
+  if (admission_) admission_->note_first_launch(js.id());
   if (kind == TaskKind::kMap &&
       namenode_.block_lost(js.task(kind, index).block)) {
     // Every replica of the split died before recovery: the read times out and
@@ -1057,7 +1195,11 @@ void JobTracker::apply_datanode_mark(cluster::MachineId machine, bool dead) {
 
 void JobTracker::pump_rereplication() {
   if (!namenode_up_) return;  // the work queue lives in the NameNode
-  while (rerep_active_ < config_.max_replication_streams) {
+  // rerep_limit_ is the brownout throttle: max_replication_streams under
+  // Normal/Elevated, 1 under Saturated, 0 under Critical (background block
+  // copies yield their bandwidth and slots to the backlog); restored by
+  // apply_overload_state as the detector decays.
+  while (rerep_active_ < rerep_limit_) {
     const auto work = namenode_.next_rereplication();
     if (!work) return;
     // Both endpoints must be serving right now; otherwise the block waits
@@ -1153,6 +1295,10 @@ void JobTracker::recover_master() {
   if (namenode_up_) replay_pending_submissions();
   // Scheduler hook last: it may immediately inspect tracker state.
   scheduler_.on_master_recovered(master_epoch_);
+  // The restarted scheduler instance state survived (same process object),
+  // but re-broadcast the overload state so a scheduler that resets its view
+  // in on_master_recovered still sheds correctly.
+  if (admission_) scheduler_.on_overload_state(admission_->state());
 }
 
 void JobTracker::crash_namenode() {
@@ -1473,6 +1619,7 @@ void JobTracker::handle_completion(TaskReport report) {
   maybe_build_reduces(js);
 
   scheduler_.on_task_completed(report);
+  if (admission_) admission_->note_task_duration(report.duration());
   if (report_listener_) report_listener_(report);
 
   if (js.complete()) {
@@ -1482,6 +1629,7 @@ void JobTracker::handle_completion(TaskReport report) {
                   active_.end());
     drop_job_bookkeeping(js.id());
     scheduler_.on_job_finished(js.id());
+    if (admission_) admission_->note_job_finished(js.id(), js.spec(), sim_.now());
     if (auditor_) auditor_->record(audit::Record::kJobFinish, js.id());
     if (job_finished_listener_) job_finished_listener_(js);
   }
@@ -1708,6 +1856,7 @@ void JobTracker::fail_job(JobState& js) {
   }
   drop_job_bookkeeping(js.id());
   scheduler_.on_job_finished(js.id());
+  if (admission_) admission_->note_job_finished(js.id(), js.spec(), sim_.now());
   if (auditor_) auditor_->record(audit::Record::kJobFinish, js.id());
   if (job_finished_listener_) job_finished_listener_(js);
 }

@@ -26,6 +26,7 @@
 #include "cluster/cluster.h"
 #include "common/locality.h"
 #include "hdfs/namenode.h"
+#include "mapreduce/admission.h"
 #include "mapreduce/job.h"
 #include "mapreduce/noise.h"
 #include "mapreduce/scheduler.h"
@@ -214,6 +215,14 @@ struct JobTrackerConfig {
   /// Heartbeats arriving before a tracker's gate are fenced as stale.
   Seconds reregistration_window = 30.0;
 
+  // --- overload protection ------------------------------------------------------
+
+  /// Admission control, backpressure and brownout (admission.h).  Inert by
+  /// default: with enabled = false no detector events are scheduled, no RNG
+  /// is consumed and every submission is admitted — digests are bit-identical
+  /// to the pre-admission engine.
+  AdmissionConfig admission;
+
   // --- scheduler-cost attribution ----------------------------------------------
 
   /// Measure wall-clock time spent inside Scheduler::select_job (the
@@ -343,12 +352,35 @@ class JobTracker {
   /// machine — Tarazu's balancing target.
   double capability_share(cluster::MachineId id) const;
 
+  /// Every expected job resolved.  A job awaiting a backpressure retry
+  /// keeps jobs_expected_ above the resolved count, so the run waits for
+  /// the retry to settle; a workload rejected-and-dropped in its entirety
+  /// still terminates (the dropped count keeps the sum positive).
   bool all_done() const {
     return jobs_completed_ + jobs_failed_ == jobs_expected_ &&
-           jobs_expected_ > 0;
+           jobs_expected_ + jobs_dropped_ > 0;
   }
   std::size_t jobs_completed() const { return jobs_completed_; }
   std::size_t jobs_failed() const { return jobs_failed_; }
+
+  /// Jobs rejected by admission control and dropped after exhausting their
+  /// backoff retries (they never received a JobId).
+  std::size_t jobs_dropped() const { return jobs_dropped_; }
+
+  // --- overload protection ------------------------------------------------------
+
+  /// The admission engine; null unless JobTrackerConfig::admission.enabled.
+  const AdmissionControl* admission() const { return admission_.get(); }
+
+  /// Current detector state (kNormal when the subsystem is disabled).
+  OverloadState overload_state() const {
+    return admission_ ? admission_->state() : OverloadState::kNormal;
+  }
+
+  /// Closes the admission ledgers and runs their conservation checks (no-op
+  /// when disabled; idempotent).  Called by the Run harness before reading
+  /// metrics.
+  void finalize_admission();
 
   // --- fault-tolerance queries ------------------------------------------------
 
@@ -661,6 +693,21 @@ class JobTracker {
   void note_orphan_outcome(const TaskSpec& spec, cluster::MachineId machine,
                            int outcome);
   void replay_pending_submissions();
+  /// One submission attempt entering admission control (attempt 0 = fresh
+  /// arrival from the trace, >0 = backpressure retry).  Buffers across
+  /// master outages, consults AdmissionControl::decide, and either admits
+  /// via submit_now or routes through reject_submission.
+  void submit_arrival(workload::JobSpec spec, int attempt);
+  /// Schedules the backoff retry for a rejected submission, or drops the
+  /// job for good once its retry budget is spent.
+  void reject_submission(workload::JobSpec spec, AdmissionVerdict verdict,
+                         int attempt);
+  /// Periodic detector tick: samples occupancy / backlog / deadline-slack
+  /// pressure and applies brownout reactions on a state change.
+  void detector_tick();
+  /// Applies the brownout measures for the new state (speculation,
+  /// re-replication throttle, scheduler notification).
+  void apply_overload_state(OverloadState state);
   void apply_datanode_mark(cluster::MachineId machine, bool dead);
   bool attempt_covered(Seconds start) const {
     return checkpoint_coverage_ >= 0.0 && start <= checkpoint_coverage_;
@@ -717,6 +764,17 @@ class JobTracker {
   std::size_t jobs_expected_ = 0;
   std::size_t jobs_completed_ = 0;
   std::size_t jobs_failed_ = 0;
+  std::size_t jobs_dropped_ = 0;
+
+  // --- overload protection ----------------------------------------------------
+
+  /// Non-null iff config_.admission.enabled.
+  std::unique_ptr<AdmissionControl> admission_;
+  /// Brownout: speculation suspended while Saturated or worse.
+  bool speculation_suspended_ = false;
+  /// Brownout: live cap on concurrent re-replication streams (restored to
+  /// config_.max_replication_streams on recovery).
+  int rerep_limit_ = 0;
 
   std::vector<TrackerState> tracker_states_;
   std::vector<RecoveryRecord> recoveries_;
@@ -732,6 +790,7 @@ class JobTracker {
   std::size_t quarantine_episodes_ = 0;
   Seconds last_quarantine_decay_ = 0.0;
   sim::EventId expiry_event_ = 0;
+  sim::EventId detector_event_ = 0;
 
   // --- control-plane state ----------------------------------------------------
 
@@ -757,8 +816,9 @@ class JobTracker {
   std::map<std::tuple<JobId, TaskKind, TaskIndex, cluster::MachineId>,
            std::vector<int>>
       orphan_outcomes_;
-  /// Submissions that arrived while a master was down, replayed in order.
-  std::vector<workload::JobSpec> pending_submissions_;
+  /// Submissions that arrived while a master was down, replayed in order
+  /// (the int is the admission attempt the submission was on).
+  std::vector<std::pair<workload::JobSpec, int>> pending_submissions_;
   /// Datanode death/rejoin marks buffered while the NameNode was down.
   std::vector<std::pair<cluster::MachineId, bool>> pending_datanode_marks_;
   /// fsimage pinned at NameNode crash, restored at its recovery.

@@ -1,0 +1,26 @@
+// Cluster overload states, shared between the admission subsystem (which
+// classifies them) and the schedulers (which react to them via
+// Scheduler::on_overload_state).  Kept in its own tiny header so scheduler.h
+// can name the enum without pulling in the admission machinery.
+
+#pragma once
+
+namespace eant::mr {
+
+/// How hard the cluster is being pushed, as classified by the overload
+/// detector (admission.h).  Ordered: higher is worse, and the brownout
+/// reactions are cumulative — everything shed at Saturated stays shed at
+/// Critical.
+enum class OverloadState {
+  kNormal = 0,     ///< headroom available; all optional work enabled
+  kElevated = 1,   ///< busy but keeping up; admission watches, nothing shed
+  kSaturated = 2,  ///< backlog growing; shed optional work (speculation,
+                   ///< locality waits, decline rounds), cap re-replication
+  kCritical = 3,   ///< deadlines at risk; shed all non-deadlined admissions,
+                   ///< stop background re-replication entirely
+};
+
+/// "normal" / "elevated" / "saturated" / "critical".
+const char* overload_state_name(OverloadState s);
+
+}  // namespace eant::mr

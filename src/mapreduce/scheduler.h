@@ -14,6 +14,7 @@
 #include <string>
 
 #include "cluster/machine.h"
+#include "mapreduce/overload.h"
 #include "mapreduce/task.h"
 
 namespace eant::mr {
@@ -60,6 +61,14 @@ class Scheduler {
   /// process; schedulers that keep learned per-machine state (E-Ant's
   /// pheromone table) decide here whether to restore a snapshot or reseed.
   virtual void on_master_recovered(std::uint64_t epoch) { (void)epoch; }
+
+  /// The overload detector changed state (admission.h).  Schedulers react
+  /// by shedding their own optional work under Saturated/Critical — Fair
+  /// drops delay-scheduling waits, Capacity pauses preemption churn, E-Ant
+  /// skips decline rounds — and restore it as the state decays back.  Only
+  /// fired when the admission subsystem is enabled, so schedulers that
+  /// consume RNG on this path stay digest-neutral by default.
+  virtual void on_overload_state(OverloadState state) { (void)state; }
 
   /// A reduce-side shuffle fetch of `source`'s map output failed (link
   /// fault, rack partition or transient error) — the machine is alive but

@@ -215,7 +215,7 @@ std::optional<mr::JobId> CapacityScheduler::select_tenant(
 void CapacityScheduler::preemption_sweep() {
   // The sweep runs inside the master process: while it is down (or before
   // trackers exist) nothing rebalances.
-  if (jt_ == nullptr || !jt_->master_up()) return;
+  if (jt_ == nullptr || !jt_->master_up() || overload_paused_) return;
   rebalance_kind(mr::TaskKind::kMap);
   rebalance_kind(mr::TaskKind::kReduce);
 }

@@ -77,6 +77,13 @@ class CapacityScheduler final : public mr::Scheduler {
   void attach(mr::JobTracker& job_tracker) override;
   void on_job_submitted(mr::JobId job) override;
   void on_master_recovered(std::uint64_t epoch) override;
+
+  /// Brownout: under Saturated/Critical overload the preemption sweep is
+  /// paused — killing attempts to fine-tune shares wastes finished work
+  /// exactly when slots are scarcest.  EDF and deadline boosting still run.
+  void on_overload_state(mr::OverloadState state) override {
+    overload_paused_ = state >= mr::OverloadState::kSaturated;
+  }
   std::optional<mr::JobId> select_job(cluster::MachineId machine,
                                       mr::TaskKind kind) override;
   std::string name() const override { return "Capacity"; }
@@ -115,6 +122,7 @@ class CapacityScheduler final : public mr::Scheduler {
   std::vector<TenantQueue> queues_;
   std::map<workload::TenantId, std::size_t> tenant_queue_;
   std::size_t preemptions_ = 0;
+  bool overload_paused_ = false;
 
   std::map<mr::JobId, std::size_t> job_queue_;
   mr::JobTracker* jt_ = nullptr;

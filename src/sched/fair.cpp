@@ -37,7 +37,8 @@ std::optional<mr::JobId> FairScheduler::select_job(
     cluster::MachineId machine, mr::TaskKind kind) {
   const auto order = fair_order(kind);
   if (order.empty()) return std::nullopt;
-  if (locality_delay_ == 0 || kind != mr::TaskKind::kMap) {
+  if (locality_delay_ == 0 || overload_relaxed_ ||
+      kind != mr::TaskKind::kMap) {
     return order.front();
   }
 

@@ -29,6 +29,14 @@ class FairScheduler : public mr::Scheduler {
   std::optional<mr::JobId> select_job(cluster::MachineId machine,
                                       mr::TaskKind kind) override;
 
+  /// Brownout: under Saturated/Critical overload the locality wait is a
+  /// luxury — holding slots idle for better placement only deepens the
+  /// backlog — so delay scheduling is suspended until the detector decays
+  /// back below Saturated.
+  void on_overload_state(mr::OverloadState state) override {
+    overload_relaxed_ = state >= mr::OverloadState::kSaturated;
+  }
+
   std::string name() const override { return "Fair"; }
 
   /// Number of times delay scheduling held a job back (observability).
@@ -45,6 +53,7 @@ class FairScheduler : public mr::Scheduler {
   int locality_delay_;
   std::map<mr::JobId, int> skip_counts_;
   std::size_t locality_waits_ = 0;
+  bool overload_relaxed_ = false;
 };
 
 }  // namespace eant::sched

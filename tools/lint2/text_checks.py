@@ -315,6 +315,23 @@ _ORPHAN_TAP_OR_DELEGATE = re.compile(
 _REVERT_WINDOW = 8
 _ORPHAN_WINDOW = 14
 
+# Admission-control emission points (src/mapreduce/admission.cpp): the
+# overload-state field may only change beside its kOverloadState record, and
+# the rejection/drop and retry counters beside their kJobReject / kJobRetry
+# records — otherwise an admission decision mutates the ledger invisibly to
+# the digest.
+_ADM_STATE_MUT = re.compile(r"\bstate_\s*=(?!=)")
+_ADM_STATE_TAP = re.compile(r"\bkOverloadState\b")
+_ADM_REJECT_MUT = re.compile(
+    r"(?:\+\+|--)\s*[\w.]*\b(?:rejections|dropped)\b"
+    r"|[\w.]*\b(?:rejections|dropped)\s*(?:\+\+|--|[+\-]?=(?!=))")
+_ADM_REJECT_TAP = re.compile(r"\bkJobReject\b")
+_ADM_RETRY_MUT = re.compile(
+    r"(?:\+\+|--)\s*[\w.]*\bretries\b"
+    r"|[\w.]*\bretries\s*(?:\+\+|--|[+\-]?=(?!=))")
+_ADM_RETRY_TAP = re.compile(r"\bkJobRetry\b")
+_ADM_WINDOW = 10
+
 
 def check_observer_completeness(sf: SourceFile) -> list[Finding]:
     """Every task-attempt lifecycle emission point passes the audit tap.
@@ -332,6 +349,12 @@ def check_observer_completeness(sf: SourceFile) -> list[Finding]:
         write-off (report_waste with WasteReason::kOrphaned) must sit
         beside its kOrphan* tap or a cancel_task() delegate (within +-14
         lines).
+      * admission.cpp — every overload-state assignment sits beside its
+        kOverloadState record, every rejection/drop counter mutation
+        beside a kJobReject record, and every retry counter mutation
+        beside a kJobRetry record (all within +-10 lines).  A state or
+        ledger change without its record is invisible to the digest and
+        to the conservation checks.
 
     Window-based matching keeps the check honest under refactoring: moving
     the tap away from the transition is exactly the regression this guards
@@ -370,6 +393,21 @@ def check_observer_completeness(sf: SourceFile) -> list[Finding]:
                         "orphan write-off without a kOrphan* tap or "
                         f"cancel_task() delegate within {_ORPHAN_WINDOW} "
                         "lines"))
+    if sf.rel == "src/mapreduce/admission.cpp":
+        for mut, tap, subject, what in (
+                (_ADM_STATE_MUT, _ADM_STATE_TAP, "state_",
+                 "overload-state mutation without its kOverloadState record"),
+                (_ADM_REJECT_MUT, _ADM_REJECT_TAP, "rejections",
+                 "rejection/drop counter mutation without a kJobReject "
+                 "record"),
+                (_ADM_RETRY_MUT, _ADM_RETRY_TAP, "retries",
+                 "retry counter mutation without a kJobRetry record")):
+            for lineno, code in enumerate(sf.code, start=1):
+                if mut.search(code) and not _near(sf, lineno, tap,
+                                                 _ADM_WINDOW):
+                    out.append(Finding(
+                        "observer-completeness", sf.rel, lineno, subject,
+                        f"{what} within {_ADM_WINDOW} lines"))
     return out
 
 

@@ -397,6 +397,54 @@ class ObserverCompleteness(LintV2Base):
             """, "observer-completeness")
         self.assertEqual(with_delegate, [])
 
+    def test_admission_state_mutation_needs_record(self) -> None:
+        bare = self.v2("src/mapreduce/admission.cpp", """\
+            void AdmissionControl::transition_to(OverloadState next) {
+              state_ = next;
+            }
+            """, "observer-completeness")
+        self.assertEqual(len(bare), 1)
+        self.assertIn("kOverloadState", bare[0].message)
+        with_record = self.v2("src/mapreduce/admission.cpp", """\
+            void AdmissionControl::transition_to(OverloadState next) {
+              state_ = next;
+              if (auditor_ != nullptr) {
+                auditor_->record(audit::Record::kOverloadState,
+                                 static_cast<std::uint64_t>(next));
+              }
+            }
+            """, "observer-completeness")
+        self.assertEqual(with_record, [])
+
+    def test_admission_ledger_mutations_need_records(self) -> None:
+        bare = self.v2("src/mapreduce/admission.cpp", """\
+            bool AdmissionControl::note_rejection(const JobSpec& spec) {
+              ++led.rejections;
+              ++led.dropped;
+              ++led.retries;
+              return false;
+            }
+            """, "observer-completeness")
+        self.assertEqual({h.symbol for h in bare}, {"rejections", "retries"})
+        with_records = self.v2("src/mapreduce/admission.cpp", """\
+            bool AdmissionControl::note_rejection(const JobSpec& spec) {
+              ++led.rejections;
+              auditor_->record(audit::Record::kJobReject, spec.tenant);
+              ++led.retries;
+              auditor_->record(audit::Record::kJobRetry, spec.tenant);
+              return true;
+            }
+            """, "observer-completeness")
+        self.assertEqual(with_records, [])
+        # Reads of the counters (aggregation loops) are not mutations.
+        self.assertEqual(self.v2("src/mapreduce/admission.cpp", """\
+            std::size_t AdmissionControl::total_rejections() const {
+              std::size_t n = 0;
+              for (const auto& [t, led] : ledgers_) n += led.rejections;
+              return n;
+            }
+            """, "observer-completeness"), [])
+
 
 class EngineAndFallback(unittest.TestCase):
     def test_rule_registry_matches_docs(self) -> None:
