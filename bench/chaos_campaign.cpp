@@ -3,7 +3,9 @@
 // (machine crashes, link flaps, a rack partition, datanode losses deep
 // enough to force re-replication, fetch-failure noise, two fail-slow mixes,
 // two control-plane mixes — JobTracker crashes with checkpoint replay, and a
-// correlated JobTracker + NameNode outage during a rack partition — and
+// correlated JobTracker + NameNode outage during a rack partition — two
+// silent-corruption mixes — a corruption storm under aggressive scrubbing,
+// and bit rot on a fail-slow machine with task-output verification — and
 // everything at once) across a seed matrix, with the InvariantAuditor as the
 // oracle.
 //
@@ -14,7 +16,7 @@
 // exits non-zero if any cell fails, so CI can use it as a smoke gate.
 //
 // Usage: chaos_campaign [num_seeds] [quick] [threads]
-//   num_seeds: seeds per mix (default 4 -> 10 mixes x 4 seeds = 40 cells)
+//   num_seeds: seeds per mix (default 4 -> 12 mixes x 4 seeds = 48 cells)
 //   quick:     replace the full MSD workload with a small Terasort batch —
 //              the CI smoke configuration (every fault path still fires;
 //              the scripted fault times scale with the probed horizon)

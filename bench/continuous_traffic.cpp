@@ -80,7 +80,9 @@ int main(int argc, char** argv) {
   const auto num_seeds =
       static_cast<std::size_t>(cli.int_arg("seeds", 1, 1, 64));
   const auto threads = static_cast<unsigned>(cli.int_arg("threads", 1, 0, 64));
-  const bool admission = cli.keyword_arg("admission");
+  // bool_arg keeps the historical bare-"admission" spelling working while
+  // also taking on/off — so "... 1 1 off" and "... 1 1 admission" both parse.
+  const bool admission = cli.bool_arg("admission", false);
   cli.done();
 
   auto mix = tenancy::presets::three_tenant_mix(hours * 3600.0, rate_scale);

@@ -111,7 +111,8 @@ CellResult run_cell(const Cell& cell, const sched::TenantShareConfig& shares,
 
 int main(int argc, char** argv) {
   exp::Cli cli(argc, argv,
-               "overload_sweep [hours] [seed] [seeds] [threads] [out.json]");
+               "overload_sweep [hours] [seed] [seeds] [threads] [out.json] "
+               "[admission]");
   const int hours = static_cast<int>(cli.int_arg("hours", 4, 1, 24 * 4));
   const auto seed =
       static_cast<std::uint64_t>(cli.int_arg("seed", 42, 1, 1 << 30));
@@ -120,6 +121,9 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(cli.int_arg("threads", 4, 0, 64));
   const std::string out_path =
       cli.string_arg("out", "BENCH_overload_sweep.json");
+  // Off drops the protected cells (a baseline-only sweep); on (the default)
+  // keeps the full on/off comparison grid.
+  const bool with_admission = cli.bool_arg("admission", true);
   cli.done();
 
   // One trace per (rate scale, seed): on/off cells at the same coordinates
@@ -148,6 +152,7 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   for (const double rate : kRateScales) {
     for (const bool admission : {false, true}) {
+      if (admission && !with_admission) continue;
       for (std::size_t i = 0; i < num_seeds; ++i) {
         cells.push_back(Cell{rate, admission, seed + i});
       }
@@ -207,6 +212,7 @@ int main(int argc, char** argv) {
   // Dominance check (seed-0 cells): past the 2x knee the protected runs
   // should beat the unprotected ones on interactive goodput AND p99.
   for (const double rate : kRateScales) {
+    if (!with_admission) break;  // baseline-only sweep: nothing to compare
     if (rate < 2.0) continue;
     const CellResult* off = nullptr;
     const CellResult* on = nullptr;

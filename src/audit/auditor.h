@@ -120,6 +120,11 @@ enum class Record : std::uint32_t {
                        ///< (entity = tenant << 2 | verdict)
   kJobRetry = 29,      ///< rejected job scheduled a backoff retry
                        ///< (entity = tenant)
+  kCorruptionDetected = 30,  ///< corrupt replica / payload / output confirmed
+                             ///< (entity = block or job + node bits)
+  kScrub = 31,               ///< scrubber tick scanned (entity = replica count)
+  kRepair = 32,              ///< corrupt-block detection settled by a completed
+                             ///< re-replication (entity = block + target bits)
 };
 
 /// Task-attempt lifecycle events checked against the transition table.

@@ -154,6 +154,45 @@ std::vector<ChaosMix> default_chaos_mixes() {
                      cfg.job_tracker.reregistration_window = 0.01 * h;
                    }});
 
+  // Corruption storm: silent bit rot everywhere — two scripted replica
+  // corruptions land early, stochastic rot keeps striking machines, and a
+  // fraction of shuffle payloads arrive garbled.  The background scrubber
+  // runs aggressively so latent damage is found and repaired inside the run;
+  // the corruption-conservation audit (every injected corruption detected +
+  // repaired, lost loudly, or still latent at finalize) is the oracle.
+  mixes.push_back({"corruption-storm",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t,
+                      Seconds h, std::uint64_t seed) {
+                     const auto [a, b] = pick_two(seed, 37, machines);
+                     cfg.faults.corrupt_machine_at(a, 0.10 * h);
+                     cfg.faults.corrupt_machine_at(b, 0.25 * h);
+                     cfg.faults.corruption_mtbf = 4.0 * h;
+                     cfg.faults.shuffle_corruption_prob = 0.01;
+                     cfg.job_tracker.scrub_period = 0.02 * h;
+                     cfg.job_tracker.scrub_mbps = 200.0;
+                   }});
+
+  // Corrupt-and-limp: bit rot on a machine that is also failing slow — the
+  // classic dying-disk signature (garbage reads AND degraded throughput).
+  // Scrubbing, read failover and re-replication must run concurrently with
+  // quarantine and hardened speculation; end-to-end task-output verification
+  // catches the limping machine writing garbage that "completes" cleanly.
+  mixes.push_back({"corrupt-and-limp",
+                   [](RunConfig& cfg, std::size_t machines, std::size_t,
+                      Seconds h, std::uint64_t seed) {
+                     const auto [a, b] = pick_two(seed, 41, machines);
+                     cfg.faults.slow_for(a, 0.10 * h, 0.50 * h, 0.35, 0.5);
+                     cfg.faults.corrupt_machine_at(a, 0.15 * h);
+                     cfg.faults.corrupt_machine_at(b, 0.35 * h);
+                     cfg.faults.shuffle_corruption_prob = 0.005;
+                     cfg.faults.task_output_corruption_prob = 0.005;
+                     cfg.job_tracker.scrub_period = 0.03 * h;
+                     cfg.job_tracker.scrub_mbps = 150.0;
+                     cfg.job_tracker.verify_task_output = true;
+                     cfg.job_tracker.speculative_progress_ranking = true;
+                     cfg.job_tracker.max_speculative_per_node = 2;
+                   }});
+
   // Everything at once (moderated so at most two machines are ever dark
   // together): a declared node loss, link flaps, a partition and transient
   // fetch errors.

@@ -2,8 +2,9 @@
 // with the InvariantAuditor as the oracle.  Each fault mix is a named recipe
 // that scripts or parameterises machine crashes, access-link faults, rack
 // partitions, datanode losses, fail-slow (gray failure) performance
-// degradations, control-plane (JobTracker / NameNode) crashes and transient
-// fetch errors; a campaign asserts
+// degradations, control-plane (JobTracker / NameNode) crashes, transient
+// fetch errors and silent data corruption (bit rot in stored replicas,
+// garbled shuffle payloads, corrupt task output); a campaign asserts
 // that every run survives — all jobs complete, zero invariant violations,
 // no unexplained under-replication — and that re-running a (seed, mix) cell
 // reproduces its determinism digest bit-for-bit.
@@ -64,7 +65,9 @@ struct ChaosConfig {
 /// two fail-slow mixes (pure gray failures, and gray-failures-plus-crash),
 /// two control-plane mixes (JobTracker-only crashes with checkpoint replay,
 /// and a correlated JobTracker + NameNode outage during a rack partition),
-/// and everything at once.
+/// two silent-corruption mixes (a corruption storm with aggressive
+/// scrubbing, and bit rot on a fail-slow machine with task-output
+/// verification), and everything at once.
 std::vector<ChaosMix> default_chaos_mixes();
 
 /// Runs the full (seed x mix) matrix over the workload and returns one

@@ -74,6 +74,28 @@ bool Cli::keyword_arg(const char* word) {
   return true;
 }
 
+bool Cli::bool_arg(const char* name, bool def) {
+  const char* arg = peek();
+  if (arg == nullptr) return def;
+  if (arg[0] == '-') {
+    die(std::string("unknown flag '") + arg + "'");
+  }
+  const auto is = [arg](const char* word) {
+    return std::strcmp(arg, word) == 0;
+  };
+  bool value = false;
+  if (is("on") || is("true") || is("1") || is(name)) {
+    value = true;
+  } else if (is("off") || is("false") || is("0")) {
+    value = false;
+  } else {
+    die(std::string("malformed ") + name + " '" + arg +
+        "' (expected on/off, true/false, 1/0 or '" + name + "')");
+  }
+  ++next_;
+  return value;
+}
+
 std::string Cli::string_arg(const char* name, std::string def) {
   const char* arg = peek();
   if (arg == nullptr) return def;

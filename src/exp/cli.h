@@ -35,6 +35,12 @@ class Cli {
   /// error (there is nothing else it could legally be).
   bool keyword_arg(const char* word);
 
+  /// Consumes the next positional as a boolean flag; returns `def` when
+  /// absent.  Accepts on/off, true/false, 1/0, and the flag's own name as a
+  /// bare "turn it on" keyword (the idiom the benches previously hand-rolled
+  /// with keyword_arg); anything else is a usage error.
+  bool bool_arg(const char* name, bool def);
+
   /// Consumes the next positional as a free-form string (e.g. an output
   /// path); returns `def` when absent.  Flag-shaped arguments still die —
   /// the benches take only positionals.

@@ -95,6 +95,11 @@ void MetricsCollector::install() {
         if (reason == mr::WasteReason::kPreempted) {
           ++tenant_preemptions_[jt_.job(r.spec.job).spec().tenant];
         }
+        // Corruption-attributed waste is a labelled subset of wasted_energy_,
+        // so the corruption bill always sums into the total.
+        if (reason == mr::WasteReason::kCorruption) {
+          wasted_energy_corruption_ += model_.estimate(r);
+        }
       });
 }
 
@@ -180,6 +185,20 @@ RunMetrics MetricsCollector::finalize(const std::string& scheduler_name) {
   rm.rereplicated_blocks = jt_.rereplicated_blocks();
   rm.rereplication_mb = jt_.rereplication_mb();
   rm.data_loss_events = jt_.data_loss_events();
+  rm.corruptions_injected = jt_.corruptions_injected();
+  rm.corruptions_detected = jt_.corruptions_detected();
+  rm.corruptions_repaired = jt_.corruptions_repaired();
+  rm.corruptions_lost = jt_.corruptions_lost();
+  rm.corruptions_latent = jt_.corruptions_latent();
+  rm.corrupt_read_failovers = jt_.corrupt_read_failovers();
+  rm.shuffle_corruptions = jt_.shuffle_corruptions();
+  rm.task_output_corruptions = jt_.task_output_corruptions();
+  rm.scrubbed_mb = jt_.scrubbed_mb();
+  rm.scrub_passes = jt_.scrub_passes();
+  if (!jt_.corruption_detection_latencies().empty()) {
+    rm.mean_detection_latency = mean_of(jt_.corruption_detection_latencies());
+  }
+  rm.wasted_energy_corruption = wasted_energy_corruption_;
   const hdfs::NameNode& nn = jt_.namenode();
   rm.under_replicated_blocks = nn.under_replicated_count();
   if (jt_.rereplication_active() == 0) {

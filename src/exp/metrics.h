@@ -125,6 +125,23 @@ struct RunMetrics {
   /// through the cracks" invariant).
   std::size_t replication_violations = 0;
 
+  // --- data-integrity accounting (zero unless corruption faults ran) ----------
+  std::size_t corruptions_injected = 0;  ///< strikes on live clean replicas
+  std::size_t corruptions_detected = 0;  ///< confirmed by a read or the scrubber
+  std::size_t corruptions_repaired = 0;  ///< settled by a completed block copy
+  std::size_t corruptions_lost = 0;      ///< ended in corrupt-block loss
+  std::size_t corruptions_latent = 0;    ///< still undetected at run end
+  std::size_t corrupt_read_failovers = 0;  ///< reads that skipped bad replicas
+  std::size_t shuffle_corruptions = 0;     ///< fetched payloads failing checksum
+  std::size_t task_output_corruptions = 0; ///< map outputs rejected end-to-end
+  Megabytes scrubbed_mb = 0.0;             ///< bytes scanned by the scrubber
+  std::size_t scrub_passes = 0;            ///< scrub ticks that actually scanned
+  /// Mean seconds from injection to detection, over detected corruptions.
+  Seconds mean_detection_latency = 0.0;
+  /// Eq. 2 estimate over work discarded for corruption (subset of
+  /// wasted_energy) — the energy bill of silent data corruption.
+  Joules wasted_energy_corruption = 0.0;
+
   // --- overload protection (zero unless admission is enabled) -----------------
   bool admission_active = false;    ///< the run had the subsystem enabled
   std::size_t jobs_rejected = 0;    ///< rejection events across tenants
@@ -200,6 +217,7 @@ class MetricsCollector {
   mr::JobTracker& jt_;
   core::EnergyModel model_;  ///< Eq. 2 estimator for wasted-work energy
   Joules wasted_energy_ = 0.0;
+  Joules wasted_energy_corruption_ = 0.0;
   std::map<workload::TenantId, Joules> tenant_energy_;
   std::map<workload::TenantId, double> tenant_slot_seconds_;
   std::map<workload::TenantId, std::size_t> tenant_preemptions_;

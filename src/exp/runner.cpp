@@ -140,7 +140,23 @@ Run::Run(const ClusterBuilder& build_cluster, SchedulerKind scheduler,
             }
           });
     }
+    if (config_.faults.has_corruption_faults()) {
+      // Silent bit rot: the handler damages a replica without any failure —
+      // detection happens (or not) at a checksummed read or a scrub pass.
+      injector_->set_corruption_handler(
+          [this](std::size_t m, std::int64_t block, double pick) {
+            jt_->inject_corruption(m, block, pick);
+          });
+    }
     injector_->start();
+    if (config_.faults.shuffle_corruption_prob > 0.0) {
+      jt_->set_shuffle_corruption_hook(
+          [this] { return injector_->draw_shuffle_corruption(); });
+    }
+    if (config_.faults.task_output_corruption_prob > 0.0) {
+      jt_->set_task_output_corruption_hook(
+          [this] { return injector_->draw_task_output_corruption(); });
+    }
     if (config_.faults.task_failure_prob > 0.0) {
       jt_->set_attempt_fault_hook(
           [this](const mr::TaskSpec&, cluster::MachineId) {
@@ -185,9 +201,10 @@ void Run::execute() {
 }
 
 RunMetrics Run::metrics() {
-  // Close the admission ledgers (conservation checks) before the collector
-  // reads them and before the auditor aggregates its report.
+  // Close the admission and corruption ledgers (conservation checks) before
+  // the collector reads them and before the auditor aggregates its report.
   jt_->finalize_admission();
+  jt_->finalize_corruption();
   RunMetrics rm = collector_->finalize(scheduler_->name());
   if (fabric_) {
     rm.fabric_active = true;

@@ -82,6 +82,7 @@ class Run {
   sim::Simulator& simulator() { return *sim_; }
   cluster::Cluster& cluster() { return *cluster_; }
   mr::JobTracker& job_tracker() { return *jt_; }
+  hdfs::NameNode& namenode() { return *namenode_; }
   mr::Scheduler& scheduler() { return *scheduler_; }
 
   /// Non-null only for SchedulerKind::kEAnt runs.

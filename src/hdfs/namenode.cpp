@@ -239,13 +239,18 @@ std::optional<NameNode::ReplicationWork> NameNode::next_rereplication() {
   });
   for (BlockId id : queue) {
     if (blocks_[id].locations.empty()) continue;  // raced into loss
+    // Never clone a rotten replica: the copy would checksum-fail at the
+    // source (real HDFS verifies before streaming) and only propagate bad
+    // bytes if it didn't.  No clean holder right now → the block stays
+    // queued until a read or the scrubber confirms the rot away.
+    const std::vector<cluster::MachineId> clean = clean_locations(id);
+    if (clean.empty()) continue;
     const auto target = pick_rereplication_target(id);
     if (!target) continue;  // unsatisfiable right now; stays queued
-    // Source: the surviving holder nearest the target (rack-local preferred,
+    // Source: the clean holder nearest the target (rack-local preferred,
     // placement order as tie-break).
-    const BlockInfo& b = blocks_[id];
-    cluster::MachineId source = b.locations.front();
-    for (cluster::MachineId n : b.locations) {
+    cluster::MachineId source = clean.front();
+    for (cluster::MachineId n : clean) {
       const bool n_rack_local = racks_[n] == racks_[*target];
       const bool s_rack_local = racks_[source] == racks_[*target];
       if (n_rack_local && !s_rack_local) source = n;
@@ -271,6 +276,12 @@ void NameNode::add_replica(BlockId id, cluster::MachineId node) {
   b.locations.push_back(node);
   ++per_node_counts_[node];
   ++per_rack_counts_[racks_[node]];
+  // A freshly copied replica overwrites whatever rot the node's disk held
+  // for this block — the new bytes checksum clean.
+  if (auto it = corrupt_.find(id); it != corrupt_.end()) {
+    it->second.erase(node);
+    if (it->second.empty()) corrupt_.erase(it);
+  }
   mutated_ = true;
   if (b.locations.size() < static_cast<std::size_t>(replication_)) {
     under_replicated_.insert(id);  // still short: another round
@@ -298,6 +309,76 @@ bool NameNode::rereplication_possible(BlockId id) const {
       return true;
   }
   return false;
+}
+
+// --- data integrity ----------------------------------------------------------
+
+bool NameNode::corrupt_replica(BlockId id, cluster::MachineId node) {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  EANT_CHECK(node < num_datanodes_, "unknown datanode");
+  const BlockInfo& b = blocks_[id];
+  if (std::find(b.locations.begin(), b.locations.end(), node) ==
+      b.locations.end()) {
+    return false;  // no replica there any more: the strike lands on nothing
+  }
+  return corrupt_[id].insert(node).second;  // false: already rotten
+}
+
+bool NameNode::replica_corrupt(BlockId id, cluster::MachineId node) const {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  const auto it = corrupt_.find(id);
+  return it != corrupt_.end() && it->second.count(node) > 0;
+}
+
+bool NameNode::all_replicas_corrupt(BlockId id) const {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  const BlockInfo& b = blocks_[id];
+  if (b.locations.empty()) return false;  // lost, not corrupt
+  for (cluster::MachineId n : b.locations) {
+    if (!replica_corrupt(id, n)) return false;
+  }
+  return true;
+}
+
+std::vector<cluster::MachineId> NameNode::clean_locations(BlockId id) const {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  std::vector<cluster::MachineId> clean;
+  for (cluster::MachineId n : blocks_[id].locations) {
+    if (!replica_corrupt(id, n)) clean.push_back(n);
+  }
+  return clean;
+}
+
+void NameNode::confirm_corrupt(BlockId id, cluster::MachineId node) {
+  EANT_CHECK(id < blocks_.size(), "unknown block id");
+  EANT_CHECK(node < num_datanodes_, "unknown datanode");
+  EANT_CHECK(replica_corrupt(id, node),
+             "confirming a replica that is not corrupt");
+  // Metadata-side drop: the block map forgets the replica (feeding the
+  // under-replication queue or the loss record), while the physical marker
+  // in corrupt_ stays — see the header comment on snapshot restore.
+  mutated_ = true;
+  drop_replica(id, node);
+}
+
+std::vector<BlockId> NameNode::blocks_on(cluster::MachineId machine) const {
+  EANT_CHECK(machine < num_datanodes_, "unknown datanode");
+  std::vector<BlockId> out;
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    if (is_local(id, machine)) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t NameNode::latent_corrupt_replicas() const {
+  std::size_t n = 0;
+  for (const auto& [id, nodes] : corrupt_) {
+    for (cluster::MachineId node : nodes) {
+      const auto& locs = blocks_[id].locations;
+      if (std::find(locs.begin(), locs.end(), node) != locs.end()) ++n;
+    }
+  }
+  return n;
 }
 
 const std::vector<cluster::MachineId>& NameNode::locations(BlockId id) const {

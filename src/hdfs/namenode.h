@@ -19,10 +19,25 @@
 // with add_replica() / requeue_rereplication().  Placement of *new* files
 // skips dead datanodes.  Re-replication targets come from a dedicated forked
 // RNG stream, so degraded-mode traffic never perturbs file-creation draws.
+//
+// Data integrity: every replica carries an implicit per-block checksum (real
+// HDFS stores CRC32C per 512-byte chunk in a .meta sidecar).  The corrupt_
+// map records *physical disk truth* — which stored replicas have silently
+// rotted — which the NameNode metadata does not know until a checksummed
+// read or the background scrubber *confirms* the damage.  confirm_corrupt()
+// is that detection point: it drops the replica from the block map (feeding
+// the normal under-replication queue, or the loss record when it was the
+// last one) while retaining the physical marker, so a control-plane snapshot
+// restore can never silently resurrect a rotten replica as clean.
+// Re-replication refuses corrupt source replicas (the copy would just
+// propagate bad bytes); a fresh copy placed by add_replica() clears the
+// marker for its target.  Corruption never touches the placement or
+// re-replication RNG streams.
 
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <set>
 #include <vector>
@@ -163,6 +178,41 @@ class NameNode {
   /// code paths (stale-locality recomputation etc.).
   bool mutated() const { return mutated_; }
 
+  // --- data integrity --------------------------------------------------------
+
+  /// Silently rots the replica of `id` stored on `node` (physical damage;
+  /// the NameNode metadata is *not* updated — detection happens at read or
+  /// scrub time).  Returns true iff the strike marked a live, previously
+  /// clean replica; strikes on non-holders or already-rotten replicas land
+  /// on nothing and return false.
+  bool corrupt_replica(BlockId id, cluster::MachineId node);
+
+  /// Physical truth: is the replica of `id` on `node` rotten?
+  bool replica_corrupt(BlockId id, cluster::MachineId node) const;
+
+  /// True iff the block still has replicas and every one of them is rotten —
+  /// a checksummed read cannot succeed anywhere.
+  bool all_replicas_corrupt(BlockId id) const;
+
+  /// Holders of `id` whose replica is clean, in placement order.
+  std::vector<cluster::MachineId> clean_locations(BlockId id) const;
+
+  /// Detection point: a checksummed read or scrub pass found the replica of
+  /// `id` on `node` corrupt.  Drops it from the block map exactly like a
+  /// dead-node replica drop (under-replication queue, or the loss record
+  /// when it was the last replica) but *retains* the physical corruption
+  /// marker, so a snapshot restore cannot resurrect the replica as clean.
+  /// No-op if the node no longer holds the replica.
+  void confirm_corrupt(BlockId id, cluster::MachineId node);
+
+  /// Every block with a replica on `machine`, ascending block id — the
+  /// deterministic strike surface for machine-level corruption events.
+  std::vector<BlockId> blocks_on(cluster::MachineId machine) const;
+
+  /// Number of (block, node) replicas currently marked physically corrupt
+  /// and still present in the block map (latent, undetected damage).
+  std::size_t latent_corrupt_replicas() const;
+
   // --- control-plane failover --------------------------------------------------
 
   /// Size and replica locations of one block.
@@ -174,7 +224,9 @@ class NameNode {
   /// Full mutable state of the NameNode — the fsimage + edit-log analogue.
   /// The RNG streams and the immutable shape (datanode count, replication,
   /// racks) are not part of the snapshot: a restarted NameNode is the same
-  /// process image resuming from its persisted namespace.
+  /// process image resuming from its persisted namespace.  The corrupt_
+  /// replica markers are not part of it either — they are physical disk
+  /// truth, not NameNode metadata, and survive a failover untouched.
   struct Snapshot {
     std::vector<BlockInfo> blocks;
     std::vector<std::size_t> per_node_counts;
@@ -233,6 +285,11 @@ class NameNode {
   // std::set: next_rereplication scans in block-id order (deterministic).
   std::set<BlockId> under_replicated_;
   std::vector<BlockId> lost_blocks_;
+  // Physical disk truth: silently rotten replicas, by block.  Ordered
+  // containers keep every iteration deterministic.  Not part of Snapshot
+  // (see above); cleared per target only when add_replica() lands a fresh
+  // copy there.
+  std::map<BlockId, std::set<cluster::MachineId>> corrupt_;
   bool mutated_ = false;
 };
 

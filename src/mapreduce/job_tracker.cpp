@@ -64,6 +64,8 @@ JobTracker::JobTracker(sim::Simulator& sim, cluster::Cluster& cluster,
              "checkpoint parameters must be non-negative");
   EANT_CHECK(config_.reregistration_window >= 0.0,
              "re-registration window must be non-negative");
+  EANT_CHECK(config_.scrub_period >= 0.0, "scrub period must be non-negative");
+  EANT_CHECK(config_.scrub_mbps > 0.0, "scrub rate must be positive");
   const AdmissionConfig& adm = config_.admission;
   EANT_CHECK(adm.detector_interval > 0.0,
              "admission detector interval must be positive");
@@ -88,6 +90,7 @@ JobTracker::~JobTracker() {
   sim_.cancel(expiry_event_);
   sim_.cancel(checkpoint_event_);
   sim_.cancel(detector_event_);
+  sim_.cancel(scrub_event_);
 }
 
 void JobTracker::start_trackers() {
@@ -145,6 +148,17 @@ void JobTracker::start_trackers() {
           detector_tick();
           return true;
         });
+  }
+  if (config_.scrub_period > 0.0) {
+    // Background replica scrubbing: both masters must be up — the scan reads
+    // through datanodes (TaskTrackers) but confirms corruption against the
+    // NameNode's block map.  Nothing is scheduled when scrubbing is off,
+    // keeping default runs digest-identical.
+    scrub_event_ = sim_.schedule_periodic(config_.scrub_period, [this] {
+      if (!master_up_ || !namenode_up_) return true;
+      scrub_tick();
+      return true;
+    });
   }
 }
 
@@ -685,6 +699,12 @@ void JobTracker::launch(JobState& js, TaskKind kind, TaskIndex index,
   const cluster::MachineId mid = tracker.machine_id();
   // Admitted-then-starved bookkeeping: the job demonstrably reached a slot.
   if (admission_) admission_->note_first_launch(js.id());
+  if (kind == TaskKind::kMap) {
+    // Checksummed DFS read: confirm (and fail over past) corrupt replicas
+    // first, so the lost-block check below sees the post-verification truth
+    // and the mutated() re-answer routes the read to a clean source.
+    verify_read(js.task(kind, index).block, mid);
+  }
   if (kind == TaskKind::kMap &&
       namenode_.block_lost(js.task(kind, index).block)) {
     // Every replica of the split died before recovery: the read times out and
@@ -842,7 +862,7 @@ void JobTracker::start_owned_flow(const TransferKey& key,
         on_flow_failed(fid, remaining);
       });
   transfers_[key].flows.insert(id);
-  flow_owner_[id] = OwnedFlow{key, src, cls, cap_mbps};
+  flow_owner_[id] = OwnedFlow{key, src, cls, cap_mbps, mb};
   if (cls == net::TransferClass::kShuffle && fetch_fault_hook_) {
     if (const auto frac = fetch_fault_hook_(key.job, src)) {
       // Transient fetch error (flaky serving tracker, dropped connection):
@@ -856,10 +876,31 @@ void JobTracker::start_owned_flow(const TransferKey& key,
 }
 
 void JobTracker::on_flow_complete(net::FlowId id, const TransferKey& key) {
-  flow_owner_.erase(id);
+  const auto own = flow_owner_.find(id);
+  OwnedFlow of;
+  if (own != flow_owner_.end()) {
+    of = own->second;
+    flow_owner_.erase(own);
+  }
   auto it = transfers_.find(key);
   if (it == transfers_.end()) return;  // attempt already torn down
   it->second.flows.erase(id);
+  // Reduce-side checksum verification of the delivered map output: a corrupt
+  // payload is as bad as an undelivered one — the bytes are discarded whole
+  // and the fetch-failure machinery (threshold, backoff, E-Ant trail
+  // penalty, abort limit) drives the refetch, so corruption cannot livelock
+  // the shuffle.
+  if (of.cls == net::TransferClass::kShuffle && of.mb > 0.0 &&
+      shuffle_corruption_hook_ && shuffle_corruption_hook_()) {
+    ++shuffle_corruptions_;
+    if (auditor_) {
+      auditor_->record(audit::Record::kCorruptionDetected,
+                       (static_cast<std::uint64_t>(of.key.job) << 32) ^
+                           static_cast<std::uint64_t>(of.src));
+    }
+    handle_fetch_failure(of, of.mb);
+    return;
+  }
   if (!it->second.flows.empty()) return;
   if (it->second.pending_retries > 0) return;  // fetches still backing off
   const PendingTransfer pt = it->second;
@@ -1250,8 +1291,192 @@ void JobTracker::finish_rereplication(net::FlowId id, hdfs::BlockId block,
   if (namenode_.is_local(block, target)) {
     ++rereplicated_blocks_;
     rereplication_mb_ += mb;
+    // A registered copy of a block with confirmed-corrupt history settles
+    // one detection in the repair ledger (copies are fungible: whichever
+    // under-replication put the block on the queue, the new clean replica
+    // restores what the dropped corrupt one cost).
+    if (auto cit = corrupt_pending_repair_.find(block);
+        cit != corrupt_pending_repair_.end()) {
+      ++corruptions_repaired_;
+      if (auditor_) {
+        auditor_->record(audit::Record::kRepair,
+                         (static_cast<std::uint64_t>(block) << 32) ^
+                             static_cast<std::uint64_t>(target));
+      }
+      if (--cit->second <= 0) corrupt_pending_repair_.erase(cit);
+    }
   }
   pump_rereplication();
+}
+
+// --- data integrity ----------------------------------------------------------
+
+void JobTracker::inject_corruption(cluster::MachineId machine,
+                                   std::int64_t block, double pick) {
+  EANT_CHECK(machine < cluster_.size(), "corruption strike on unknown machine");
+  hdfs::BlockId target = 0;
+  if (block >= 0) {
+    target = static_cast<hdfs::BlockId>(block);
+  } else {
+    // The strike hit the machine: pick one of its replicas.  Ascending block
+    // order, so the choice depends only on `pick` and the disk's contents —
+    // not on container iteration order.
+    const std::vector<hdfs::BlockId> held = namenode_.blocks_on(machine);
+    if (held.empty()) return;  // rot on an empty (or fully dropped) disk
+    std::size_t i =
+        static_cast<std::size_t>(pick * static_cast<double>(held.size()));
+    if (i >= held.size()) i = held.size() - 1;
+    target = held[i];
+  }
+  // Only a live, still-clean replica can newly rot; anything else the strike
+  // lands on is a no-op, so the injected counter never double-books.
+  if (!namenode_.corrupt_replica(target, machine)) return;
+  ++corruptions_injected_;
+  corrupt_injected_at_[{target, machine}] = sim_.now();
+}
+
+cluster::MachineId JobTracker::preferred_replica(
+    hdfs::BlockId block, cluster::MachineId reader) const {
+  const auto& locs = namenode_.locations(block);
+  EANT_ASSERT(!locs.empty(), "preferred replica of a lost block");
+  std::optional<cluster::MachineId> rack_local;
+  for (cluster::MachineId n : locs) {
+    if (n == reader) return n;  // node-local beats everything
+    if (!rack_local && namenode_.rack_of(n) == namenode_.rack_of(reader)) {
+      rack_local = n;
+    }
+  }
+  return rack_local ? *rack_local : locs.front();
+}
+
+void JobTracker::verify_read(hdfs::BlockId block, cluster::MachineId reader) {
+  if (corruptions_injected_ == 0) return;  // nothing anywhere can be corrupt
+  // The reader tries replicas in preference order; every checksum mismatch
+  // is reported to the NameNode (Hadoop's reportBadBlocks) and the read
+  // fails over to the next replica, until a clean one answers or no replica
+  // is left — the block is then lost and the launch path fails it loudly.
+  bool failed_over = false;
+  while (!namenode_.block_lost(block)) {
+    const cluster::MachineId n = preferred_replica(block, reader);
+    if (!namenode_.replica_corrupt(block, n)) break;
+    failed_over = true;
+    confirm_corruption(block, n);
+  }
+  if (failed_over) ++corrupt_read_failovers_;
+}
+
+void JobTracker::confirm_corruption(hdfs::BlockId block,
+                                    cluster::MachineId node) {
+  ++corruptions_detected_;
+  if (auto it = corrupt_injected_at_.find({block, node});
+      it != corrupt_injected_at_.end()) {
+    corruption_detection_latencies_.push_back(sim_.now() - it->second);
+    corrupt_injected_at_.erase(it);
+  }
+  if (auditor_) {
+    auditor_->record(audit::Record::kCorruptionDetected,
+                     (static_cast<std::uint64_t>(block) << 32) ^
+                         static_cast<std::uint64_t>(node));
+  }
+  const std::size_t lost_before = namenode_.lost_blocks().size();
+  namenode_.confirm_corrupt(block, node);
+  if (namenode_.lost_blocks().size() > lost_before) {
+    // That was the last replica: loud corrupt-block loss.  Earlier
+    // detections of this block still queued for repair can never be
+    // satisfied — they are lost with it.
+    ++data_loss_events_;
+    if (auditor_) auditor_->record(audit::Record::kDataLoss, block);
+    std::size_t lost = 1;
+    if (auto pit = corrupt_pending_repair_.find(block);
+        pit != corrupt_pending_repair_.end()) {
+      lost += static_cast<std::size_t>(pit->second);
+      corrupt_pending_repair_.erase(pit);
+    }
+    corruptions_lost_ += lost;
+    return;
+  }
+  // The replica dropped into the under-replication queue; the next finished
+  // copy of this block settles the detection in the repair ledger.
+  ++corrupt_pending_repair_[block];
+  pump_rereplication();
+}
+
+void JobTracker::scrub_tick() {
+  // Brownout: under Critical the background scan yields entirely, like the
+  // re-replication pump it feeds (the backlog owns the cluster's bandwidth).
+  if (rerep_limit_ <= 0) return;
+  const std::size_t total = namenode_.num_blocks();
+  if (total == 0) return;
+  ++scrub_passes_;
+  double budget = config_.scrub_mbps * config_.scrub_period;
+  std::uint64_t scanned = 0;
+  std::size_t visited = 0;
+  // Whole replicas in block order from a persistent cursor (the budget may
+  // overshoot by at most one replica), wrapping at the end of the namespace
+  // so every replica is revisited within one full scan period.
+  while (budget > 0.0 && visited < total) {
+    const hdfs::BlockId id = scrub_cursor_;
+    scrub_cursor_ = (scrub_cursor_ + 1) % total;
+    ++visited;
+    if (namenode_.block_lost(id)) continue;
+    const Megabytes mb = namenode_.block_size(id);
+    // Copy: confirming a corrupt replica mutates the location set under us.
+    const std::vector<cluster::MachineId> locs = namenode_.locations(id);
+    for (cluster::MachineId n : locs) {
+      budget -= mb;
+      scrubbed_mb_ += mb;
+      ++scanned;
+      if (namenode_.replica_corrupt(id, n)) confirm_corruption(id, n);
+      if (budget <= 0.0) break;
+    }
+  }
+  if (auditor_) auditor_->record(audit::Record::kScrub, scanned);
+}
+
+void JobTracker::finalize_corruption() {
+  if (corruption_finalized_) return;
+  corruption_finalized_ = true;
+  // Detections whose block was subsequently lost (by further corruption or
+  // node deaths) can never be repaired: their queued repairs are lost too.
+  for (auto it = corrupt_pending_repair_.begin();
+       it != corrupt_pending_repair_.end();) {
+    if (namenode_.block_lost(it->first)) {
+      corruptions_lost_ += static_cast<std::size_t>(it->second);
+      it = corrupt_pending_repair_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::size_t pending = 0;
+  for (const auto& [block, n] : corrupt_pending_repair_) {
+    pending += static_cast<std::size_t>(n);
+  }
+  // Undetected injections stay latent: either the marker still sits on a
+  // live replica, or the rotten replica evaporated with its node before
+  // anything read it.  A live replica whose marker vanished would mean the
+  // checksum state was silently cleared — a ledger violation.
+  corruptions_latent_ = corrupt_injected_at_.size();
+  if (auditor_ == nullptr) return;
+  for (const auto& [key, t] : corrupt_injected_at_) {
+    (void)t;
+    if (namenode_.is_local(key.first, key.second) &&
+        !namenode_.replica_corrupt(key.first, key.second)) {
+      auditor_->report_violation(
+          "corruption-conservation", audit::Severity::kError,
+          "latent corrupt replica lost its checksum marker");
+    }
+  }
+  if (corruptions_detected_ !=
+      corruptions_repaired_ + corruptions_lost_ + pending) {
+    auditor_->report_violation(
+        "corruption-conservation", audit::Severity::kError,
+        "detected corruptions must be repaired, lost, or awaiting repair");
+  }
+  if (corruptions_injected_ != corruptions_detected_ + corruptions_latent_) {
+    auditor_->report_violation(
+        "corruption-conservation", audit::Severity::kError,
+        "injected corruptions must be detected or latent at finalize");
+  }
 }
 
 void JobTracker::crash_master() {
@@ -1595,6 +1820,26 @@ void JobTracker::handle_completion(TaskReport report) {
   if (js.status(report.spec.kind, report.spec.index) == TaskStatus::kDone) {
     return;
   }
+  if (config_.verify_task_output && report.spec.kind == TaskKind::kMap &&
+      output_corruption_hook_ && output_corruption_hook_()) {
+    // End-to-end output verification: a limping machine can *produce*
+    // garbage, not just store it, and the output checksum is the last line
+    // of defence before the result commits.  The tracker's finish event is
+    // revoked (the auditor sees a revert, so the work never counts twice),
+    // the attempt is charged like a failure, and the map re-executes.
+    ++task_output_corruptions_;
+    if (auditor_) {
+      auditor_->record(audit::Record::kCorruptionDetected,
+                       (static_cast<std::uint64_t>(report.spec.job) << 32) ^
+                           static_cast<std::uint64_t>(report.spec.index));
+      auditor_->on_task_transition(report.spec.job, /*is_map=*/true,
+                                   report.spec.index,
+                                   audit::TaskEvent::kRevertDone,
+                                   report.machine);
+    }
+    charge_attempt_failure(std::move(report), WasteReason::kCorruption);
+    return;
+  }
   js.mark_done(report);
   // Kill the losing twin of a speculated task, wherever it still runs.
   if (js.is_speculative(report.spec.kind, report.spec.index)) {
@@ -1671,11 +1916,15 @@ void JobTracker::handle_task_failure(TaskReport report) {
     orphans_[key] = Orphan{std::move(report), /*failed=*/true};
     return;
   }
+  charge_attempt_failure(std::move(report), WasteReason::kAttemptFailed);
+}
+
+void JobTracker::charge_attempt_failure(TaskReport report, WasteReason reason) {
   const cluster::MachineId m = report.machine;
   EANT_CHECK(m < tracker_states_.size(), "failure from unknown tracker");
   TrackerState& ts = tracker_states_[m];
   ++failed_attempts_;
-  report_waste(report, WasteReason::kAttemptFailed);
+  report_waste(report, reason);
   scheduler_.on_task_failed(report.spec, m);
 
   ++ts.failures;

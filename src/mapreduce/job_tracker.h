@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -215,6 +216,29 @@ struct JobTrackerConfig {
   /// Heartbeats arriving before a tracker's gate are fenced as stale.
   Seconds reregistration_window = 30.0;
 
+  // --- data integrity -----------------------------------------------------------
+
+  /// Period of the background replica scrubber (Hadoop's DataBlockScanner).
+  /// Each tick scans up to scrub_mbps * scrub_period megabytes of replicas,
+  /// resuming from a persistent cursor in block order, and feeds every
+  /// checksum mismatch it confirms into the re-replication queue.  0 (the
+  /// default) disables scrubbing: no event is scheduled and the event stream
+  /// is bit-identical to the pre-scrubber engine.
+  Seconds scrub_period = 0.0;
+
+  /// Byte budget of one scrub tick, expressed as a rate (Hadoop's
+  /// dfs.datanode.scan.period throttling analogue).  Replicas are scanned
+  /// whole, so a tick may overshoot by at most one block.
+  double scrub_mbps = 20.0;
+
+  /// End-to-end verification of map output: re-check the output checksum
+  /// when a map attempt reports completion, so corruption *produced* by a
+  /// limping machine (not just stored corruption) is caught before the
+  /// result commits.  A corrupt output is charged like an attempt failure
+  /// and the map re-executes.  Needs the Run harness's task-output
+  /// corruption hook; off by default.
+  bool verify_task_output = false;
+
   // --- overload protection ------------------------------------------------------
 
   /// Admission control, backpressure and brownout (admission.h).  Inert by
@@ -242,6 +266,7 @@ enum class WasteReason {
   kFetchFailed,    ///< completed map re-run because its output was unreachable
   kOrphaned,       ///< work discarded because the restarted master forgot it
   kPreempted,      ///< attempt killed to rebalance tenant slot shares
+  kCorruption,     ///< work redone because its input or output was corrupt
 };
 
 /// Master node: job admission, heartbeat-driven assignment, lifecycle.
@@ -455,6 +480,79 @@ class JobTracker {
   /// zero before reading HDFS invariants).
   int rereplication_active() const { return rerep_active_; }
 
+  // --- data integrity ----------------------------------------------------------
+
+  /// Silently corrupts one replica — the FaultInjector's corruption handler.
+  /// `block` < 0 means the strike hit the machine and the handler picks the
+  /// replica: `pick` in [0, 1) indexes the machine's blocks in ascending
+  /// block-id order (scripted machine strikes pass 0.0 and take the first).
+  /// Nothing fails here; the damage is found by a checksummed read, by the
+  /// scrubber, or never.
+  void inject_corruption(cluster::MachineId machine, std::int64_t block,
+                         double pick);
+
+  /// Consulted once per completed shuffle-fetch flow; true means the fetched
+  /// payload fails checksum verification (the FaultInjector plugs its
+  /// shuffle-corruption draw in here).
+  void set_shuffle_corruption_hook(std::function<bool()> fn) {
+    shuffle_corruption_hook_ = std::move(fn);
+  }
+
+  /// Consulted once per accepted map completion when
+  /// JobTrackerConfig::verify_task_output is set; true means the attempt
+  /// produced a corrupt output and must re-execute.
+  void set_task_output_corruption_hook(std::function<bool()> fn) {
+    output_corruption_hook_ = std::move(fn);
+  }
+
+  /// Closes the corruption ledger and checks its conservation law: every
+  /// detection must be repaired, lost loudly, or still queued for repair,
+  /// and every undetected injection must still carry its latent checksum
+  /// marker.  Idempotent; called by the Run harness before reading metrics.
+  void finalize_corruption();
+
+  /// Replica corruptions injected (strikes on a live, still-clean replica).
+  std::size_t corruptions_injected() const { return corruptions_injected_; }
+
+  /// Corrupt replicas confirmed by a checksummed read or the scrubber.
+  std::size_t corruptions_detected() const { return corruptions_detected_; }
+
+  /// Confirmed-corrupt replicas restored through the re-replication queue.
+  std::size_t corruptions_repaired() const { return corruptions_repaired_; }
+
+  /// Detections that ended in corrupt-block loss (no clean replica left, or
+  /// the block died before its repair could run).
+  std::size_t corruptions_lost() const { return corruptions_lost_; }
+
+  /// Injected corruptions never detected (set by finalize_corruption).
+  std::size_t corruptions_latent() const { return corruptions_latent_; }
+
+  /// Reads that failed over past at least one corrupt replica.
+  std::size_t corrupt_read_failovers() const {
+    return corrupt_read_failovers_;
+  }
+
+  /// Shuffle fetches whose payload failed verification (each one also counts
+  /// as a fetch failure).
+  std::size_t shuffle_corruptions() const { return shuffle_corruptions_; }
+
+  /// Map completions rejected by end-to-end output verification.
+  std::size_t task_output_corruptions() const {
+    return task_output_corruptions_;
+  }
+
+  /// Bytes scanned by the background scrubber.
+  Megabytes scrubbed_mb() const { return scrubbed_mb_; }
+
+  /// Scrub ticks that actually scanned (master + NameNode up, not browned
+  /// out).
+  std::size_t scrub_passes() const { return scrub_passes_; }
+
+  /// Seconds from injection to detection, one entry per detected corruption.
+  const std::vector<Seconds>& corruption_detection_latencies() const {
+    return corruption_detection_latencies_;
+  }
+
   // --- control-plane fault tolerance ------------------------------------------
 
   /// JobTracker process death: the control plane stops — heartbeats,
@@ -637,6 +735,9 @@ class JobTracker {
     cluster::MachineId src = 0;
     net::TransferClass cls = net::TransferClass::kShuffle;
     double cap_mbps = 0.0;
+    /// Full payload size: a fetch whose delivered bytes fail verification is
+    /// discarded whole and refetched from scratch.
+    Megabytes mb = 0.0;
   };
 
   /// Fetch-failure bookkeeping per (job, map-output source): Hadoop's
@@ -681,6 +782,25 @@ class JobTracker {
   void kill_fetching_attempt(const TransferKey& key);
   void fail_fetching_attempt(const TransferKey& key);
   void handle_datanode_loss(cluster::MachineId machine);
+  /// Checksummed read of a map input: fails over past corrupt replicas,
+  /// confirming each one, until a clean replica answers or the block is
+  /// lost.  No-op (and no state touched) when nothing is corrupt.
+  void verify_read(hdfs::BlockId block, cluster::MachineId reader);
+  /// The replica read-preference order's first choice: node-local, then
+  /// rack-local, then first placement — mirrors the locality ranking.
+  cluster::MachineId preferred_replica(hdfs::BlockId block,
+                                       cluster::MachineId reader) const;
+  /// Shared detection point of read verification and the scrubber: audits
+  /// the detection, drops the replica via NameNode::confirm_corrupt, and
+  /// either queues the repair or books the loud corrupt-block loss.
+  void confirm_corruption(hdfs::BlockId block, cluster::MachineId node);
+  /// One scrub pass over the next scrub_mbps * scrub_period megabytes of
+  /// replicas (whole-replica granularity, persistent cursor).
+  void scrub_tick();
+  /// The shared charge path of handle_task_failure and output-verification
+  /// rejection: waste attribution, scheduler + blacklist credit, attempt
+  /// budget, re-queue.
+  void charge_attempt_failure(TaskReport report, WasteReason reason);
   void pump_rereplication();
   void finish_rereplication(net::FlowId id, hdfs::BlockId block,
                             cluster::MachineId target, Megabytes mb);
@@ -756,6 +876,32 @@ class JobTracker {
   Megabytes rereplication_mb_ = 0.0;
   std::size_t data_loss_events_ = 0;
   Seconds last_fault_decay_ = 0.0;
+
+  // --- data-integrity state ---------------------------------------------------
+
+  std::size_t corruptions_injected_ = 0;
+  std::size_t corruptions_detected_ = 0;
+  std::size_t corruptions_repaired_ = 0;
+  std::size_t corruptions_lost_ = 0;
+  std::size_t corruptions_latent_ = 0;
+  std::size_t corrupt_read_failovers_ = 0;
+  std::size_t shuffle_corruptions_ = 0;
+  std::size_t task_output_corruptions_ = 0;
+  Megabytes scrubbed_mb_ = 0.0;
+  std::size_t scrub_passes_ = 0;
+  /// Injection time per still-undetected corrupt replica — erased at
+  /// detection (feeding the latency histogram); what survives to finalize is
+  /// the latent set.
+  std::map<std::pair<hdfs::BlockId, cluster::MachineId>, Seconds>
+      corrupt_injected_at_;
+  /// Detections routed into the re-replication queue whose repair has not
+  /// finished yet, per block.  finish_rereplication drains it one repair per
+  /// completed copy; corrupt-block loss converts the remainder to lost.
+  std::map<hdfs::BlockId, int> corrupt_pending_repair_;
+  std::vector<Seconds> corruption_detection_latencies_;
+  hdfs::BlockId scrub_cursor_ = 0;
+  bool corruption_finalized_ = false;
+  sim::EventId scrub_event_ = 0;
 
   std::vector<std::unique_ptr<TaskTracker>> trackers_;
   std::vector<std::unique_ptr<JobState>> jobs_;
@@ -839,6 +985,8 @@ class JobTracker {
   std::function<void(const TaskReport&, WasteReason)> waste_listener_;
   std::function<std::optional<double>(JobId, cluster::MachineId)>
       fetch_fault_hook_;
+  std::function<bool()> shuffle_corruption_hook_;
+  std::function<bool()> output_corruption_hook_;
 };
 
 }  // namespace eant::mr

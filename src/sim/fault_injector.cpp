@@ -116,6 +116,18 @@ FaultPlan& FaultPlan::crash_namenode_for(Seconds t, Seconds downtime) {
   return *this;
 }
 
+FaultPlan& FaultPlan::corrupt_replica_at(std::size_t machine,
+                                         std::int64_t block, Seconds t) {
+  EANT_CHECK(block >= 0, "a scripted replica corruption needs a block id");
+  corrupt_events.push_back(CorruptFaultEvent{t, machine, block});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_machine_at(std::size_t machine, Seconds t) {
+  corrupt_events.push_back(CorruptFaultEvent{t, machine, -1});
+  return *this;
+}
+
 FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
                              std::size_t num_machines, std::size_t num_racks)
     : sim_(sim),
@@ -129,6 +141,12 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
       // it always did.
       jt_rng_(rng.fork(3 * num_machines + 2)),
       nn_rng_(rng.fork(3 * num_machines + 3)),
+      // Corruption streams fork at 3N + 4 .. 4N + 3 (per-machine bit rot),
+      // 4N + 4 (shuffle payloads), and 4N + 5 (task output), past every
+      // stream the earlier fault eras claimed — Rng::fork is pure, so a plan
+      // without corruption consumes exactly the draws it always did.
+      shuffle_corrupt_rng_(rng.fork(4 * num_machines + 4)),
+      output_corrupt_rng_(rng.fork(4 * num_machines + 5)),
       up_(num_machines, true),
       crash_event_(num_machines, 0),
       node_link_factor_(num_machines, 1.0),
@@ -190,6 +208,19 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
   for (const auto& e : plan_.master_events) {
     EANT_CHECK(e.time >= 0.0, "master fault plan event in the past");
   }
+  EANT_CHECK(plan_.corruption_mtbf >= 0.0,
+             "corruption MTBF must be non-negative");
+  EANT_CHECK(plan_.shuffle_corruption_prob >= 0.0 &&
+                 plan_.shuffle_corruption_prob < 1.0,
+             "shuffle corruption probability must be in [0, 1)");
+  EANT_CHECK(plan_.task_output_corruption_prob >= 0.0 &&
+                 plan_.task_output_corruption_prob < 1.0,
+             "task output corruption probability must be in [0, 1)");
+  for (const auto& e : plan_.corrupt_events) {
+    EANT_CHECK(e.machine < num_machines,
+               "corruption fault plan names unknown machine");
+    EANT_CHECK(e.time >= 0.0, "corruption fault plan event in the past");
+  }
   machine_rng_.reserve(num_machines);
   for (std::size_t m = 0; m < num_machines; ++m) {
     machine_rng_.push_back(rng.fork(m + 1));
@@ -205,6 +236,10 @@ FaultInjector::FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
   slow_rng_.reserve(num_machines);
   for (std::size_t m = 0; m < num_machines; ++m) {
     slow_rng_.push_back(rng.fork(2 * num_machines + 2 + m));
+  }
+  corrupt_rng_.reserve(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    corrupt_rng_.push_back(rng.fork(3 * num_machines + 4 + m));
   }
 }
 
@@ -231,6 +266,12 @@ void FaultInjector::set_master_handler(MasterHandler handler) {
   on_master_ = std::move(handler);
 }
 
+void FaultInjector::set_corruption_handler(CorruptionHandler handler) {
+  EANT_CHECK(static_cast<bool>(handler),
+             "corruption handler must be callable");
+  on_corrupt_ = std::move(handler);
+}
+
 void FaultInjector::start() {
   EANT_CHECK(!started_, "fault injector already started");
   EANT_CHECK(static_cast<bool>(on_crash_),
@@ -241,6 +282,9 @@ void FaultInjector::start() {
              "set_slow_handler() must precede start() with fail-slow faults");
   EANT_CHECK(!plan_.has_master_faults() || static_cast<bool>(on_master_),
              "set_master_handler() must precede start() with master faults");
+  EANT_CHECK(
+      !plan_.has_corruption_faults() || static_cast<bool>(on_corrupt_),
+      "set_corruption_handler() must precede start() with corruption faults");
   started_ = true;
   for (const auto& e : plan_.events) {
     if (e.kind == FaultEvent::Kind::kCrash) {
@@ -287,6 +331,18 @@ void FaultInjector::start() {
   if (plan_.nn_mtbf > 0.0) {
     schedule_stochastic_master_crash(MasterFaultEvent::Target::kNameNode);
   }
+  for (const auto& e : plan_.corrupt_events) {
+    // Scripted strikes consume no RNG: machine-level events pass pick = 0
+    // (the handler takes the first replica in its deterministic order).
+    sim_.schedule_at(e.time, [this, e] {
+      apply_corruption(e.machine, e.block, 0.0);
+    });
+  }
+  if (plan_.corruption_mtbf > 0.0) {
+    for (std::size_t m = 0; m < up_.size(); ++m) {
+      schedule_stochastic_corruption(m);
+    }
+  }
 }
 
 bool FaultInjector::is_up(std::size_t machine) const {
@@ -328,6 +384,16 @@ std::optional<double> FaultInjector::draw_fetch_failure() {
   if (plan_.fetch_failure_prob <= 0.0) return std::nullopt;
   if (!fetch_rng_.bernoulli(plan_.fetch_failure_prob)) return std::nullopt;
   return fetch_rng_.uniform(0.05, 0.95);
+}
+
+bool FaultInjector::draw_shuffle_corruption() {
+  if (plan_.shuffle_corruption_prob <= 0.0) return false;
+  return shuffle_corrupt_rng_.bernoulli(plan_.shuffle_corruption_prob);
+}
+
+bool FaultInjector::draw_task_output_corruption() {
+  if (plan_.task_output_corruption_prob <= 0.0) return false;
+  return output_corrupt_rng_.bernoulli(plan_.task_output_corruption_prob);
 }
 
 std::size_t FaultInjector::crashes() const {
@@ -484,6 +550,28 @@ void FaultInjector::schedule_stochastic_master_crash(
                           [this, target] { recover_master(target); });
     }
     // mttr == 0: the master stays down; its failure process ends.
+  });
+}
+
+void FaultInjector::apply_corruption(std::size_t machine, std::int64_t block,
+                                     double pick) {
+  corrupt_log_.push_back(CorruptTransition{sim_.now(), machine, block});
+  on_corrupt_(machine, block, pick);
+}
+
+void FaultInjector::schedule_stochastic_corruption(std::size_t machine) {
+  // Bit rot strikes a machine's disks on an exponential clock.  Unlike the
+  // crash/slow processes it is *not* gated on the machine being up: rot
+  // damages platters whether or not the node is serving, and the handler
+  // no-ops harmlessly when the machine holds no replicas.  The replica pick
+  // is drawn on the same per-machine stream, so the process stays
+  // reproducible per seed no matter what other fault families do.
+  const Seconds dt =
+      corrupt_rng_[machine].exponential(1.0 / plan_.corruption_mtbf);
+  const double pick = corrupt_rng_[machine].uniform(0.0, 1.0);
+  sim_.schedule_after(dt, [this, machine, pick] {
+    apply_corruption(machine, -1, pick);
+    schedule_stochastic_corruption(machine);
   });
 }
 

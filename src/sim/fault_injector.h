@@ -10,7 +10,11 @@
 // factors, including progressive "rot" ramps, under which a machine keeps
 // accepting work but runs it at a fraction of nominal speed — and scripted
 // and stochastic *control-plane* faults that crash the cluster masters
-// (JobTracker, NameNode) while the data plane keeps running.  The
+// (JobTracker, NameNode) while the data plane keeps running, and scripted
+// and stochastic *silent data corruption* — bit rot in stored HDFS replicas
+// and garbled shuffle payloads — that damages bytes without failing
+// anything at injection time (the damage surfaces only through checksum
+// verification at read time, the background scrubber, or never).  The
 // FaultInjector turns the plan into simulator events and invokes handlers
 // (wired to TaskTracker::crash/restart, Fabric::set_*_factor and
 // TaskTracker::set_perf_factors by the exp harness) when a machine or link
@@ -34,6 +38,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -88,6 +93,19 @@ struct SlowFaultEvent {
   std::size_t machine = 0;
   double cpu_factor = 1.0;
   double io_factor = 1.0;
+};
+
+/// One scripted silent-corruption event: flips bits in one stored HDFS
+/// replica.  `block >= 0` targets that block's replica on `machine`;
+/// `block < 0` corrupts a deterministically chosen replica currently stored
+/// on `machine` (the handler owns the choice — the injector knows no
+/// blocks).  Corruption is *silent*: nothing fails at injection time; the
+/// damage is discovered only by a verified read, the background scrubber,
+/// or never (a latent corruption).
+struct CorruptFaultEvent {
+  Seconds time = 0.0;
+  std::size_t machine = 0;
+  std::int64_t block = -1;
 };
 
 /// Declarative description of the faults to inject into a run.
@@ -164,6 +182,24 @@ struct FaultPlan {
   /// Mean time to repair a stochastically crashed NameNode (exponential).
   Seconds nn_mttr = 0.0;
 
+  /// Scripted silent replica corruption.
+  std::vector<CorruptFaultEvent> corrupt_events;
+
+  /// Mean time between stochastic silent corruptions per machine
+  /// (exponential); 0 disables stochastic bit rot.  Each strike corrupts
+  /// one replica on the struck machine (chosen by the handler from a
+  /// uniform pick drawn on the machine's corruption stream).
+  Seconds corruption_mtbf = 0.0;
+
+  /// Probability that any single completed shuffle fetch delivered a
+  /// corrupt payload (detected by the reduce-side checksum on arrival).
+  double shuffle_corruption_prob = 0.0;
+
+  /// Probability that a completed map attempt *produced* corrupt output (a
+  /// limping machine writing garbage); consulted only when the JobTracker's
+  /// end-to-end task-output verification is enabled.
+  double task_output_corruption_prob = 0.0;
+
   /// True when the plan injects network faults (needs a Fabric to act on).
   bool has_net_faults() const {
     return !net_events.empty() || link_mtbf > 0.0;
@@ -179,11 +215,19 @@ struct FaultPlan {
     return !master_events.empty() || jt_mtbf > 0.0 || nn_mtbf > 0.0;
   }
 
+  /// True when the plan injects stored-replica corruption (needs a
+  /// corruption handler).
+  bool has_corruption_faults() const {
+    return !corrupt_events.empty() || corruption_mtbf > 0.0;
+  }
+
   /// True when the plan injects anything at all.
   bool enabled() const {
     return !events.empty() || mtbf > 0.0 || task_failure_prob > 0.0 ||
            has_net_faults() || fetch_failure_prob > 0.0 ||
-           has_slow_faults() || has_master_faults();
+           has_slow_faults() || has_master_faults() ||
+           has_corruption_faults() || shuffle_corruption_prob > 0.0 ||
+           task_output_corruption_prob > 0.0;
   }
 
   /// Scripting helpers.
@@ -215,6 +259,12 @@ struct FaultPlan {
   FaultPlan& crash_jobtracker_for(Seconds t, Seconds downtime);
   /// Crash the NameNode at t and bring it back `downtime` seconds later.
   FaultPlan& crash_namenode_for(Seconds t, Seconds downtime);
+  /// Silently corrupt the replica of `block` stored on `machine` at t.
+  FaultPlan& corrupt_replica_at(std::size_t machine, std::int64_t block,
+                                Seconds t);
+  /// Silently corrupt a deterministically chosen replica on `machine` at t
+  /// (the handler picks the first replica in its storage order — no RNG).
+  FaultPlan& corrupt_machine_at(std::size_t machine, Seconds t);
 };
 
 /// Executes a FaultPlan against a Simulator.
@@ -233,6 +283,14 @@ class FaultInjector {
   /// JobTracker::crash_master / recover_master).
   using MasterHandler =
       std::function<void(MasterFaultEvent::Target target, bool up)>;
+  /// Receives silent-corruption strikes (wired by the exp harness to
+  /// JobTracker::inject_corruption).  `block >= 0` names the replica to rot;
+  /// `block < 0` means "one replica on `machine`", and `pick` in [0, 1)
+  /// selects it from the machine's replica list (the injector knows no
+  /// blocks, so the handler owns the mapping).  Scripted machine-level
+  /// events pass pick = 0 — no RNG is consumed for scripted strikes.
+  using CorruptionHandler = std::function<void(
+      std::size_t machine, std::int64_t block, double pick)>;
 
   /// One applied machine transition (for logs, tests and determinism
   /// checks).
@@ -265,6 +323,14 @@ class FaultInjector {
     bool up = false;  ///< state after the transition
   };
 
+  /// One delivered silent-corruption strike (block as passed to the
+  /// handler: -1 when the handler picked the replica).
+  struct CorruptTransition {
+    Seconds time = 0.0;
+    std::size_t machine = 0;
+    std::int64_t block = -1;
+  };
+
   FaultInjector(Simulator& sim, FaultPlan plan, Rng rng,
                 std::size_t num_machines, std::size_t num_racks = 1);
 
@@ -285,6 +351,10 @@ class FaultInjector {
   /// Installs the control-plane callback.  Must precede start() when the
   /// plan has master faults.
   void set_master_handler(MasterHandler handler);
+
+  /// Installs the silent-corruption callback.  Must precede start() when
+  /// the plan has stored-replica corruption faults.
+  void set_corruption_handler(CorruptionHandler handler);
 
   /// Schedules every scripted event and seeds the stochastic failure
   /// processes.  Call exactly once.
@@ -313,6 +383,16 @@ class FaultInjector {
   /// fetch's solo duration after which it dies.
   std::optional<double> draw_fetch_failure();
 
+  /// Shuffle-payload corruption draw, consulted once per *completed* shuffle
+  /// fetch.  True: the delivered payload fails its checksum.  Consumes no
+  /// RNG when shuffle_corruption_prob is 0.
+  bool draw_shuffle_corruption();
+
+  /// Task-output corruption draw, consulted once per verified map
+  /// completion.  True: the attempt produced garbage despite finishing
+  /// "successfully".  Consumes no RNG when task_output_corruption_prob is 0.
+  bool draw_task_output_corruption();
+
   /// Every machine transition actually applied, in simulation order.
   const std::vector<Transition>& log() const { return log_; }
 
@@ -325,6 +405,11 @@ class FaultInjector {
   /// Every control-plane transition actually applied, in simulation order.
   const std::vector<MasterTransition>& master_log() const {
     return master_log_;
+  }
+
+  /// Every silent-corruption strike delivered, in simulation order.
+  const std::vector<CorruptTransition>& corrupt_log() const {
+    return corrupt_log_;
   }
 
   /// The injector's view of the masters' state.
@@ -345,6 +430,9 @@ class FaultInjector {
   /// Number of applied control-plane crash transitions.
   std::size_t master_crashes() const;
 
+  /// Number of silent-corruption strikes delivered so far.
+  std::size_t corruptions() const { return corrupt_log_.size(); }
+
   const FaultPlan& plan() const { return plan_; }
 
  private:
@@ -360,6 +448,8 @@ class FaultInjector {
   void crash_master(MasterFaultEvent::Target target);
   void recover_master(MasterFaultEvent::Target target);
   void schedule_stochastic_master_crash(MasterFaultEvent::Target target);
+  void apply_corruption(std::size_t machine, std::int64_t block, double pick);
+  void schedule_stochastic_corruption(std::size_t machine);
 
   Simulator& sim_;
   FaultPlan plan_;
@@ -370,6 +460,9 @@ class FaultInjector {
   std::vector<Rng> slow_rng_;     // one stream per machine (fail-slow draws)
   Rng jt_rng_;                    // JobTracker MTBF/MTTR stream
   Rng nn_rng_;                    // NameNode MTBF/MTTR stream
+  std::vector<Rng> corrupt_rng_;  // one stream per machine (bit-rot draws)
+  Rng shuffle_corrupt_rng_;       // shuffle-payload corruption stream
+  Rng output_corrupt_rng_;        // task-output corruption stream
   std::vector<bool> up_;
   // Pending stochastic crash per machine: cancelled when a scripted crash
   // intervenes, re-armed (with a fresh draw) at every recovery.
@@ -388,10 +481,12 @@ class FaultInjector {
   NetHandler on_net_;
   SlowHandler on_slow_;
   MasterHandler on_master_;
+  CorruptionHandler on_corrupt_;
   std::vector<Transition> log_;
   std::vector<NetTransition> net_log_;
   std::vector<SlowTransition> slow_log_;
   std::vector<MasterTransition> master_log_;
+  std::vector<CorruptTransition> corrupt_log_;
   bool started_ = false;
 };
 

@@ -301,5 +301,39 @@ TEST(Cli, DoubleArgParsesDefaultsAndRejectsBadInput) {
   }
 }
 
+TEST(Cli, BoolArgParsesSpellingsDefaultsAndRejectsBadInput) {
+  const auto parse = [](const char* word) {
+    const char* argv[] = {"prog", word};
+    exp::Cli cli(2, const_cast<char**>(argv), "prog [admission]");
+    const bool value = cli.bool_arg("admission", false);
+    cli.done();
+    return value;
+  };
+  for (const char* on : {"on", "true", "1", "admission"}) {
+    EXPECT_TRUE(parse(on)) << on;
+  }
+  for (const char* off : {"off", "false", "0"}) {
+    EXPECT_FALSE(parse(off)) << off;
+  }
+  {
+    // Absent: the default answers, nothing is consumed.
+    const char* argv[] = {"prog"};
+    exp::Cli cli(1, const_cast<char**>(argv), "prog [admission]");
+    EXPECT_TRUE(cli.bool_arg("admission", true));
+    EXPECT_FALSE(cli.bool_arg("admission", false));
+    cli.done();
+  }
+  for (const char* bad : {"yes", "2", "-on", ""}) {
+    const char* argv[] = {"prog", bad};
+    EXPECT_EXIT(
+        {
+          exp::Cli cli(2, const_cast<char**>(argv), "prog [admission]");
+          cli.bool_arg("admission", false);
+        },
+        ::testing::ExitedWithCode(2), "")
+        << "'" << bad << "'";
+  }
+}
+
 }  // namespace
 }  // namespace eant

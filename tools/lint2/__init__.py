@@ -30,8 +30,12 @@ in tools/lint2/allowlist.py and each carries a written justification):
                    every task-attempt lifecycle emission point must pass
                    through the audit tap: TaskTracker functions that mutate
                    the running-slot bookkeeping must call audit_transition /
-                   on_task_transition, and every JobTracker revert_done_map
-                   site must have the kRevertDone tap beside it.  (Job-level
+                   on_task_transition, every JobTracker revert_done_map
+                   site must have the kRevertDone tap beside it, and the
+                   data-integrity ledger's mutation sites (corruption
+                   detection, scrub traffic, repair settlement) must sit
+                   beside their kCorruptionDetected / kScrub / kRepair
+                   records.  (Job-level
                    mirrors — mark_started/mark_done/unclaim — are excluded:
                    their attempt-level taps fire in the TaskTracker paths.)
 

@@ -332,6 +332,30 @@ _ADM_RETRY_MUT = re.compile(
 _ADM_RETRY_TAP = re.compile(r"\bkJobRetry\b")
 _ADM_WINDOW = 10
 
+# Data-integrity emission points (src/mapreduce/job_tracker.cpp): every
+# corruption-detection counter bump (checksummed read, shuffle payload or
+# verified task output) must sit beside its kCorruptionDetected record,
+# every scrub-traffic accumulation beside its pass's kScrub record, and
+# every repair settlement beside its kRepair record — otherwise the
+# detect -> repair ledger the corruption-conservation audit sums at finalize
+# drifts from the record stream (and the digest) invisibly.  The patterns
+# match mutations only: reads (the conservation sums, the accessors) have no
+# ++/--/compound-assignment and never fire.
+_CORRUPT_DETECT_MUT = re.compile(
+    r"(?:\+\+|--)\s*(?:corruptions_detected_|shuffle_corruptions_|"
+    r"task_output_corruptions_)\b"
+    r"|(?:corruptions_detected_|shuffle_corruptions_|"
+    r"task_output_corruptions_)\s*(?:\+\+|--|[+\-]?=(?!=))")
+_CORRUPT_DETECT_TAP = re.compile(r"\bkCorruptionDetected\b")
+_SCRUB_MUT = re.compile(
+    r"(?:\+\+|--)\s*scrubbed_mb_\b|scrubbed_mb_\s*(?:\+\+|--|[+\-]?=(?!=))")
+_SCRUB_TAP = re.compile(r"\bkScrub\b")
+_REPAIR_MUT = re.compile(
+    r"(?:\+\+|--)\s*corruptions_repaired_\b"
+    r"|corruptions_repaired_\s*(?:\+\+|--|[+\-]?=(?!=))")
+_REPAIR_TAP = re.compile(r"\bkRepair\b")
+_CORRUPT_WINDOW = 8
+
 
 def check_observer_completeness(sf: SourceFile) -> list[Finding]:
     """Every task-attempt lifecycle emission point passes the audit tap.
@@ -348,7 +372,11 @@ def check_observer_completeness(sf: SourceFile) -> list[Finding]:
         emission point (tap within +-8 lines), and every orphan
         write-off (report_waste with WasteReason::kOrphaned) must sit
         beside its kOrphan* tap or a cancel_task() delegate (within +-14
-        lines).
+        lines).  The data-integrity ledger has the same shape: every
+        corruption-detection counter bump sits beside its
+        kCorruptionDetected record, every scrubbed_mb_ accumulation
+        beside its pass's kScrub record, and every repair settlement
+        beside its kRepair record (all within +-8 lines).
       * admission.cpp — every overload-state assignment sits beside its
         kOverloadState record, every rejection/drop counter mutation
         beside a kJobReject record, and every retry counter mutation
@@ -393,6 +421,22 @@ def check_observer_completeness(sf: SourceFile) -> list[Finding]:
                         "orphan write-off without a kOrphan* tap or "
                         f"cancel_task() delegate within {_ORPHAN_WINDOW} "
                         "lines"))
+        for mut, tap, subject, what in (
+                (_CORRUPT_DETECT_MUT, _CORRUPT_DETECT_TAP,
+                 "corruptions_detected_",
+                 "corruption-detection counter mutation without its "
+                 "kCorruptionDetected record"),
+                (_SCRUB_MUT, _SCRUB_TAP, "scrubbed_mb_",
+                 "scrub-traffic accumulation without its pass's kScrub "
+                 "record"),
+                (_REPAIR_MUT, _REPAIR_TAP, "corruptions_repaired_",
+                 "repair settlement without its kRepair record")):
+            for lineno, code in enumerate(sf.code, start=1):
+                if mut.search(code) and not _near(sf, lineno, tap,
+                                                 _CORRUPT_WINDOW):
+                    out.append(Finding(
+                        "observer-completeness", sf.rel, lineno, subject,
+                        f"{what} within {_CORRUPT_WINDOW} lines"))
     if sf.rel == "src/mapreduce/admission.cpp":
         for mut, tap, subject, what in (
                 (_ADM_STATE_MUT, _ADM_STATE_TAP, "state_",

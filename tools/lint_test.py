@@ -397,6 +397,64 @@ class ObserverCompleteness(LintV2Base):
             """, "observer-completeness")
         self.assertEqual(with_delegate, [])
 
+    def test_corruption_detection_needs_record(self) -> None:
+        bare = self.v2("src/mapreduce/job_tracker.cpp", """\
+            void JobTracker::confirm_corruption(hdfs::BlockId block,
+                                                cluster::MachineId node) {
+              ++corruptions_detected_;
+            }
+            """, "observer-completeness")
+        self.assertEqual(len(bare), 1)
+        self.assertIn("kCorruptionDetected", bare[0].message)
+        with_record = self.v2("src/mapreduce/job_tracker.cpp", """\
+            void JobTracker::confirm_corruption(hdfs::BlockId block,
+                                                cluster::MachineId node) {
+              ++corruptions_detected_;
+              if (auditor_) {
+                auditor_->record(audit::Record::kCorruptionDetected,
+                                 (block << 32) ^ node);
+              }
+            }
+            """, "observer-completeness")
+        self.assertEqual(with_record, [])
+        # The shuffle and task-output detection counters are held to the
+        # same obligation.
+        shuffle = self.v2("src/mapreduce/job_tracker.cpp", """\
+            void JobTracker::on_flow_complete(net::FlowId id) {
+              ++shuffle_corruptions_;
+            }
+            """, "observer-completeness")
+        self.assertEqual(len(shuffle), 1)
+
+    def test_scrub_and_repair_need_records(self) -> None:
+        bare = self.v2("src/mapreduce/job_tracker.cpp", """\
+            void JobTracker::scrub_tick() {
+              scrubbed_mb_ += mb;
+              ++corruptions_repaired_;
+            }
+            """, "observer-completeness")
+        self.assertEqual({h.symbol for h in bare},
+                         {"scrubbed_mb_", "corruptions_repaired_"})
+        with_records = self.v2("src/mapreduce/job_tracker.cpp", """\
+            void JobTracker::scrub_tick() {
+              scrubbed_mb_ += mb;
+              if (auditor_) auditor_->record(audit::Record::kScrub, scanned);
+              ++corruptions_repaired_;
+              auditor_->record(audit::Record::kRepair, (block << 32) ^ target);
+            }
+            """, "observer-completeness")
+        self.assertEqual(with_records, [])
+        # The conservation sums in finalize_corruption only *read* the
+        # counters — comparisons and additions are not mutations.
+        self.assertEqual(self.v2("src/mapreduce/job_tracker.cpp", """\
+            void JobTracker::finalize_corruption() {
+              if (corruptions_detected_ !=
+                  corruptions_repaired_ + corruptions_lost_ + pending) {
+                report();
+              }
+            }
+            """, "observer-completeness"), [])
+
     def test_admission_state_mutation_needs_record(self) -> None:
         bare = self.v2("src/mapreduce/admission.cpp", """\
             void AdmissionControl::transition_to(OverloadState next) {
